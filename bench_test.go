@@ -1,0 +1,317 @@
+// Package rpeer holds the repository-level benchmark harness: one
+// benchmark per table and figure of the paper's evaluation (each
+// regenerates the artefact from the shared experiment environment and
+// reports the headline metric), plus the design-choice ablations
+// called out in DESIGN.md section 5.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package rpeer
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"rpeer/internal/alias"
+	"rpeer/internal/core"
+	"rpeer/internal/exp"
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+	"rpeer/internal/tracesim"
+)
+
+var (
+	benchOnce  sync.Once
+	benchedEnv *exp.Env
+	benchErr   error
+	sink       interface{}
+)
+
+func benchEnv(b *testing.B) *exp.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchedEnv, benchErr = exp.NewEnv(1)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchedEnv
+}
+
+// run executes one experiment constructor per iteration.
+func run(b *testing.B, f func(*exp.Env) exp.Result) {
+	e := benchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var r exp.Result
+	for i := 0; i < b.N; i++ {
+		r = f(e)
+	}
+	sink = r
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+
+func BenchmarkTable1DatasetMerge(b *testing.B) { run(b, exp.Table1) }
+func BenchmarkTable2Validation(b *testing.B)   { run(b, exp.Table2) }
+func BenchmarkTable5PingCampaign(b *testing.B) { run(b, exp.Table5) }
+
+func BenchmarkTable4StepValidation(b *testing.B) {
+	e := benchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m core.Metrics
+	for i := 0; i < b.N; i++ {
+		sink = exp.Table4(e)
+		m = core.Evaluate(e.Report, e.TestSubset())
+	}
+	b.ReportMetric(100*m.ACC, "ACC%")
+	b.ReportMetric(100*m.COV, "COV%")
+	b.ReportMetric(100*m.PRE, "PRE%")
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+
+func BenchmarkFig1aFacilityDistribution(b *testing.B) { run(b, exp.Fig1a) }
+func BenchmarkFig1bControlRTTECDF(b *testing.B)       { run(b, exp.Fig1b) }
+func BenchmarkFig2aWideAreaRTTMatrix(b *testing.B)    { run(b, exp.Fig2a) }
+func BenchmarkFig2bWideAreaPrevalence(b *testing.B)   { run(b, exp.Fig2b) }
+func BenchmarkFig4PortCapacities(b *testing.B)        { run(b, exp.Fig4) }
+func BenchmarkFig5FacilityPresence(b *testing.B)      { run(b, exp.Fig5) }
+func BenchmarkFig6SpeedFit(b *testing.B)              { run(b, exp.Fig6) }
+func BenchmarkFig8PerIXPValidation(b *testing.B)      { run(b, exp.Fig8) }
+func BenchmarkFig9aResponseRates(b *testing.B)        { run(b, exp.Fig9a) }
+func BenchmarkFig9bRTTECDF(b *testing.B)              { run(b, exp.Fig9b) }
+func BenchmarkFig9cFeasibleFacilities(b *testing.B)   { run(b, exp.Fig9c) }
+func BenchmarkFig9dMultiIXPRouters(b *testing.B)      { run(b, exp.Fig9d) }
+func BenchmarkFig10aStepContribution(b *testing.B)    { run(b, exp.Fig10a) }
+func BenchmarkFig10bInferenceShares(b *testing.B)     { run(b, exp.Fig10b) }
+func BenchmarkFig11aCustomerCones(b *testing.B)       { run(b, exp.Fig11a) }
+func BenchmarkFig11bTrafficLevels(b *testing.B)       { run(b, exp.Fig11b) }
+func BenchmarkFig12aGrowth(b *testing.B)              { run(b, exp.Fig12a) }
+func BenchmarkFig12bPingVsTraceroute(b *testing.B)    { run(b, exp.Fig12b) }
+func BenchmarkSec64RoutingImplications(b *testing.B)  { run(b, exp.Sec64) }
+
+// ---------------------------------------------------------------------------
+// End-to-end pipeline stages
+
+func BenchmarkWorldGeneration(b *testing.B) {
+	cfg := netsim.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := netsim.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = w
+	}
+}
+
+func BenchmarkPingCampaign(b *testing.B) {
+	e := benchEnv(b)
+	cfg := pingsim.DefaultCampaign()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = pingsim.Run(e.World, e.VPs, cfg)
+	}
+}
+
+func BenchmarkTracerouteCorpus(b *testing.B) {
+	e := benchEnv(b)
+	cfg := tracesim.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = tracesim.Generate(e.World, cfg)
+	}
+}
+
+func BenchmarkFullPipeline(b *testing.B) {
+	e := benchEnv(b)
+	opt := core.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Run(e.Inputs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = rep
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md section 5)
+
+// ablate runs the pipeline under modified options and reports accuracy
+// and coverage against the test subset.
+func ablate(b *testing.B, opt core.Options) {
+	e := benchEnv(b)
+	test := e.TestSubset()
+	b.ResetTimer()
+	var m core.Metrics
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Run(e.Inputs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m = core.Evaluate(rep, test)
+		sink = rep
+	}
+	b.ReportMetric(100*m.ACC, "ACC%")
+	b.ReportMetric(100*m.COV, "COV%")
+	b.ReportMetric(100*m.FPR, "FPR%")
+}
+
+func BenchmarkAblationBaselinePipeline(b *testing.B) {
+	ablate(b, core.DefaultOptions())
+}
+
+func BenchmarkAblationNoVmin(b *testing.B) {
+	opt := core.DefaultOptions()
+	opt.DisableVminBound = true
+	ablate(b, opt)
+}
+
+func BenchmarkAblationAliasCoverageMode(b *testing.B) {
+	opt := core.DefaultOptions()
+	opt.AliasMode = alias.ModeCoverage
+	ablate(b, opt)
+}
+
+func BenchmarkAblationNoPortCapacity(b *testing.B) {
+	opt := core.DefaultOptions()
+	opt.EnablePortCapacity = false
+	ablate(b, opt)
+}
+
+func BenchmarkAblationNoPrivateLinks(b *testing.B) {
+	opt := core.DefaultOptions()
+	opt.EnablePrivate = false
+	ablate(b, opt)
+}
+
+func BenchmarkAblationStepOrder(b *testing.B) {
+	// RTT+colo before port capacity: the paper argues port capacity
+	// must run first because it is the more reliable signal for
+	// colocated reseller customers.
+	e := benchEnv(b)
+	test := e.TestSubset()
+	order := []core.Step{core.StepRTTColo, core.StepPortCapacity, core.StepMultiIXP, core.StepPrivate}
+	b.ResetTimer()
+	var m core.Metrics
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunWithOrder(e.Inputs, core.DefaultOptions(), order)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m = core.Evaluate(rep, test)
+		sink = rep
+	}
+	b.ReportMetric(100*m.ACC, "ACC%")
+	b.ReportMetric(100*m.FNR, "FNR%")
+}
+
+func BenchmarkAblationNoTTLFilters(b *testing.B) {
+	e := benchEnv(b)
+	test := e.TestSubset()
+	cfg := pingsim.DefaultCampaign()
+	cfg.Seed = 5
+	cfg.DisableTTLFilters = true
+	ping := pingsim.Run(e.World, e.VPs, cfg)
+	in := e.Inputs
+	in.Ping = ping
+	b.ResetTimer()
+	var m core.Metrics
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Run(in, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m = core.Evaluate(rep, test)
+		sink = rep
+	}
+	b.ReportMetric(100*m.ACC, "ACC%")
+	b.ReportMetric(100*m.FPR, "FPR%")
+}
+
+func BenchmarkAblationBaselineThreshold(b *testing.B) {
+	e := benchEnv(b)
+	test := e.TestSubset()
+	for _, th := range []float64{2, 5, 10, 20} {
+		th := th
+		b.Run(thName(th), func(b *testing.B) {
+			var m core.Metrics
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Baseline(e.Inputs, th)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m = core.Evaluate(rep, test)
+				sink = rep
+			}
+			b.ReportMetric(100*m.ACC, "ACC%")
+			b.ReportMetric(100*m.FPR, "FPR%")
+			b.ReportMetric(100*m.FNR, "FNR%")
+		})
+	}
+}
+
+func thName(th float64) string {
+	switch th {
+	case 2:
+		return "2ms"
+	case 5:
+		return "5ms"
+	case 10:
+		return "10ms"
+	default:
+		return "20ms"
+	}
+}
+
+func BenchmarkExtensionBeyondPings(b *testing.B) {
+	opt := core.DefaultOptions()
+	opt.UseTracerouteRTT = true
+	ablate(b, opt)
+}
+
+func BenchmarkExtensionLongitudinal(b *testing.B) {
+	run(b, exp.Sec8Longitudinal)
+}
+
+func BenchmarkWorldSaveLoad(b *testing.B) {
+	e := benchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := e.World.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		w, err := netsim.Load(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = w
+	}
+}
+
+func BenchmarkParallelPingCampaign(b *testing.B) {
+	e := benchEnv(b)
+	cfg := pingsim.DefaultCampaign()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = pingsim.RunParallel(e.World, e.VPs, cfg, 0)
+	}
+}
+
+func BenchmarkSec7Resilience(b *testing.B) {
+	run(b, exp.Sec7)
+}

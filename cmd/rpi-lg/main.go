@@ -1,0 +1,60 @@
+// Command rpi-lg serves a single IXP's looking glass over HTTP — the
+// kind of public, rate-limited ping interface the paper's measurement
+// campaign automates through Periscope.
+//
+// Endpoints:
+//
+//	GET /about
+//	GET /ping?target=ADDR
+//
+// Usage:
+//
+//	rpi-lg [-seed N] [-ixp NAME] [-addr :8081]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"rpeer/internal/lgweb"
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rpi-lg: ")
+	seed := flag.Int64("seed", 1, "world generation seed")
+	ixpName := flag.String("ixp", "", "IXP to serve (default: largest with an LG)")
+	addr := flag.String("addr", ":8081", "listen address")
+	flag.Parse()
+
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = *seed
+	w, err := netsim.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var vp *pingsim.VP
+	for _, v := range pingsim.DeriveVPs(w, *seed+3) {
+		if v.Kind != pingsim.KindLG {
+			continue
+		}
+		if *ixpName == "" || w.IXP(v.IXP).Name == *ixpName {
+			vp = v
+			break
+		}
+	}
+	if vp == nil {
+		log.Fatalf("no looking glass found for %q", *ixpName)
+	}
+	log.Printf("serving looking glass of %s on %s", w.IXP(vp.IXP).Name, *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           lgweb.NewServer(w, vp, *seed),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

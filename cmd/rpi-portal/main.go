@@ -1,0 +1,45 @@
+// Command rpi-portal serves the remote peering inference portal
+// (paper Section 9): a JSON API over the current inference snapshot.
+//
+// Endpoints:
+//
+//	GET /healthz
+//	GET /api/summary
+//	GET /api/ixps
+//	GET /api/ixps/{name}
+//
+// Usage:
+//
+//	rpi-portal [-seed N] [-addr :8080]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"rpeer/internal/exp"
+	"rpeer/internal/portal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rpi-portal: ")
+	seed := flag.Int64("seed", 1, "world generation seed")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	log.Printf("assembling inference snapshot (seed %d)...", *seed)
+	env, err := exp.NewEnv(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           portal.New(env),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,48 @@
+// Command rpi-validate scores the methodology against the ground-truth
+// validation dataset: the Table 4 per-step metrics, the Fig 8 per-IXP
+// breakdown, and the comparison against the RTT-threshold baseline.
+//
+// Usage:
+//
+//	rpi-validate [-seed N] [-threshold ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rpeer/internal/core"
+	"rpeer/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rpi-validate: ")
+	seed := flag.Int64("seed", 1, "world generation seed")
+	threshold := flag.Float64("threshold", core.DefaultBaselineThresholdMs,
+		"baseline remoteness RTT threshold in ms")
+	flag.Parse()
+
+	env, err := exp.NewEnv(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *threshold != core.DefaultBaselineThresholdMs {
+		base, err := core.Baseline(env.Inputs, *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		env.BaseReport = base
+	}
+
+	r := exp.Table4(env)
+	r.Table.Render(os.Stdout)
+	fmt.Printf("\npaper: %s\n\n", r.PaperClaim)
+
+	f := exp.Fig8(env)
+	f.Table.Render(os.Stdout)
+	fmt.Printf("\npaper: %s\n", f.PaperClaim)
+}

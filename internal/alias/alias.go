@@ -1,0 +1,295 @@
+// Package alias implements MIDAR-style IPv4 alias resolution
+// (Keys et al., ToN 2013; paper Section 5.2, Step 4) over the
+// simulated Internet: routers expose a shared, monotonically
+// increasing IP-ID counter across all their interfaces, and the
+// resolver probes candidate interfaces in interleaved rounds, applying
+// a Monotonic Bounds Test (MBT) to decide whether two interfaces share
+// one counter — i.e. belong to one physical router.
+//
+// Two confidence modes mirror the two CAIDA datasets the paper chooses
+// between: ModePrecision (MIDAR + iffinder: strict, very low false
+// positives) and ModeCoverage (adding kapar-style looser matching:
+// higher coverage, more errors).
+package alias
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"rpeer/internal/netsim"
+)
+
+// Mode selects the precision/coverage trade-off.
+type Mode int
+
+const (
+	// ModePrecision accepts only pairs passing the strict MBT
+	// (highest-confidence aliases, very low false positives).
+	ModePrecision Mode = iota
+	// ModeCoverage additionally accepts pairs with merely similar
+	// counter velocities, boosting coverage at the cost of accuracy.
+	ModeCoverage
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModePrecision {
+		return "midar+iffinder"
+	}
+	return "midar+kapar"
+}
+
+// Prober simulates probing an interface for its IP-ID value. A
+// fraction of routers use randomized or zero IP-IDs and are therefore
+// unresolvable — the real-world phenomenon that caps Step 4 coverage.
+type Prober struct {
+	w *netsim.World
+	// RandomIPIDFrac is the fraction of routers with unusable IP-ID
+	// behaviour.
+	RandomIPIDFrac float64
+	// NoReplyProb is the per-probe loss probability.
+	NoReplyProb float64
+	seed        int64
+	rng         *rand.Rand
+}
+
+// NewProber builds a prober over the world.
+func NewProber(w *netsim.World, seed int64) *Prober {
+	return &Prober{
+		w:              w,
+		RandomIPIDFrac: 0.15,
+		NoReplyProb:    0.05,
+		seed:           seed,
+		rng:            rand.New(rand.NewSource(seed)),
+	}
+}
+
+// usableCounter reports whether the router exposes a shared monotonic
+// IP-ID counter (deterministic per router and seed).
+func (p *Prober) usableCounter(r *netsim.Router) bool {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(r.ID) >> (8 * i))
+		buf[8+i] = byte(uint64(p.seed) >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return float64(h.Sum64()%10000)/10000 >= p.RandomIPIDFrac
+}
+
+// Probe returns the IP-ID value of the interface at (virtual) time t
+// seconds, and whether a usable reply arrived.
+func (p *Prober) Probe(iface netip.Addr, t float64) (uint16, bool) {
+	rid, ok := p.w.RouterOf(iface)
+	if !ok {
+		return 0, false
+	}
+	r := p.w.Router(rid)
+	if !p.usableCounter(r) {
+		// Randomized IP-ID: reply arrives but carries no signal.
+		return uint16(p.rng.Intn(65536)), false
+	}
+	if p.rng.Float64() < p.NoReplyProb {
+		return 0, false
+	}
+	// Shared counter: base progression plus cross-traffic increments.
+	v := float64(r.IPIDInit) + r.IPIDRate*t + p.rng.Float64()*3
+	return uint16(uint64(v) % 65536), true
+}
+
+// sample is one (time, unwrapped-id) observation.
+type sample struct {
+	t  float64
+	id uint16
+}
+
+// Resolver clusters interfaces into routers.
+type Resolver struct {
+	Prober *Prober
+	Mode   Mode
+	// Rounds is the number of interleaved probe rounds per interface.
+	Rounds int
+	// Spacing is the inter-round spacing in seconds.
+	Spacing float64
+}
+
+// NewResolver returns a resolver with MIDAR-like defaults (30 rounds,
+// 10 s spacing).
+func NewResolver(p *Prober, mode Mode) *Resolver {
+	return &Resolver{Prober: p, Mode: mode, Rounds: 30, Spacing: 10}
+}
+
+// series probes one interface across all rounds, offset within the
+// round to interleave with other interfaces.
+func (r *Resolver) series(iface netip.Addr, offset float64) []sample {
+	var out []sample
+	for i := 0; i < r.Rounds; i++ {
+		t := float64(i)*r.Spacing + offset
+		if id, ok := r.Prober.Probe(iface, t); ok {
+			out = append(out, sample{t, id})
+		}
+	}
+	return out
+}
+
+// velocity estimates the counter rate (IDs per second) of a series by
+// unwrapping 16-bit wraparounds, returning ok=false for short series.
+func velocity(s []sample) (rate float64, ok bool) {
+	if len(s) < 5 {
+		return 0, false
+	}
+	// Unwrap: assume the counter advances less than 2^16 between
+	// consecutive samples (true for MIDAR-scale spacing and rates).
+	unwrapped := make([]float64, len(s))
+	offset := 0.0
+	unwrapped[0] = float64(s[0].id)
+	for i := 1; i < len(s); i++ {
+		prev := float64(s[i-1].id)
+		cur := float64(s[i].id)
+		if cur < prev {
+			offset += 65536
+		}
+		unwrapped[i] = cur + offset
+	}
+	// Least-squares slope over time.
+	var sx, sy, sxx, sxy float64
+	for i, v := range unwrapped {
+		sx += s[i].t
+		sy += v
+		sxx += s[i].t * s[i].t
+		sxy += s[i].t * v
+	}
+	n := float64(len(s))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, false
+	}
+	return (n*sxy - sx*sy) / den, true
+}
+
+// mbt runs the Monotonic Bounds Test on two interleaved series: merged
+// by time, the unwrapped sequence must be strictly non-decreasing and
+// consistent with a single linear counter.
+func (r *Resolver) mbt(a, b []sample) bool {
+	if len(a) < 5 || len(b) < 5 {
+		return false
+	}
+	merged := make([]sample, 0, len(a)+len(b))
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i].t < merged[j].t })
+
+	va, okA := velocity(a)
+	vb, okB := velocity(b)
+	if !okA || !okB {
+		return false
+	}
+	// Velocities of a shared counter agree closely.
+	if math.Abs(va-vb) > 0.05*math.Max(va, vb)+2 {
+		return false
+	}
+	// Monotonicity of the merged unwrapped sequence with the common
+	// velocity: successive samples must advance by roughly rate*dt.
+	rate := (va + vb) / 2
+	for i := 1; i < len(merged); i++ {
+		dt := merged[i].t - merged[i-1].t
+		expect := rate * dt
+		diff := float64(merged[i].id) - float64(merged[i-1].id)
+		if diff < 0 {
+			diff += 65536 // wraparound
+		}
+		// Allow generous jitter around the expected advance.
+		if math.Abs(diff-expect) > 0.35*expect+25 {
+			return false
+		}
+	}
+	return true
+}
+
+// Resolve clusters the given interfaces into alias sets (routers).
+// Interfaces that resolve with nothing form singleton clusters. The
+// result is deterministic for a given prober seed and input order is
+// normalised internally.
+func (r *Resolver) Resolve(ifaces []netip.Addr) [][]netip.Addr {
+	sorted := append([]netip.Addr(nil), ifaces...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+
+	series := make(map[netip.Addr][]sample, len(sorted))
+	vel := make(map[netip.Addr]float64, len(sorted))
+	for i, ip := range sorted {
+		s := r.series(ip, float64(i%7)*(r.Spacing/7))
+		series[ip] = s
+		if v, ok := velocity(s); ok {
+			vel[ip] = v
+		}
+	}
+
+	// Union-find over alias-positive pairs.
+	parent := make(map[netip.Addr]netip.Addr, len(sorted))
+	var find func(netip.Addr) netip.Addr
+	find = func(x netip.Addr) netip.Addr {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b netip.Addr) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb.Less(ra) {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			a, b := sorted[i], sorted[j]
+			if find(a) == find(b) {
+				continue
+			}
+			va, okA := vel[a]
+			vb, okB := vel[b]
+			if !okA || !okB {
+				continue
+			}
+			// Cheap velocity pre-filter before the expensive MBT.
+			if math.Abs(va-vb) > 0.10*math.Max(va, vb)+5 {
+				continue
+			}
+			switch r.Mode {
+			case ModePrecision:
+				if r.mbt(series[a], series[b]) {
+					union(a, b)
+				}
+			case ModeCoverage:
+				if r.mbt(series[a], series[b]) || math.Abs(va-vb) < 0.02*math.Max(va, vb)+1 {
+					union(a, b)
+				}
+			}
+		}
+	}
+
+	groups := make(map[netip.Addr][]netip.Addr)
+	for _, ip := range sorted {
+		root := find(ip)
+		groups[root] = append(groups[root], ip)
+	}
+	var roots []netip.Addr
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Less(roots[j]) })
+	out := make([][]netip.Addr, 0, len(roots))
+	for _, root := range roots {
+		out = append(out, groups[root])
+	}
+	return out
+}

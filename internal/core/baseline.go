@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultBaselineThresholdMs is the remoteness threshold of Castro et
+// al. (CoNEXT 2014): members with RTTmin above 10 ms are inferred
+// remote, everything measured below it local.
+const DefaultBaselineThresholdMs = 10.0
+
+// Baseline runs the state-of-the-art RTT-threshold inference the paper
+// compares against (Section 4 / Table 4 first row). Only memberships
+// with a usable campaign minimum receive a verdict.
+func Baseline(in Inputs, thresholdMs float64) (*Report, error) {
+	p := &pipeline{in: in, opt: DefaultOptions()}
+	p.init()
+
+	rep := &Report{Inferences: make(map[Key]*Inference)}
+	for _, ixpName := range ixpNames(in) {
+		for _, rec := range in.Dataset.MembersOf(ixpName) {
+			k := Key{IXP: ixpName, Iface: rec.IP}
+			inf := &Inference{
+				IXP: ixpName, Iface: rec.IP, ASN: rec.ASN,
+				RTTMinMs:              math.NaN(),
+				FeasibleIXPFacilities: -1,
+			}
+			if rtt, ok := p.rtt[rec.IP]; ok {
+				inf.RTTMinMs = rtt
+				inf.Step = StepBaseline
+				if rtt > thresholdMs {
+					inf.Class = ClassRemote
+				} else {
+					inf.Class = ClassLocal
+				}
+			}
+			rep.Inferences[k] = inf
+		}
+	}
+	return rep, nil
+}
+
+// ixpNames lists the IXPs of the merged dataset, deterministically.
+func ixpNames(in Inputs) []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, name := range in.Dataset.PrefixIXP {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

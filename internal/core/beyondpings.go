@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+
+	"rpeer/internal/traix"
+)
+
+// This file implements the "Beyond Pings" extension sketched in the
+// paper's Section 8: minimum RTTs derived from traceroute paths rather
+// than from VPs inside the IXP. The RTT difference between the two
+// consecutive interfaces of an IXP crossing approximates the delay
+// between the near member's router and the far member's peering
+// interface; taking the minimum difference over many crossings (whose
+// near members are mostly routers patched into the IXP fabric) yields
+// an estimate of the IXP-to-member delay that covers IXPs without any
+// usable looking glass or Atlas probe.
+//
+// The estimator inherits traceroute's artefacts — asymmetric reverse
+// paths, load balancing, per-hop jitter — so it is gated behind
+// Options.UseTracerouteRTT and only ever fills interfaces the ping
+// campaign could not measure.
+
+// TraceRTTEstimate is one traceroute-derived minimum RTT.
+type TraceRTTEstimate struct {
+	Iface netip.Addr
+	IXP   string
+	// RTTMs is the minimum consecutive-hop difference observed.
+	RTTMs float64
+	// Samples is the number of crossings that contributed.
+	Samples int
+}
+
+// DeriveTracerouteRTT extracts per-interface delay estimates from the
+// IXP crossings of a traceroute corpus. Negative or zero differences
+// (reverse-path artefacts) are discarded; the per-interface minimum
+// over the remaining samples plays the role of RTTmin.
+func DeriveTracerouteRTT(crossings []traix.Crossing) []TraceRTTEstimate {
+	type acc struct {
+		min     float64
+		ixp     string
+		samples int
+	}
+	accs := make(map[netip.Addr]*acc)
+	for _, c := range crossings {
+		hops := c.Path.Hops
+		if c.Index == 0 || c.Index >= len(hops) {
+			continue
+		}
+		delta := hops[c.Index].RTTMs - hops[c.Index-1].RTTMs
+		if delta <= 0 || math.IsNaN(delta) {
+			continue
+		}
+		a := accs[c.IXPIP]
+		if a == nil {
+			a = &acc{min: math.Inf(1), ixp: c.IXP}
+			accs[c.IXPIP] = a
+		}
+		a.samples++
+		if delta < a.min {
+			a.min = delta
+		}
+	}
+	out := make([]TraceRTTEstimate, 0, len(accs))
+	for ip, a := range accs {
+		out = append(out, TraceRTTEstimate{Iface: ip, IXP: a.ixp, RTTMs: a.min, Samples: a.samples})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Iface.Less(out[j].Iface) })
+	return out
+}
+
+// augmentWithTracerouteRTT fills the pipeline's RTT table with
+// traceroute-derived estimates for interfaces the ping campaign did
+// not cover. The pseudo vantage point for the Step 3 geometry is the
+// IXP's primary facility: the estimate measures delay from the IXP
+// fabric outward, which is what the feasible-ring interpretation
+// expects.
+func (p *pipeline) augmentWithTracerouteRTT() {
+	ests := DeriveTracerouteRTT(p.crossings)
+	for _, e := range ests {
+		if _, ok := p.rtt[e.Iface]; ok {
+			continue // ping data always wins
+		}
+		vp := p.pseudoVP(e.IXP)
+		if vp == nil {
+			continue
+		}
+		p.rtt[e.Iface] = e.RTTMs
+		p.bestVP[e.Iface] = vp
+		p.rounds[e.Iface] = false
+		p.traceDerived[e.Iface] = true
+	}
+}
+
+// TraceDerived reports how many interfaces of the last Run were
+// classified using traceroute-derived rather than ping RTTs.
+func (r *Report) TraceDerived() int {
+	n := 0
+	for _, inf := range r.Inferences {
+		if inf.TraceRTT {
+			n++
+		}
+	}
+	return n
+}

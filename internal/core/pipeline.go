@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+
+	"rpeer/internal/alias"
+	"rpeer/internal/geo"
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+	"rpeer/internal/registry"
+	"rpeer/internal/traix"
+)
+
+// Inputs bundles the observable artefacts the pipeline consumes.
+//
+// World is used only as the live network substrate (facility
+// coordinates, which are public PDB/Inflect data, and alias probing);
+// the pipeline never reads ground-truth membership kinds.
+type Inputs struct {
+	World   *netsim.World
+	Dataset *registry.Dataset
+	Colo    *registry.ColoDB
+	Ping    *pingsim.Result
+	Paths   []*traix.Path
+	// Speed is the RTT-to-distance model of Step 3.
+	Speed geo.SpeedModel
+	// Seed drives alias-probing randomness.
+	Seed int64
+}
+
+// Options toggles steps and knobs, mainly for the ablation benchmarks.
+type Options struct {
+	EnablePortCapacity bool // Step 1
+	EnableRTTColo      bool // Steps 2+3
+	EnableMultiIXP     bool // Step 4
+	EnablePrivate      bool // Step 5
+	// DisableVminBound zeroes the lower distance bound (ablation: how
+	// much does the fitted vmin curve matter?).
+	DisableVminBound bool
+	// UseTracerouteRTT enables the Section 8 "Beyond Pings" extension:
+	// interfaces without ping coverage receive traceroute-derived RTT
+	// minimums (see beyondpings.go).
+	UseTracerouteRTT bool
+	// AliasMode selects the alias-resolution confidence trade-off.
+	AliasMode alias.Mode
+}
+
+// DefaultOptions enables the full methodology.
+func DefaultOptions() Options {
+	return Options{
+		EnablePortCapacity: true,
+		EnableRTTColo:      true,
+		EnableMultiIXP:     true,
+		EnablePrivate:      true,
+		AliasMode:          alias.ModePrecision,
+	}
+}
+
+// Run executes the methodology over all memberships known to the
+// merged dataset and returns a verdict for each.
+func Run(in Inputs, opt Options) (*Report, error) {
+	if in.World == nil || in.Dataset == nil || in.Colo == nil {
+		return nil, fmt.Errorf("core: World, Dataset and Colo inputs are required")
+	}
+	p := &pipeline{in: in, opt: opt}
+	p.init()
+
+	rep := p.newDomain()
+	if opt.EnablePortCapacity {
+		p.stepPortCapacity(rep)
+	}
+	if opt.EnableRTTColo {
+		p.stepRTTColo(rep)
+	}
+	if opt.EnableMultiIXP {
+		p.stepMultiIXP(rep, nil)
+	}
+	if opt.EnablePrivate {
+		p.stepPrivate(rep)
+	}
+	return rep, nil
+}
+
+// RunWithOrder executes the enabled steps in an explicit order instead
+// of the paper's 1,2+3,4,5 sequence — the step-ordering ablation
+// (DESIGN.md section 5). Steps absent from order do not run.
+func RunWithOrder(in Inputs, opt Options, order []Step) (*Report, error) {
+	if in.World == nil || in.Dataset == nil || in.Colo == nil {
+		return nil, fmt.Errorf("core: World, Dataset and Colo inputs are required")
+	}
+	p := &pipeline{in: in, opt: opt}
+	p.init()
+	rep := p.newDomain()
+	for _, s := range order {
+		switch s {
+		case StepPortCapacity:
+			p.stepPortCapacity(rep)
+		case StepRTTColo:
+			p.stepRTTColo(rep)
+		case StepMultiIXP:
+			p.stepMultiIXP(rep, nil)
+		case StepPrivate:
+			p.stepPrivate(rep)
+		default:
+			return nil, fmt.Errorf("core: RunWithOrder does not support %v", s)
+		}
+	}
+	return rep, nil
+}
+
+// RunStep evaluates one step of the methodology in isolation: the full
+// pipeline provides the seed context (needed by the multi-IXP rules),
+// and the requested step is then re-applied over a fresh, all-unknown
+// domain so that its own reach and error rates are visible (the
+// per-step rows of Table 4, whose coverages overlap across steps).
+func RunStep(in Inputs, opt Options, s Step) (*Report, error) {
+	p := &pipeline{in: in, opt: opt}
+	if in.World == nil || in.Dataset == nil || in.Colo == nil {
+		return nil, fmt.Errorf("core: World, Dataset and Colo inputs are required")
+	}
+	p.init()
+	overlay := p.newDomain()
+	switch s {
+	case StepPortCapacity:
+		p.stepPortCapacity(overlay)
+	case StepRTTColo:
+		p.stepRTTColo(overlay)
+	case StepMultiIXP:
+		base, err := Run(in, opt)
+		if err != nil {
+			return nil, err
+		}
+		type memKey struct {
+			asn netsim.ASN
+			ixp string
+		}
+		seedIdx := make(map[memKey]PeerClass)
+		for k, inf := range base.Inferences {
+			if (inf.Step == StepPortCapacity || inf.Step == StepRTTColo) && inf.Class != ClassUnknown {
+				mk := memKey{inf.ASN, k.IXP}
+				if _, ok := seedIdx[mk]; !ok {
+					seedIdx[mk] = inf.Class
+				}
+			}
+		}
+		seed := func(asn netsim.ASN, ixp string) PeerClass {
+			return seedIdx[memKey{asn, ixp}]
+		}
+		p.stepMultiIXP(overlay, seed)
+	case StepPrivate:
+		p.stepPrivate(overlay)
+	default:
+		return nil, fmt.Errorf("core: RunStep does not support %v", s)
+	}
+	return overlay, nil
+}
+
+// newDomain instantiates the inference domain: one unknown-classified
+// entry per interface record of the merged dataset.
+func (p *pipeline) newDomain() *Report {
+	rep := &Report{Inferences: make(map[Key]*Inference)}
+	for _, ixpName := range ixpNames(p.in) {
+		for _, rec := range p.in.Dataset.MembersOf(ixpName) {
+			k := Key{IXP: ixpName, Iface: rec.IP}
+			if _, dup := rep.Inferences[k]; dup {
+				continue
+			}
+			inf := &Inference{
+				IXP: ixpName, Iface: rec.IP, ASN: rec.ASN,
+				RTTMinMs:              math.NaN(),
+				FeasibleIXPFacilities: -1,
+			}
+			if rtt, ok := p.rtt[rec.IP]; ok {
+				inf.RTTMinMs = rtt
+				inf.TraceRTT = p.traceDerived[rec.IP]
+			}
+			rep.Inferences[k] = inf
+		}
+	}
+	return rep
+}
+
+// pipeline holds the precomputed state shared by the steps.
+type pipeline struct {
+	in  Inputs
+	opt Options
+
+	// rtt is the per-interface campaign minimum across usable VPs.
+	rtt map[netip.Addr]float64
+	// bestVP is the usable VP that measured the interface's minimum.
+	bestVP map[netip.Addr]*pingsim.VP
+	// rounds marks interfaces whose minimum came from a rounding LG.
+	rounds map[netip.Addr]bool
+
+	det       *traix.Detector
+	crossings []traix.Crossing
+	privHops  []traix.PrivateHop
+	resolver  *alias.Resolver
+
+	// traceDerived marks interfaces whose RTT came from traceroutes.
+	traceDerived map[netip.Addr]bool
+	pseudoVPs    map[string]*pingsim.VP
+}
+
+// pseudoVP returns (allocating lazily) a synthetic vantage point at the
+// IXP's primary recorded facility, used to anchor the Step 3 geometry
+// for traceroute-derived RTTs.
+func (p *pipeline) pseudoVP(ixp string) *pingsim.VP {
+	if vp, ok := p.pseudoVPs[ixp]; ok {
+		return vp
+	}
+	facs := p.in.Colo.IXPFacilities[ixp]
+	if len(facs) == 0 {
+		p.pseudoVPs[ixp] = nil
+		return nil
+	}
+	fac := p.in.World.Facility(facs[0])
+	if fac == nil {
+		p.pseudoVPs[ixp] = nil
+		return nil
+	}
+	vp := &pingsim.VP{
+		ID: -1 - len(p.pseudoVPs), IXP: -1, Kind: pingsim.KindLG,
+		Facility: fac.ID, Loc: fac.Loc,
+	}
+	p.pseudoVPs[ixp] = vp
+	return vp
+}
+
+func (p *pipeline) init() {
+	p.rtt = make(map[netip.Addr]float64)
+	p.bestVP = make(map[netip.Addr]*pingsim.VP)
+	p.rounds = make(map[netip.Addr]bool)
+	if p.in.Ping != nil {
+		for _, vp := range p.in.Ping.UsableVPs {
+			for _, m := range p.in.Ping.ByVP[vp.ID] {
+				if !m.Usable() {
+					continue
+				}
+				if cur, ok := p.rtt[m.Iface]; !ok || m.RTTMinMs < cur {
+					p.rtt[m.Iface] = m.RTTMinMs
+					p.bestVP[m.Iface] = vp
+					p.rounds[m.Iface] = vp.RoundsUp
+				}
+			}
+		}
+	}
+	p.traceDerived = make(map[netip.Addr]bool)
+	p.pseudoVPs = make(map[string]*pingsim.VP)
+	ipmap := registry.BuildIPMap(p.in.World)
+	p.det = traix.NewDetector(p.in.Dataset, ipmap)
+	if len(p.in.Paths) > 0 {
+		p.crossings = p.det.DetectAll(p.in.Paths)
+		p.privHops = p.det.DetectPrivateAll(p.in.Paths)
+	}
+	if p.opt.UseTracerouteRTT {
+		p.augmentWithTracerouteRTT()
+	}
+	p.resolver = alias.NewResolver(alias.NewProber(p.in.World, p.in.Seed), p.opt.AliasMode)
+}
+
+// ---------------------------------------------------------------------------
+// Step 1: port capacities (Section 5.2, Step 1)
+
+// stepPortCapacity flags reseller customers: a member whose reported
+// port capacity is below the IXP's minimum physical capacity can only
+// be buying a virtual port through a reseller, hence is remote.
+func (p *pipeline) stepPortCapacity(rep *Report) {
+	for k, inf := range rep.Inferences {
+		if inf.Class != ClassUnknown {
+			continue
+		}
+		cmin, ok := p.in.Dataset.MinPort[k.IXP]
+		if !ok {
+			continue // no pricing data for this IXP
+		}
+		port, ok := p.in.Dataset.Ports[registry.PortKey{IXP: k.IXP, ASN: inf.ASN}]
+		if !ok {
+			continue
+		}
+		if port < cmin {
+			inf.Class = ClassRemote
+			inf.Step = StepPortCapacity
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Steps 2+3: colocation-informed RTT interpretation (Section 5.2)
+
+// feasibleRing returns the [dmin, dmax] distance ring for an interface
+// measurement, applying the rounding-LG correction (dmin computed from
+// RTT-1) and the vmin ablation toggle.
+func (p *pipeline) feasibleRing(iface netip.Addr, rtt float64) (dMin, dMax float64) {
+	dMax = p.in.Speed.DMax(rtt)
+	low := rtt
+	if p.rounds[iface] {
+		low = rtt - 1
+		if low < 0 {
+			low = 0
+		}
+	}
+	if p.opt.DisableVminBound {
+		return 0, dMax
+	}
+	return p.in.Speed.DMin(low), dMax
+}
+
+// stepRTTColo applies the Step 3 rules to every membership with a
+// usable RTT minimum.
+func (p *pipeline) stepRTTColo(rep *Report) {
+	for k, inf := range rep.Inferences {
+		if inf.Class != ClassUnknown {
+			continue
+		}
+		rtt, ok := p.rtt[k.Iface]
+		if !ok {
+			continue
+		}
+		vp := p.bestVP[k.Iface]
+		dMin, dMax := p.feasibleRing(k.Iface, rtt)
+
+		ixpFacs := p.in.Colo.IXPFacilities[k.IXP]
+		feasIXP := p.facilitiesInRing(ixpFacs, vp.Loc, dMin, dMax)
+		inf.FeasibleIXPFacilities = len(feasIXP)
+
+		asFacs, hasData := p.in.Colo.Facilities(inf.ASN)
+		feasAS := p.facilitiesInRing(asFacs, vp.Loc, dMin, dMax)
+
+		switch {
+		case len(feasIXP) == 0:
+			// Rule 1(i): no IXP facility can explain the RTT.
+			inf.Class = ClassRemote
+			inf.Step = StepRTTColo
+		case hasData && intersects(feasAS, feasIXP):
+			// Rule 2: member colocated in a feasible IXP facility.
+			inf.Class = ClassLocal
+			inf.Step = StepRTTColo
+		case hasData && len(feasAS) > 0:
+			// Rule 1(ii): member sits in a feasible facility where the
+			// IXP has no presence.
+			inf.Class = ClassRemote
+			inf.Step = StepRTTColo
+		default:
+			// Rule 3: colocation data likely incomplete; defer to the
+			// following steps.
+		}
+	}
+}
+
+// facilitiesInRing filters facility ids whose distance from the VP
+// falls inside [dMin, dMax].
+func (p *pipeline) facilitiesInRing(facs []netsim.FacilityID, vp geo.Point, dMin, dMax float64) []netsim.FacilityID {
+	var out []netsim.FacilityID
+	for _, f := range facs {
+		fac := p.in.World.Facility(f)
+		if fac == nil {
+			continue
+		}
+		d := geo.DistanceKm(vp, fac.Loc)
+		if d >= dMin && d <= dMax {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func intersects(a, b []netsim.FacilityID) bool {
+	set := make(map[netsim.FacilityID]bool, len(a))
+	for _, f := range a {
+		set[f] = true
+	}
+	for _, f := range b {
+		if set[f] {
+			return true
+		}
+	}
+	return false
+}
+
+// facDist computes min and max geodesic distance between two facility
+// sets; ok is false when either set is empty.
+func (p *pipeline) facDist(a, b []netsim.FacilityID) (minKm, maxKm float64, ok bool) {
+	minKm = math.Inf(1)
+	for _, fa := range a {
+		la := p.in.World.Facility(fa)
+		if la == nil {
+			continue
+		}
+		for _, fb := range b {
+			lb := p.in.World.Facility(fb)
+			if lb == nil {
+				continue
+			}
+			d := geo.DistanceKm(la.Loc, lb.Loc)
+			if d < minKm {
+				minKm = d
+			}
+			if d > maxKm {
+				maxKm = d
+			}
+			ok = true
+		}
+	}
+	return minKm, maxKm, ok
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"rpeer/internal/geo"
+	"rpeer/internal/netsim"
+)
+
+// ---------------------------------------------------------------------------
+// Step 4: multi-IXP router inference (Section 5.2, Step 4)
+
+// asObservations gathers, per AS, the near-side interfaces observed in
+// IXP crossings together with the crossed IXP, plus the AS's own
+// peering interfaces from the dataset.
+type asObservations struct {
+	asn netsim.ASN
+	// nearIXPs maps each observed near interface to the set of IXPs it
+	// preceded in crossings.
+	nearIXPs map[netip.Addr]map[string]bool
+	// memberIfaces maps each of the AS's peering-LAN interfaces to its
+	// IXP.
+	memberIfaces map[netip.Addr]string
+}
+
+// collectObservations indexes crossings and dataset interfaces per AS.
+func (p *pipeline) collectObservations() map[netsim.ASN]*asObservations {
+	out := make(map[netsim.ASN]*asObservations)
+	get := func(asn netsim.ASN) *asObservations {
+		o := out[asn]
+		if o == nil {
+			o = &asObservations{
+				asn:          asn,
+				nearIXPs:     make(map[netip.Addr]map[string]bool),
+				memberIfaces: make(map[netip.Addr]string),
+			}
+			out[asn] = o
+		}
+		return o
+	}
+	for _, c := range p.crossings {
+		o := get(c.NearAS)
+		set := o.nearIXPs[c.NearIP]
+		if set == nil {
+			set = make(map[string]bool)
+			o.nearIXPs[c.NearIP] = set
+		}
+		set[c.IXP] = true
+	}
+	for ip, ixp := range p.in.Dataset.IfaceIXP {
+		get(p.in.Dataset.IfaceASN[ip]).memberIfaces[ip] = ixp
+	}
+	return out
+}
+
+// multiIXPClusters alias-resolves each candidate AS's interfaces and
+// returns the clusters facing more than one IXP.
+func (p *pipeline) multiIXPClusters(obs map[netsim.ASN]*asObservations) []*MultiIXPRouter {
+	var asns []netsim.ASN
+	for asn, o := range obs {
+		// Candidate: the AS appears to peer at more than one IXP.
+		ixps := make(map[string]bool)
+		for _, set := range o.nearIXPs {
+			for x := range set {
+				ixps[x] = true
+			}
+		}
+		for _, x := range o.memberIfaces {
+			ixps[x] = true
+		}
+		if len(ixps) > 1 {
+			asns = append(asns, asn)
+		}
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	var routers []*MultiIXPRouter
+	for _, asn := range asns {
+		o := obs[asn]
+		var ifaces []netip.Addr
+		for ip := range o.nearIXPs {
+			ifaces = append(ifaces, ip)
+		}
+		for ip := range o.memberIfaces {
+			ifaces = append(ifaces, ip)
+		}
+		sort.Slice(ifaces, func(i, j int) bool { return ifaces[i].Less(ifaces[j]) })
+		for _, cluster := range p.resolver.Resolve(ifaces) {
+			ixps := make(map[string]bool)
+			for _, ip := range cluster {
+				for x := range o.nearIXPs[ip] {
+					ixps[x] = true
+				}
+				if x, ok := o.memberIfaces[ip]; ok {
+					ixps[x] = true
+				}
+			}
+			if len(ixps) < 2 {
+				continue
+			}
+			names := make([]string, 0, len(ixps))
+			for x := range ixps {
+				names = append(names, x)
+			}
+			sort.Strings(names)
+			routers = append(routers, &MultiIXPRouter{ASN: asn, Ifaces: cluster, IXPs: names})
+		}
+	}
+	return routers
+}
+
+// stepMultiIXP classifies multi-IXP routers (Fig 3 taxonomy) and
+// propagates local/remote verdicts to memberships the earlier steps
+// left unknown. When seed is nil, prior classes are read from rep
+// itself (the normal pipeline flow); a non-nil seed supplies them from
+// elsewhere (the standalone per-step evaluation).
+func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerClass) {
+	obs := p.collectObservations()
+	routers := p.multiIXPClusters(obs)
+	rep.MultiRouters = routers
+
+	// Index memberships by (AS, IXP) for O(1) lookup and propagation.
+	type memKey struct {
+		asn netsim.ASN
+		ixp string
+	}
+	idx := make(map[memKey][]*Inference)
+	for k, inf := range rep.Inferences {
+		mk := memKey{inf.ASN, k.IXP}
+		idx[mk] = append(idx[mk], inf)
+	}
+	classOf := func(asn netsim.ASN, ixp string) PeerClass {
+		if seed != nil {
+			return seed(asn, ixp)
+		}
+		for _, inf := range idx[memKey{asn, ixp}] {
+			if inf.Class != ClassUnknown {
+				return inf.Class
+			}
+		}
+		return ClassUnknown
+	}
+	// In the pipeline flow only unknowns are filled; the standalone
+	// evaluation (seed != nil) records the step's verdict for every
+	// involved membership, since the paper's rules phrase the outcome
+	// as "the AS is inferred local/remote to all involved IXPs".
+	standalone := seed != nil
+	assign := func(asn netsim.ASN, ixp string, cls PeerClass) {
+		for _, inf := range idx[memKey{asn, ixp}] {
+			if inf.Class == ClassUnknown || (standalone && inf.Step == StepMultiIXP) {
+				inf.Class = cls
+				inf.Step = StepMultiIXP
+			}
+		}
+	}
+
+	for _, r := range routers {
+		asFacs, _ := p.in.Colo.Facilities(r.ASN)
+		var localIXPs, remoteIXPs, unknownIXPs []string
+		for _, x := range r.IXPs {
+			switch classOf(r.ASN, x) {
+			case ClassLocal:
+				localIXPs = append(localIXPs, x)
+			case ClassRemote:
+				remoteIXPs = append(remoteIXPs, x)
+			default:
+				unknownIXPs = append(unknownIXPs, x)
+			}
+		}
+		targets := unknownIXPs
+		if standalone {
+			targets = r.IXPs
+		}
+		switch {
+		case len(localIXPs) > 0 && len(remoteIXPs) == 0 && p.allShareFacility(r.IXPs):
+			// Rule 1 (Fig 3a): local to one IXP and all involved IXPs
+			// share a facility -> local to all.
+			r.Class = RouterLocal
+			for _, x := range targets {
+				assign(r.ASN, x, ClassLocal)
+			}
+		case len(remoteIXPs) > 0 && len(localIXPs) == 0:
+			// Rule 2 (Fig 3b): remote to one IXP; every other involved
+			// IXP whose facilities all lie closer to the anchor than
+			// the member possibly is (condition 2(b), applied per IXP —
+			// a router at least dmin away from the anchor cannot sit in
+			// any of them) inherits the remote verdict, as does
+			// everything when all involved IXPs share one facility
+			// (condition 2(a)).
+			anchor := remoteIXPs[0]
+			anchorFacs := p.in.Colo.IXPFacilities[anchor]
+			dMinAS, _, okAS := p.facDist(asFacs, anchorFacs)
+			if !okAS {
+				dMinAS = anchorRingDMin(p, idx[memKey{r.ASN, anchor}])
+			}
+			all2a := p.allShareFacility(r.IXPs)
+			assigned := 0
+			for _, x := range targets {
+				if x == anchor {
+					continue
+				}
+				holds := all2a
+				if !holds && dMinAS > 0 {
+					_, maxD, ok := p.facDist(p.in.Colo.IXPFacilities[x], anchorFacs)
+					holds = ok && maxD < dMinAS
+				}
+				if holds {
+					assign(r.ASN, x, ClassRemote)
+					assigned++
+				}
+			}
+			if all2a || assigned > 0 {
+				r.Class = RouterRemote
+				if standalone {
+					assign(r.ASN, anchor, ClassRemote)
+				}
+			}
+		case len(localIXPs) > 0:
+			// Rule 3 (Fig 3c): local to IXPL; other IXPs that share no
+			// facility (or are provably too far) form the remote subset.
+			r.Class = RouterHybrid
+			ixpL := localIXPs[0]
+			if standalone {
+				assign(r.ASN, ixpL, ClassLocal)
+			}
+			for _, x := range targets {
+				if x != ixpL && p.hybridRemoteCondition(r.ASN, ixpL, x) {
+					assign(r.ASN, x, ClassRemote)
+				}
+			}
+			if len(remoteIXPs) == 0 && len(unknownIXPs) == 0 {
+				r.Class = RouterLocal
+			}
+		default:
+			// No seed class at any involved IXP (or only non-propagating
+			// remote evidence): the router stays unclassified.
+			r.Class = RouterUnclassified
+		}
+		if r.Class == RouterUnclassified && len(remoteIXPs) > 0 && len(localIXPs) == 0 {
+			// Remote evidence existed but the geometry could not extend
+			// it: the router itself is still a remote one for the
+			// Fig 9d taxonomy.
+			r.Class = RouterRemote
+		}
+	}
+}
+
+// allShareFacility reports whether the named IXPs have at least one
+// facility in common, per the colocation database.
+func (p *pipeline) allShareFacility(ixps []string) bool {
+	if len(ixps) == 0 {
+		return false
+	}
+	common := append([]netsim.FacilityID(nil), p.in.Colo.IXPFacilities[ixps[0]]...)
+	for _, x := range ixps[1:] {
+		common = netsim.CommonFacilities(common, p.in.Colo.IXPFacilities[x])
+		if len(common) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// anchorRingDMin derives a lower bound on the member router's distance
+// from the anchor IXP out of the Step-3 feasible ring of the anchor
+// membership interface, for use when colocation data is missing. A
+// metro-radius slack absorbs the VP-to-facility offset.
+func anchorRingDMin(p *pipeline, infs []*Inference) float64 {
+	best := 0.0
+	for _, inf := range infs {
+		rtt, ok := p.rtt[inf.Iface]
+		if !ok {
+			continue
+		}
+		dMin, _ := p.feasibleRing(inf.Iface, rtt)
+		if d := dMin - 2*geo.MetroSeparationKm; d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// hybridRemoteCondition implements conditions 3(a)/3(b) for one other
+// IXP: it belongs to the remote subset when it shares no facility with
+// the local anchor, or when its closest facility is provably farther
+// than the router can be from the anchor.
+func (p *pipeline) hybridRemoteCondition(asn netsim.ASN, ixpL, other string) bool {
+	lFacs := p.in.Colo.IXPFacilities[ixpL]
+	oFacs := p.in.Colo.IXPFacilities[other]
+	if len(netsim.CommonFacilities(lFacs, oFacs)) == 0 {
+		return true // condition 3(a)
+	}
+	asFacs, ok := p.in.Colo.Facilities(asn)
+	if !ok {
+		return false
+	}
+	common := netsim.CommonFacilities(asFacs, lFacs)
+	if len(common) == 0 {
+		return false
+	}
+	// The router sits in one of the common facilities; if every
+	// facility of the other IXP is farther from all of them than the
+	// metro radius, the router cannot be local there.
+	minD, _, ok := p.facDist(common, oFacs)
+	return ok && minD > geo.MetroSeparationKm
+}
+
+// ---------------------------------------------------------------------------
+// Step 5: private-connectivity voting (Section 5.2, Step 5)
+
+// stepPrivate applies the Constrained-Facility-Search-style voting to
+// memberships still unknown after Steps 1-4.
+func (p *pipeline) stepPrivate(rep *Report) {
+	if len(p.privHops) == 0 {
+		return
+	}
+	// Index private neighbours by observed interface.
+	type neighbour struct {
+		iface netip.Addr
+		other netsim.ASN
+	}
+	byAS := make(map[netsim.ASN][]neighbour)
+	for _, h := range p.privHops {
+		byAS[h.AAS] = append(byAS[h.AAS], neighbour{h.AIP, h.BAS})
+		byAS[h.BAS] = append(byAS[h.BAS], neighbour{h.BIP, h.AAS})
+	}
+
+	for k, inf := range rep.Inferences {
+		if inf.Class != ClassUnknown {
+			continue
+		}
+		ns := byAS[inf.ASN]
+		if len(ns) == 0 {
+			continue
+		}
+		// Alias-resolve the member interface together with the AS's
+		// private-link interfaces; keep the cluster holding the member
+		// interface (the router actually facing the IXP).
+		ifaceSet := map[netip.Addr]bool{k.Iface: true}
+		for _, n := range ns {
+			ifaceSet[n.iface] = true
+		}
+		ifaces := make([]netip.Addr, 0, len(ifaceSet))
+		for ip := range ifaceSet {
+			ifaces = append(ifaces, ip)
+		}
+		sort.Slice(ifaces, func(i, j int) bool { return ifaces[i].Less(ifaces[j]) })
+
+		var cluster []netip.Addr
+		for _, c := range p.resolver.Resolve(ifaces) {
+			for _, ip := range c {
+				if ip == k.Iface {
+					cluster = c
+					break
+				}
+			}
+		}
+		clusterSet := make(map[netip.Addr]bool, len(cluster))
+		for _, ip := range cluster {
+			clusterSet[ip] = true
+		}
+		// Private AS neighbours of this router.
+		var neighbours []netsim.ASN
+		seen := make(map[netsim.ASN]bool)
+		for _, n := range ns {
+			if clusterSet[n.iface] && !seen[n.other] {
+				seen[n.other] = true
+				neighbours = append(neighbours, n.other)
+			}
+		}
+		if len(neighbours) == 0 {
+			continue
+		}
+
+		// Vote: the facilities most common among the neighbours, which
+		// must also clear a majority of the voters (private
+		// interconnects overwhelmingly live inside one facility, so the
+		// top-voted facility is where this router most plausibly sits).
+		counts := make(map[netsim.FacilityID]int)
+		voters := 0
+		for _, n := range neighbours {
+			facs, ok := p.in.Colo.Facilities(n)
+			if !ok {
+				continue
+			}
+			voters++
+			for _, f := range facs {
+				counts[f]++
+			}
+		}
+		if voters < 2 {
+			continue // a single voter cannot corroborate a facility
+		}
+		maxCount := 0
+		for _, c := range counts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		need := (voters + 1) / 2
+		if maxCount < need {
+			continue // no facility is common to a neighbour majority
+		}
+		var fCommon []netsim.FacilityID
+		for f, c := range counts {
+			if c == maxCount {
+				fCommon = append(fCommon, f)
+			}
+		}
+		// FIXP: feasible IXP facilities when an RTT ring exists,
+		// otherwise the IXP's full facility list.
+		fIXP := p.in.Colo.IXPFacilities[k.IXP]
+		if rtt, ok := p.rtt[k.Iface]; ok {
+			vp := p.bestVP[k.Iface]
+			dMin, dMax := p.feasibleRing(k.Iface, rtt)
+			fIXP = p.facilitiesInRing(fIXP, vp.Loc, dMin, dMax)
+		}
+		// The paper requires |FIXP ∩ Fcommon| = 1 for a local verdict;
+		// with top-count voting Fcommon is nearly always a single
+		// facility, and restricting the intersection to the top-voted
+		// facilities keeps the condition sharp even on vote ties inside
+		// one exchange.
+		// Local when the voting pins the router to exactly one feasible
+		// IXP facility (the paper's |FIXP ∩ Fcommon| = 1 condition), or
+		// when every top-voted candidate is an IXP facility — then the
+		// member is colocated with the exchange whichever of them hosts
+		// the router.
+		common := netsim.CommonFacilities(fIXP, fCommon)
+		if len(common) == 1 || (len(common) > 1 && len(common) == len(fCommon)) {
+			inf.Class = ClassLocal
+		} else {
+			inf.Class = ClassRemote
+		}
+		inf.Step = StepPrivate
+	}
+}

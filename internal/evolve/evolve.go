@@ -1,0 +1,192 @@
+// Package evolve simulates the longitudinal evolution of IXP
+// membership (Section 6.3): monthly joins and departures per peering
+// type, the 2x faster growth of remote peers, their higher (+25%)
+// departure rates, and occasional remote-to-local conversions.
+package evolve
+
+import (
+	"math"
+	"math/rand"
+
+	"rpeer/internal/netsim"
+)
+
+// Config controls the simulation.
+type Config struct {
+	Seed int64
+	// Months is the observation window (the paper observes ~14 months:
+	// 2017-07 to 2018-09).
+	Months int
+	// JoinLocalPerIXP is the mean number of new local members one IXP
+	// attracts per month.
+	JoinLocalPerIXP float64
+	// RemoteJoinFactor multiplies the local join rate for remote joins
+	// (the paper measures ~2x).
+	RemoteJoinFactor float64
+	// DepartLocalRate is the monthly departure probability per local
+	// member.
+	DepartLocalRate float64
+	// DepartRemoteFactor multiplies it for remote members (+25%).
+	DepartRemoteFactor float64
+	// SwitchToLocalPerMonth is the expected number of remote members
+	// converting to local interconnections per month across all IXPs.
+	SwitchToLocalPerMonth float64
+}
+
+// DefaultConfig mirrors the paper's observation window.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1,
+		Months:                14,
+		JoinLocalPerIXP:       1.7,
+		RemoteJoinFactor:      2.0,
+		DepartLocalRate:       0.006,
+		DepartRemoteFactor:    1.25,
+		SwitchToLocalPerMonth: 1.3,
+	}
+}
+
+// MonthStats is one month's membership churn across the tracked IXPs.
+type MonthStats struct {
+	Month                   int
+	NewLocal, NewRemote     int
+	GoneLocal, GoneRemote   int
+	Switched                int // remote -> local conversions
+	TotalLocal, TotalRemote int // totals at end of month
+}
+
+// Series is the simulated evolution.
+type Series struct {
+	IXPs   []netsim.IXPID
+	Months []MonthStats
+}
+
+// Simulate evolves the membership of the given IXPs from their
+// base-world totals.
+func Simulate(w *netsim.World, ixps []netsim.IXPID, cfg Config) *Series {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var local, remote int
+	for _, id := range ixps {
+		for _, m := range w.MembersOf(id) {
+			if m.Remote() {
+				remote++
+			} else {
+				local++
+			}
+		}
+	}
+	s := &Series{IXPs: append([]netsim.IXPID(nil), ixps...)}
+	for month := 1; month <= cfg.Months; month++ {
+		st := MonthStats{Month: month}
+		for range ixps {
+			st.NewLocal += poisson(rng, cfg.JoinLocalPerIXP)
+			st.NewRemote += poisson(rng, cfg.JoinLocalPerIXP*cfg.RemoteJoinFactor)
+		}
+		st.GoneLocal = binomial(rng, local, cfg.DepartLocalRate)
+		st.GoneRemote = binomial(rng, remote, cfg.DepartLocalRate*cfg.DepartRemoteFactor)
+		st.Switched = poisson(rng, cfg.SwitchToLocalPerMonth)
+		if st.Switched > remote {
+			st.Switched = remote
+		}
+		local += st.NewLocal - st.GoneLocal + st.Switched
+		remote += st.NewRemote - st.GoneRemote - st.Switched
+		if local < 0 {
+			local = 0
+		}
+		if remote < 0 {
+			remote = 0
+		}
+		st.TotalLocal, st.TotalRemote = local, remote
+		s.Months = append(s.Months, st)
+	}
+	return s
+}
+
+// GrowthRates returns the mean monthly joins per peering type.
+func (s *Series) GrowthRates() (localPerMonth, remotePerMonth float64) {
+	if len(s.Months) == 0 {
+		return 0, 0
+	}
+	var l, r int
+	for _, m := range s.Months {
+		l += m.NewLocal
+		r += m.NewRemote
+	}
+	n := float64(len(s.Months))
+	return float64(l) / n, float64(r) / n
+}
+
+// DepartureRates returns the mean monthly departures per peering type,
+// normalised by the mean membership of that type.
+func (s *Series) DepartureRates() (localRate, remoteRate float64) {
+	if len(s.Months) == 0 {
+		return 0, 0
+	}
+	var gl, gr, tl, tr float64
+	for _, m := range s.Months {
+		gl += float64(m.GoneLocal)
+		gr += float64(m.GoneRemote)
+		tl += float64(m.TotalLocal)
+		tr += float64(m.TotalRemote)
+	}
+	if tl > 0 {
+		localRate = gl / tl
+	}
+	if tr > 0 {
+		remoteRate = gr / tr
+	}
+	return localRate, remoteRate
+}
+
+// Switches returns the total remote-to-local conversions observed.
+func (s *Series) Switches() int {
+	n := 0
+	for _, m := range s.Months {
+		n += m.Switched
+	}
+	return n
+}
+
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}
+
+func binomial(rng *rand.Rand, n int, p float64) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			c++
+		}
+	}
+	return c
+}
+
+// RemoteShares returns the remote membership share at the end of each
+// month — the longitudinal trajectory the paper's Section 8 proposes
+// tracking over years.
+func (s *Series) RemoteShares() []float64 {
+	out := make([]float64, 0, len(s.Months))
+	for _, m := range s.Months {
+		tot := m.TotalLocal + m.TotalRemote
+		if tot == 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, float64(m.TotalRemote)/float64(tot))
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation from a synthetic world: the same pipeline, measurements
+// and statistics, with one constructor per artefact. The cmd/rpi-
+// experiments binary and the repository-root benchmarks are thin
+// wrappers around this package.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"rpeer/internal/core"
+	"rpeer/internal/geo"
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+	"rpeer/internal/registry"
+	"rpeer/internal/report"
+	"rpeer/internal/tracesim"
+	"rpeer/internal/traix"
+)
+
+// Env is the assembled experimental environment: one world, its
+// datasets, one measurement campaign, one pipeline run and the
+// validation split. Build it once and feed it to every experiment.
+type Env struct {
+	World      *netsim.World
+	Dataset    *registry.Dataset
+	Colo       *registry.ColoDB
+	VPs        []*pingsim.VP
+	Ping       *pingsim.Result
+	Paths      []*traix.Path
+	Inputs     core.Inputs
+	Report     *core.Report
+	BaseReport *core.Report
+	Validation *core.Validation
+
+	ixpByName map[string]*netsim.IXP
+}
+
+// NewEnv builds the environment with the default configuration.
+func NewEnv(seed int64) (*Env, error) {
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = seed
+	w, err := netsim.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: generate world: %w", err)
+	}
+	ds := registry.Build(w, registry.DefaultNoise(), seed+1)
+	colo := registry.BuildColo(w, registry.DefaultColoNoise(), seed+2)
+	vps := pingsim.DeriveVPs(w, seed+3)
+	pcfg := pingsim.DefaultCampaign()
+	pcfg.Seed = seed + 4
+	ping := pingsim.Run(w, vps, pcfg)
+	tcfg := tracesim.DefaultConfig()
+	tcfg.Seed = seed + 5
+	paths := tracesim.Generate(w, tcfg)
+
+	in := core.Inputs{
+		World: w, Dataset: ds, Colo: colo, Ping: ping, Paths: paths,
+		Speed: geo.DefaultSpeedModel(), Seed: seed + 6,
+	}
+	rep, err := core.Run(in, core.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("exp: pipeline: %w", err)
+	}
+	base, err := core.Baseline(in, core.DefaultBaselineThresholdMs)
+	if err != nil {
+		return nil, fmt.Errorf("exp: baseline: %w", err)
+	}
+	vcfg := core.DefaultValidationConfig()
+	vcfg.Seed = seed + 7
+	val := core.BuildValidation(w, vcfg)
+
+	env := &Env{
+		World: w, Dataset: ds, Colo: colo, VPs: vps, Ping: ping,
+		Paths: paths, Inputs: in, Report: rep, BaseReport: base,
+		Validation: val,
+		ixpByName:  make(map[string]*netsim.IXP, len(w.IXPs)),
+	}
+	for _, ix := range w.IXPs {
+		env.ixpByName[ix.Name] = ix
+	}
+	return env, nil
+}
+
+// IXPByName resolves an IXP name to the world object.
+func (e *Env) IXPByName(name string) *netsim.IXP { return e.ixpByName[name] }
+
+// TestSubset returns the validation data restricted to the test IXPs.
+func (e *Env) TestSubset() *core.Validation {
+	return e.Validation.InIXPs(e.Validation.TestIXPs)
+}
+
+// ControlSubset returns the validation data restricted to the control
+// IXPs.
+func (e *Env) ControlSubset() *core.Validation {
+	return e.Validation.InIXPs(e.Validation.ControlIXPs)
+}
+
+// StudiedIXPs returns the n largest IXPs with at least one usable VP —
+// the paper's "30 largest IXPs with usable VPs" selection.
+func (e *Env) StudiedIXPs(n int) []*netsim.IXP {
+	usable := make(map[netsim.IXPID]bool)
+	for _, vp := range e.Ping.UsableVPs {
+		usable[vp.IXP] = true
+	}
+	var out []*netsim.IXP
+	for _, ix := range e.World.LargestIXPs(len(e.World.IXPs)) {
+		if usable[ix.ID] {
+			out = append(out, ix)
+		}
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// Result is one regenerated artefact: an identifier matching the paper
+// (e.g. "Table 4"), the paper's claim for comparison, and the measured
+// table.
+type Result struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Table      *report.Table
+	Notes      []string
+}
+
+// All regenerates every artefact in paper order.
+func All(env *Env) []Result {
+	return []Result{
+		Table1(env),
+		Table2(env),
+		Fig1a(env),
+		Fig1b(env),
+		Fig2a(env),
+		Fig2b(env),
+		Fig4(env),
+		Fig5(env),
+		Fig6(env),
+		Table4(env),
+		Fig8(env),
+		Table5(env),
+		Fig9a(env),
+		Fig9b(env),
+		Fig9c(env),
+		Fig9d(env),
+		Fig10a(env),
+		Fig10b(env),
+		Fig11a(env),
+		Fig11b(env),
+		Fig12a(env),
+		Fig12b(env),
+		Sec64(env),
+		Sec7(env),
+		Sec8(env),
+		Sec8Longitudinal(env),
+	}
+}
+
+// controlCampaign runs the "one-time access" LG-style measurements the
+// paper obtained inside the control IXPs (Section 4.1), returning
+// per-interface minimum RTTs for each control IXP.
+func (e *Env) controlCampaign() *pingsim.Result {
+	var vps []*pingsim.VP
+	id := 10000
+	for _, name := range e.Validation.ControlIXPs {
+		ix := e.IXPByName(name)
+		if ix == nil {
+			continue
+		}
+		f := ix.Facilities[0]
+		vps = append(vps, &pingsim.VP{
+			ID: id, IXP: ix.ID, Kind: pingsim.KindLG,
+			Facility: f, Loc: e.World.Facility(f).Loc,
+			SrcIP: ix.RouteServer,
+		})
+		id++
+	}
+	cfg := pingsim.DefaultCampaign()
+	cfg.Seed = e.World.Cfg.Seed + 99
+	return pingsim.Run(e.World, vps, cfg)
+}
+
+// sortedIXPNames returns IXP names sorted by descending ground-truth
+// size then name, for stable table output.
+func (e *Env) sortedIXPNames(names map[string]bool) []string {
+	var out []string
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := e.IXPByName(out[i]), e.IXPByName(out[j])
+		na, nb := 0, 0
+		if a != nil {
+			na = len(e.World.MembersOf(a.ID))
+		}
+		if b != nil {
+			nb = len(e.World.MembersOf(b.ID))
+		}
+		if na != nb {
+			return na > nb
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

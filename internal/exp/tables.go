@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+
+	"rpeer/internal/core"
+	"rpeer/internal/pingsim"
+	"rpeer/internal/report"
+)
+
+// Table1 regenerates the dataset-merge overview: per-source totals,
+// unique contributions and conflicting entries for IXP prefixes and
+// interfaces.
+func Table1(env *Env) Result {
+	t := report.NewTable("Table 1: IXP dataset and per-source contribution",
+		"Source", "Prefixes", "Unique", "Conflicts", "Interfaces", "Unique", "Conflicts")
+	for _, st := range env.Dataset.Stats {
+		t.AddRow(st.Source.String(),
+			st.Prefixes, st.UniquePrefixes, st.ConflictPrefixes,
+			st.Interfaces, st.UniqueInterfaces, st.ConflictInterfaces)
+	}
+	t.AddRow("Merged", len(env.Dataset.PrefixIXP), "-", "-", len(env.Dataset.IfaceASN), "-", "-")
+	return Result{
+		ID:    "Table 1",
+		Title: "IXP dataset overview",
+		PaperClaim: "731 prefixes / 31,690 interfaces merged; conflict rates " +
+			"per source in the 0.005%-0.37% range; HE near-complete, PCH sparse",
+		Table: t,
+	}
+}
+
+// Table2 regenerates the validation-dataset overview: per validation
+// IXP, facility count, member totals and validated local/remote splits.
+func Table2(env *Env) Result {
+	t := report.NewTable("Table 2: validation data per IXP",
+		"IXP", "Source", "Subset", "#Facilities", "#Peers", "#Validated", "#Local", "#Remote")
+	names := make(map[string]bool)
+	for _, n := range env.Validation.ControlIXPs {
+		names[n] = true
+	}
+	for _, n := range env.Validation.TestIXPs {
+		names[n] = true
+	}
+	control := make(map[string]bool)
+	for _, n := range env.Validation.ControlIXPs {
+		control[n] = true
+	}
+	var totPeers, totVal, totLoc, totRem int
+	for _, name := range env.sortedIXPNames(names) {
+		ix := env.IXPByName(name)
+		if ix == nil {
+			continue
+		}
+		sub := env.Validation.InIXPs([]string{name})
+		src := "website"
+		if env.Validation.FromOperator[name] {
+			src = "operator"
+		}
+		subset := "test"
+		if control[name] {
+			subset = "control"
+		}
+		peers := len(env.World.MembersOf(ix.ID))
+		t.AddRow(name, src, subset, len(ix.Facilities), peers,
+			sub.Size(), len(sub.Local), len(sub.Remote))
+		totPeers += peers
+		totVal += sub.Size()
+		totLoc += len(sub.Local)
+		totRem += len(sub.Remote)
+	}
+	t.AddRow("Total", "-", "-", "-", totPeers, totVal, totLoc, totRem)
+	return Result{
+		ID:    "Table 2",
+		Title: "Validation dataset",
+		PaperClaim: "15 IXPs (6 operator + 9 website lists), 4,823 peers of which " +
+			"2,410 validated: 1,293 local / 1,117 remote",
+		Table: t,
+	}
+}
+
+// Table4 regenerates the per-step validation: the Castro RTT-threshold
+// baseline, each step of the methodology, and the combined pipeline,
+// scored on the test subset.
+func Table4(env *Env) Result {
+	test := env.TestSubset()
+	t := report.NewTable("Table 4: validation of each step (test subset)",
+		"Feature", "FPR", "FNR", "PRE", "ACC", "COV")
+	row := func(name string, m core.Metrics, remoteOnly bool) {
+		fpr, fnr, acc := report.Pct(m.FPR), report.Pct(m.FNR), report.Pct(m.ACC)
+		if remoteOnly {
+			fpr, fnr, acc = "-", "-", "-"
+		}
+		t.AddRow(name, fpr, fnr, report.Pct(m.PRE), acc, report.Pct(m.COV))
+	}
+	// Per-step rows evaluate each step standalone over the full domain
+	// (their coverages overlap, exactly as in the paper's Table 4).
+	stepRow := func(name string, s core.Step, remoteOnly bool) {
+		rep, err := core.RunStep(env.Inputs, core.DefaultOptions(), s)
+		if err != nil {
+			t.AddRow(name, "error", err.Error(), "-", "-", "-")
+			return
+		}
+		row(name, core.Evaluate(rep, test), remoteOnly)
+	}
+	row("RTTmin (Castro et al.)", core.Evaluate(env.BaseReport, test), false)
+	stepRow("Step 1: port capacity", core.StepPortCapacity, true)
+	stepRow("Step 2+3: RTTmin+colo", core.StepRTTColo, false)
+	stepRow("Step 4: multi-IXP", core.StepMultiIXP, false)
+	stepRow("Step 5: private links", core.StepPrivate, false)
+	row("Combined", core.Evaluate(env.Report, test), false)
+	return Result{
+		ID:    "Table 4",
+		Title: "Step-by-step validation",
+		PaperClaim: "baseline 77% ACC / 84% COV with 17.5% FPR, 25.7% FNR; " +
+			"step 1 PRE 96% COV 11%; steps 2+3 ACC 95.6%; combined ACC 94.5%, " +
+			"PRE 95%, COV 93%, FPR 4%, FNR 7.2%",
+		Table: t,
+	}
+}
+
+// Table5 regenerates the ping-campaign interface statistics per VP
+// type.
+func Table5(env *Env) Result {
+	type acc struct {
+		vps, queried, resp int
+		members            map[string]bool
+		ixps               map[int]bool
+	}
+	mk := func() *acc {
+		return &acc{members: make(map[string]bool), ixps: make(map[int]bool)}
+	}
+	stats := map[pingsim.VPKind]*acc{pingsim.KindLG: mk(), pingsim.KindAtlas: mk()}
+	usable := make(map[int]bool)
+	for _, vp := range env.Ping.UsableVPs {
+		usable[vp.ID] = true
+	}
+	for _, vp := range env.Ping.VPs {
+		if !usable[vp.ID] {
+			continue
+		}
+		a := stats[vp.Kind]
+		a.vps++
+		a.ixps[int(vp.IXP)] = true
+		for _, m := range env.Ping.ByVP[vp.ID] {
+			a.queried++
+			if m.Responsive() {
+				a.resp++
+				a.members[fmt.Sprintf("%d/%d", vp.IXP, m.ASN)] = true
+			}
+		}
+	}
+	t := report.NewTable("Table 5: ping campaign statistics (usable VPs)",
+		"VP type", "#VPs", "Queried", "Responsive", "Resp. %", "#Members", "#IXPs")
+	for _, k := range []pingsim.VPKind{pingsim.KindLG, pingsim.KindAtlas} {
+		a := stats[k]
+		frac := 0.0
+		if a.queried > 0 {
+			frac = float64(a.resp) / float64(a.queried)
+		}
+		t.AddRow(k.String(), a.vps, a.queried, a.resp, report.Pct(frac), len(a.members), len(a.ixps))
+	}
+	return Result{
+		ID:    "Table 5",
+		Title: "Ping campaign statistics",
+		PaperClaim: "45 VPs (23 LG + 22 Atlas), 10,578 interfaces queried, 73% " +
+			"responsive (95% via LGs, 75% via Atlas), 30 IXPs covered",
+		Table: t,
+	}
+}

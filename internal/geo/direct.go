@@ -1,0 +1,54 @@
+package geo
+
+import "math"
+
+// Destination solves the direct geodesic problem on a spherical Earth:
+// the point reached by travelling distKm kilometres from p on the
+// initial bearing bearingDeg (degrees clockwise from true north). The
+// spherical model keeps the direct and inverse (DistanceKm) problems
+// consistent to well under one percent, which is ample for placing
+// synthetic infrastructure and for test geometry.
+func Destination(p Point, bearingDeg, distKm float64) Point {
+	if distKm == 0 {
+		return p
+	}
+	delta := distKm / earthRadiusKm // angular distance
+	theta := bearingDeg * degToRad
+	lat1 := p.Lat * degToRad
+	lon1 := p.Lon * degToRad
+
+	sinLat1, cosLat1 := math.Sincos(lat1)
+	sinDelta, cosDelta := math.Sincos(delta)
+
+	sinLat2 := sinLat1*cosDelta + cosLat1*sinDelta*math.Cos(theta)
+	lat2 := math.Asin(clamp(sinLat2, -1, 1))
+	y := math.Sin(theta) * sinDelta * cosLat1
+	x := cosDelta - sinLat1*sinLat2
+	lon2 := lon1 + math.Atan2(y, x)
+
+	// Normalise longitude into [-180, 180).
+	lonDeg := math.Mod(lon2/degToRad+540, 360) - 180
+	return Point{Lat: lat2 / degToRad, Lon: lonDeg}
+}
+
+// InitialBearing returns the initial great-circle bearing (degrees
+// clockwise from north, in [0, 360)) to travel from a to b.
+func InitialBearing(a, b Point) float64 {
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	brng := math.Atan2(y, x) / degToRad
+	return math.Mod(brng+360, 360)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

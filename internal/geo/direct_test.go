@@ -1,0 +1,86 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDestinationZeroDistance(t *testing.T) {
+	if got := Destination(amsterdam, 123, 0); got != amsterdam {
+		t.Errorf("zero-distance destination moved: %v", got)
+	}
+}
+
+func TestDestinationDueNorth(t *testing.T) {
+	p := Point{Lat: 0, Lon: 10}
+	got := Destination(p, 0, 111.195) // ~1 degree of latitude
+	if math.Abs(got.Lat-1) > 0.01 || math.Abs(got.Lon-10) > 0.01 {
+		t.Errorf("due north 111km from equator = %v, want ~(1, 10)", got)
+	}
+}
+
+func TestDestinationRoundTripProperty(t *testing.T) {
+	// Direct then inverse: travelling d km and measuring the distance
+	// back must recover d (within the sphere-vs-ellipsoid tolerance).
+	f := func(lat, lon, bearing, dist float64) bool {
+		p := Point{clampLat(lat), clampLon(lon)}
+		// Stay away from the poles, where bearings degenerate.
+		if p.Lat > 85 || p.Lat < -85 {
+			return true
+		}
+		b := math.Mod(math.Abs(bearing), 360)
+		d := math.Mod(math.Abs(dist), 5000)
+		if math.IsNaN(b) || math.IsNaN(d) || d < 1 {
+			return true
+		}
+		q := Destination(p, b, d)
+		if !q.Valid() {
+			return false
+		}
+		back := DistanceKm(p, q)
+		return math.Abs(back-d) < 0.01*d+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInitialBearingCardinal(t *testing.T) {
+	origin := Point{Lat: 10, Lon: 10}
+	cases := []struct {
+		to   Point
+		want float64
+		tol  float64
+	}{
+		{Point{Lat: 20, Lon: 10}, 0, 0.5},  // north
+		{Point{Lat: 0, Lon: 10}, 180, 0.5}, // south
+		{Point{Lat: 10, Lon: 20}, 90, 2.0}, // roughly east
+		{Point{Lat: 10, Lon: 0}, 270, 2.0}, // roughly west
+	}
+	for _, c := range cases {
+		got := InitialBearing(origin, c.to)
+		diff := math.Abs(got - c.want)
+		if diff > 180 {
+			diff = 360 - diff
+		}
+		if diff > c.tol {
+			t.Errorf("bearing to %v = %.1f, want %.1f±%.1f", c.to, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestBearingDestinationConsistency(t *testing.T) {
+	// Travelling from A towards B by the initial bearing for the full
+	// A-B distance must land near B.
+	pairs := [][2]Point{{amsterdam, london}, {london, bucharest}, {newYork, london}}
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		d := DistanceKm(a, b)
+		brng := InitialBearing(a, b)
+		got := Destination(a, brng, d)
+		if miss := DistanceKm(got, b); miss > 0.01*d+5 {
+			t.Errorf("direct(%v->%v): landed %.1f km off target", a, b, miss)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package lgweb provides an HTTP looking-glass facade over the
+// simulated world and a Periscope-style client (Giotsas et al., PAM
+// 2016 — the platform the paper uses to automate LG querying): IXP
+// looking glasses expose ping endpoints with per-client rate limits,
+// and the client fans out queries under a global concurrency cap with
+// retries.
+package lgweb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/netip"
+	"sync"
+	"time"
+
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+)
+
+// PingResponse is the JSON body of a looking-glass ping query.
+type PingResponse struct {
+	Target   string    `json:"target"`
+	Sent     int       `json:"sent"`
+	Received int       `json:"received"`
+	RTTsMs   []float64 `json:"rtts_ms"`
+	MinMs    float64   `json:"min_ms"`
+	AvgMs    float64   `json:"avg_ms"`
+	MaxMs    float64   `json:"max_ms"`
+}
+
+// Server exposes one IXP looking glass over HTTP.
+type Server struct {
+	w   *netsim.World
+	vp  *pingsim.VP
+	mux *http.ServeMux
+
+	// RateLimit is the maximum queries per second per client IP
+	// (public LGs throttle aggressively); zero disables limiting.
+	RateLimit float64
+	// Pings per query, like a typical LG "ping" button.
+	Pings int
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	rng     *rand.Rand
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewServer builds a looking glass for the VP's IXP.
+func NewServer(w *netsim.World, vp *pingsim.VP, seed int64) *Server {
+	s := &Server{
+		w: w, vp: vp,
+		RateLimit: 2,
+		Pings:     4,
+		buckets:   make(map[string]*bucket),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /ping", s.handlePing)
+	s.mux.HandleFunc("GET /about", s.handleAbout)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// allow applies the token-bucket rate limit for one client.
+func (s *Server) allow(client string, now time.Time) bool {
+	if s.RateLimit <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: s.RateLimit, last: now}
+		s.buckets[client] = b
+	}
+	b.tokens = math.Min(s.RateLimit, b.tokens+now.Sub(b.last).Seconds()*s.RateLimit)
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+func (s *Server) handleAbout(w http.ResponseWriter, _ *http.Request) {
+	ix := s.w.IXP(s.vp.IXP)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"ixp":    ix.Name,
+		"source": s.vp.SrcIP.String(),
+	})
+}
+
+func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
+	if !s.allow(r.RemoteAddr, time.Now()) {
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	}
+	targetStr := r.URL.Query().Get("target")
+	target, err := netip.ParseAddr(targetStr)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad target %q", targetStr), http.StatusBadRequest)
+		return
+	}
+	rid, ok := s.w.RouterOf(target)
+	if !ok {
+		// Unknown target: the LG reports total loss.
+		s.writeJSON(w, PingResponse{Target: targetStr, Sent: s.Pings})
+		return
+	}
+	router := s.w.Router(rid)
+	base := s.w.Latency().PointToRouterRTT(s.vp.Loc, uint64(s.vp.ID), router)
+
+	resp := PingResponse{Target: targetStr, Sent: s.Pings, MinMs: math.Inf(1)}
+	s.mu.Lock()
+	rng := s.rng
+	var rtts []float64
+	for i := 0; i < s.Pings; i++ {
+		if rng.Float64() < 0.05 {
+			continue // loss
+		}
+		rtts = append(rtts, s.w.Latency().Sample(rng, base))
+	}
+	s.mu.Unlock()
+	for _, v := range rtts {
+		resp.Received++
+		resp.RTTsMs = append(resp.RTTsMs, v)
+		resp.AvgMs += v
+		if v < resp.MinMs {
+			resp.MinMs = v
+		}
+		if v > resp.MaxMs {
+			resp.MaxMs = v
+		}
+	}
+	if resp.Received > 0 {
+		resp.AvgMs /= float64(resp.Received)
+	} else {
+		resp.MinMs = 0
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client queries many looking glasses Periscope-style: a global
+// concurrency cap, per-query timeout and bounded retries with backoff.
+type Client struct {
+	HTTP *http.Client
+	// Concurrency caps in-flight queries across all LGs.
+	Concurrency int
+	// Retries per query on transient failure (429/5xx/timeouts).
+	Retries int
+	// Backoff between retries.
+	Backoff time.Duration
+}
+
+// NewClient returns a client with Periscope-like defaults.
+func NewClient() *Client {
+	return &Client{
+		HTTP:        &http.Client{Timeout: 5 * time.Second},
+		Concurrency: 8,
+		Retries:     3,
+		Backoff:     50 * time.Millisecond,
+	}
+}
+
+// Query is one (LG base URL, target) request.
+type Query struct {
+	BaseURL string
+	Target  netip.Addr
+}
+
+// QueryResult pairs a query with its outcome.
+type QueryResult struct {
+	Query Query
+	Resp  *PingResponse
+	Err   error
+}
+
+// PingAll fans the queries out under the concurrency cap and returns
+// results in input order.
+func (c *Client) PingAll(ctx context.Context, queries []Query) []QueryResult {
+	out := make([]QueryResult, len(queries))
+	sem := make(chan struct{}, max(1, c.Concurrency))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q Query) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			resp, err := c.ping(ctx, q)
+			out[i] = QueryResult{Query: q, Resp: resp, Err: err}
+		}(i, q)
+	}
+	wg.Wait()
+	return out
+}
+
+func (c *Client) ping(ctx context.Context, q Query) (*PingResponse, error) {
+	url := fmt.Sprintf("%s/ping?target=%s", q.BaseURL, q.Target)
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(c.Backoff << uint(attempt-1)):
+			}
+		}
+		pr, retryable, err := c.pingOnce(ctx, url)
+		if err == nil {
+			return pr, nil
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// pingOnce performs a single HTTP attempt; retryable marks transient
+// failures (timeouts, 429, 5xx).
+func (c *Client) pingOnce(ctx context.Context, url string) (pr *PingResponse, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var body PingResponse
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return nil, true, err
+		}
+		return &body, false, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		return nil, true, fmt.Errorf("lgweb: %s: status %d (retryable)", url, resp.StatusCode)
+	default:
+		return nil, false, fmt.Errorf("lgweb: %s: status %d", url, resp.StatusCode)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package lgweb
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+	"time"
+
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+)
+
+var (
+	cw  *netsim.World
+	cvp *pingsim.VP
+)
+
+func fixture(t testing.TB) (*netsim.World, *pingsim.VP) {
+	t.Helper()
+	if cw == nil {
+		w, err := netsim.Generate(netsim.TinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cw = w
+		vps := pingsim.DeriveVPs(w, 3)
+		for _, vp := range vps {
+			if vp.Kind == pingsim.KindLG {
+				cvp = vp
+				break
+			}
+		}
+		if cvp == nil {
+			t.Fatal("no LG in tiny world")
+		}
+	}
+	return cw, cvp
+}
+
+func newTestServer(t testing.TB) (*Server, *httptest.Server, *netsim.Member) {
+	t.Helper()
+	w, vp := fixture(t)
+	s := NewServer(w, vp, 5)
+	s.RateLimit = 0 // disabled unless a test re-enables it
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	target := w.MembersOf(vp.IXP)[0]
+	return s, ts, target
+}
+
+func TestPingKnownTarget(t *testing.T) {
+	_, ts, target := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/ping?target=" + target.Iface.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var pr PingResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Sent != 4 {
+		t.Errorf("sent = %d", pr.Sent)
+	}
+	if pr.Received == 0 {
+		t.Skip("all four pings lost (5% loss each); acceptable")
+	}
+	if pr.MinMs <= 0 || pr.MinMs > pr.MaxMs || pr.AvgMs < pr.MinMs || pr.AvgMs > pr.MaxMs {
+		t.Errorf("inconsistent stats: %+v", pr)
+	}
+	if len(pr.RTTsMs) != pr.Received {
+		t.Errorf("rtts = %d, received = %d", len(pr.RTTsMs), pr.Received)
+	}
+}
+
+func TestPingUnknownTargetAllLost(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/ping?target=203.0.113.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var pr PingResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Received != 0 {
+		t.Errorf("unknown target got %d replies", pr.Received)
+	}
+}
+
+func TestPingBadTarget(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/ping?target=not-an-ip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	w, vp := fixture(t)
+	s := NewServer(w, vp, 5)
+	s.RateLimit = 2
+	now := time.Now()
+	if !s.allow("1.2.3.4:5", now) || !s.allow("1.2.3.4:5", now) {
+		t.Fatal("first two queries must pass")
+	}
+	if s.allow("1.2.3.4:5", now) {
+		t.Fatal("third immediate query must be throttled")
+	}
+	// Another client is unaffected.
+	if !s.allow("5.6.7.8:9", now) {
+		t.Fatal("separate client throttled")
+	}
+	// Tokens refill over time.
+	if !s.allow("1.2.3.4:5", now.Add(time.Second)) {
+		t.Fatal("token did not refill after 1s")
+	}
+}
+
+func TestAbout(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/about")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["ixp"] == "" {
+		t.Error("about missing ixp name")
+	}
+}
+
+func TestClientPingAll(t *testing.T) {
+	w, vp := fixture(t)
+	_, ts, _ := newTestServer(t)
+	c := NewClient()
+	c.Concurrency = 4
+
+	members := w.MembersOf(vp.IXP)
+	var queries []Query
+	for i := 0; i < 20 && i < len(members); i++ {
+		queries = append(queries, Query{BaseURL: ts.URL, Target: members[i].Iface})
+	}
+	results := c.PingAll(context.Background(), queries)
+	if len(results) != len(queries) {
+		t.Fatalf("results = %d, want %d", len(results), len(queries))
+	}
+	okCount := 0
+	for i, r := range results {
+		if r.Query.Target != queries[i].Target {
+			t.Fatal("result order scrambled")
+		}
+		if r.Err == nil && r.Resp != nil {
+			okCount++
+		}
+	}
+	if okCount < len(queries)*8/10 {
+		t.Errorf("only %d of %d queries succeeded", okCount, len(queries))
+	}
+}
+
+func TestClientRetriesThenFails(t *testing.T) {
+	// A server that always 500s: the client must retry then surface the
+	// error.
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := NewClient()
+	c.Retries = 2
+	c.Backoff = time.Millisecond
+	res := c.PingAll(context.Background(), []Query{{BaseURL: ts.URL, Target: netip.MustParseAddr("10.0.0.1")}})
+	if res[0].Err == nil {
+		t.Fatal("want error from permanently failing LG")
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", attempts)
+	}
+}
+
+func TestClientNoRetryOn400(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c := NewClient()
+	c.Retries = 3
+	c.Backoff = time.Millisecond
+	res := c.PingAll(context.Background(), []Query{{BaseURL: ts.URL, Target: netip.MustParseAddr("10.0.0.1")}})
+	if res[0].Err == nil {
+		t.Fatal("want error")
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (client errors are final)", attempts)
+	}
+}
+
+func TestClientContextCancel(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer ts.Close()
+	defer close(block)
+	c := NewClient()
+	c.HTTP = &http.Client{Timeout: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res := c.PingAll(ctx, []Query{{BaseURL: ts.URL, Target: netip.MustParseAddr("10.0.0.1")}})
+	if res[0].Err == nil {
+		t.Fatal("want context error")
+	}
+}

@@ -1,0 +1,121 @@
+package netsim
+
+// Config controls world generation. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	// Seed drives all randomness; identical configs generate identical
+	// worlds.
+	Seed int64
+
+	// NASes is the number of autonomous systems (excluding resellers).
+	NASes int
+	// NIXPs is the number of IXPs to generate.
+	NIXPs int
+	// NResellers is the number of port-reseller organisations.
+	NResellers int
+
+	// LargestIXPMembers is the membership target of the biggest IXP;
+	// subsequent IXPs shrink following a power law with exponent
+	// SizeExponent, floored at MinIXPMembers.
+	LargestIXPMembers int
+	SizeExponent      float64
+	MinIXPMembers     int
+
+	// RemoteShareLargest and RemoteShareSmallest set the ground-truth
+	// remote fraction of the largest and smallest IXP; intermediate
+	// IXPs interpolate linearly in size rank. IXPs without a reseller
+	// program get roughly a third of their interpolated share.
+	RemoteShareLargest  float64
+	RemoteShareSmallest float64
+
+	// WideAreaIXPs is the number of IXPs whose fabric spans multiple
+	// metros (NL-IX/NET-IX-style).
+	WideAreaIXPs int
+	// FederationPairs is the number of two-sibling IXP federations
+	// (DE-CIX-style: same operator, separate exchanges).
+	FederationPairs int
+
+	// NoResellerIXPs is the number of IXPs that do not allow port
+	// resellers (HKIX-style).
+	NoResellerIXPs int
+
+	// Fractions of remote members per access kind (must sum to <= 1;
+	// the remainder becomes long-cable). Federation access only applies
+	// to federated IXPs.
+	ResellerFrac   float64
+	FederationFrac float64
+
+	// SubMinPortFrac is the probability that a reseller customer buys a
+	// fractional (below Cmin) virtual port. The paper observes 27% of
+	// remote peers on 1FE-5FE ports in the control dataset.
+	SubMinPortFrac float64
+
+	// ColoResellerFrac is the probability that a reseller customer is
+	// nevertheless colocated in an IXP facility (buying a discounted
+	// virtual port; the "5% of remote peers present in one IXP
+	// facility" artefact of Fig 5).
+	ColoResellerFrac float64
+
+	// NearbyRemoteFrac is the probability that a non-colocated remote
+	// member sits in the IXP's metro area (Rotterdam-style sub-2ms
+	// remotes).
+	NearbyRemoteFrac float64
+
+	// PrivateLinkPerFacilityAS is the expected number of private
+	// interconnections each colocated AS establishes inside a facility.
+	PrivateLinkPerFacilityAS float64
+
+	// TetheredPrivateFrac is the fraction of private interconnects that
+	// span facilities (rare "tethered" cross-connects).
+	TetheredPrivateFrac float64
+
+	// LGFrac is the fraction of IXPs operating a public looking glass;
+	// AtlasPerIXP the mean number of colocated Atlas-style probes.
+	LGFrac      float64
+	AtlasPerIXP float64
+}
+
+// DefaultConfig returns the configuration used by the experiments. At
+// the default scale a world holds roughly 36 IXPs, 3000 ASes and 6500
+// memberships, matching the order of magnitude of the paper's 30-IXP
+// study while keeping generation under a second.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                     1,
+		NASes:                    3000,
+		NIXPs:                    36,
+		NResellers:               12,
+		LargestIXPMembers:        850,
+		SizeExponent:             0.62,
+		MinIXPMembers:            45,
+		RemoteShareLargest:       0.42,
+		RemoteShareSmallest:      0.16,
+		WideAreaIXPs:             5,
+		FederationPairs:          2,
+		NoResellerIXPs:           3,
+		ResellerFrac:             0.72,
+		FederationFrac:           0.08,
+		SubMinPortFrac:           0.38,
+		ColoResellerFrac:         0.17,
+		NearbyRemoteFrac:         0.22,
+		PrivateLinkPerFacilityAS: 1.6,
+		TetheredPrivateFrac:      0.03,
+		LGFrac:                   0.62,
+		AtlasPerIXP:              2.2,
+	}
+}
+
+// TinyConfig returns a small world for fast unit tests: ~8 IXPs and
+// ~400 ASes.
+func TinyConfig() Config {
+	c := DefaultConfig()
+	c.NASes = 400
+	c.NIXPs = 8
+	c.NResellers = 4
+	c.LargestIXPMembers = 150
+	c.MinIXPMembers = 25
+	c.WideAreaIXPs = 2
+	c.FederationPairs = 1
+	c.NoResellerIXPs = 1
+	return c
+}

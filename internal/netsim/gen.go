@@ -1,0 +1,833 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"rpeer/internal/geo"
+	"rpeer/internal/ipam"
+)
+
+// Generate builds a world from the configuration. Identical configs
+// produce identical worlds.
+func Generate(cfg Config) (*World, error) {
+	if cfg.NASes <= 0 || cfg.NIXPs <= 0 {
+		return nil, fmt.Errorf("netsim: invalid config: NASes=%d NIXPs=%d", cfg.NASes, cfg.NIXPs)
+	}
+	g := &gen{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		w:       &World{Cfg: cfg, ASes: make(map[ASN]*AS), Routers: make(map[RouterID]*Router)},
+		peering: ipam.MustNew(netip.MustParsePrefix("185.0.0.0/10")),
+		mgmt:    ipam.MustNew(netip.MustParsePrefix("186.0.0.0/10")),
+		infra:   ipam.MustNew(netip.MustParsePrefix("56.0.0.0/6")),
+		routers: make(map[routerKey]RouterID),
+	}
+	g.w.Cities = DefaultCities()
+	g.w.lat = newLatency(g.w, cfg.Seed)
+	g.w.asPrefixes = make(map[ASN][]netip.Prefix)
+
+	g.buildFacilities()
+	if err := g.buildIXPs(); err != nil {
+		return nil, err
+	}
+	g.buildResellers()
+	g.buildASes()
+	if err := g.buildMemberships(); err != nil {
+		return nil, err
+	}
+	g.buildPrivateLinks()
+	g.w.buildIndices()
+	return g.w, nil
+}
+
+type routerKey struct {
+	asn ASN
+	fac FacilityID // -1 = the AS's home router
+}
+
+type gen struct {
+	cfg Config
+	rng *rand.Rand
+	w   *World
+
+	peering *ipam.Allocator
+	mgmt    *ipam.Allocator
+	infra   *ipam.Allocator
+
+	ixpLANs  []netip.Prefix // per IXP, parallel to w.IXPs
+	routers  map[routerKey]RouterID
+	nextRtr  RouterID
+	cityFacs map[string][]FacilityID // city name -> facilities
+	homeFac  map[ASN]FacilityID      // chosen home facility per AS (-1 = off-net)
+}
+
+// homeFacility decides, once per AS, whether the AS's home router sits
+// inside a colocation facility in its home city (common for serious
+// networks: they rent a rack downtown) or fully off-net. Giving remote
+// members real non-IXP facility presence is what lets Step 3 positively
+// confirm remoteness and Step 5's voting localise them.
+func (g *gen) homeFacility(a *AS) FacilityID {
+	if g.homeFac == nil {
+		g.homeFac = make(map[ASN]FacilityID)
+	}
+	if f, ok := g.homeFac[a.ASN]; ok {
+		return f
+	}
+	f := FacilityID(-1)
+	if facs := g.cityFacs[a.HomeCity]; len(facs) > 0 && g.rng.Float64() < 0.6 {
+		f = facs[g.rng.Intn(len(facs))]
+	}
+	g.homeFac[a.ASN] = f
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Facilities
+
+func (g *gen) buildFacilities() {
+	g.cityFacs = make(map[string][]FacilityID)
+	g.w.facByID = make(map[FacilityID]*Facility)
+	var id FacilityID
+	for _, c := range g.w.Cities {
+		n := 1 + int(c.Weight*0.55+g.rng.Float64()*1.5)
+		if n > 7 {
+			n = 7
+		}
+		for i := 0; i < n; i++ {
+			loc := geo.Point{
+				Lat: c.Loc.Lat + (g.rng.Float64()-0.5)*0.20,
+				Lon: c.Loc.Lon + (g.rng.Float64()-0.5)*0.25,
+			}
+			f := &Facility{
+				ID:      id,
+				Name:    fmt.Sprintf("%s DC%d", c.Name, i+1),
+				City:    c.Name,
+				Country: c.Country,
+				Loc:     loc,
+			}
+			g.w.Facilities = append(g.w.Facilities, f)
+			g.w.facByID[id] = f
+			g.cityFacs[c.Name] = append(g.cityFacs[c.Name], id)
+			id++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// IXPs
+
+func (g *gen) buildIXPs() error {
+	// Host cities: order by weight (descending, stable), each city hosts
+	// at most one IXP until cities run out.
+	order := make([]int, len(g.w.Cities))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.w.Cities[order[a]].Weight > g.w.Cities[order[b]].Weight
+	})
+
+	n := g.cfg.NIXPs
+	if n > len(order) {
+		n = len(order)
+	}
+	// Choose which size-ranks become wide-area, federated, reseller-free.
+	wide := make(map[int]bool)
+	for i := 0; i < g.cfg.WideAreaIXPs && 3+2*i < n; i++ {
+		wide[3+2*i] = true // ranks 3,5,7,... (not the two flagships)
+	}
+	noReseller := make(map[int]bool)
+	for i := 0; i < g.cfg.NoResellerIXPs; i++ {
+		r := 4 + 5*i
+		if r < n {
+			noReseller[r] = true
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		city := g.w.Cities[order[i]]
+		lan, err := g.peering.AllocPrefix(22)
+		if err != nil {
+			return fmt.Errorf("netsim: peering LAN for IXP %d: %w", i, err)
+		}
+		mlan, err := g.mgmt.AllocPrefix(24)
+		if err != nil {
+			return fmt.Errorf("netsim: mgmt LAN for IXP %d: %w", i, err)
+		}
+		rs, err := g.peering.AllocAddr(lan)
+		if err != nil {
+			return err
+		}
+		target := g.sizeTarget(i)
+		nfac := 1 + target/70
+		cityFacs := g.cityFacs[city.Name]
+		if nfac > len(cityFacs) {
+			nfac = len(cityFacs)
+		}
+		facs := append([]FacilityID(nil), cityFacs[:nfac]...)
+
+		ix := &IXP{
+			ID:              IXPID(i),
+			Name:            fmt.Sprintf("%s-IX", city.Name),
+			PeeringLAN:      lan,
+			MgmtLAN:         mlan,
+			RouteServer:     rs,
+			Facilities:      facs,
+			MinPortMbps:     1000,
+			PortOptionsMbps: []int{1000, 10000},
+			AllowsResellers: !noReseller[i],
+			HasLG:           g.rng.Float64() < g.cfg.LGFrac,
+			AtlasProbes:     poisson(g.rng, g.cfg.AtlasPerIXP),
+		}
+		if i < 8 { // the biggest exchanges sell 100GE
+			ix.PortOptionsMbps = append(ix.PortOptionsMbps, 100000)
+		}
+		if wide[i] {
+			g.makeWideArea(ix, city)
+			ix.Name = fmt.Sprintf("%s-WideIX", city.Name)
+		}
+		g.w.IXPs = append(g.w.IXPs, ix)
+		g.ixpLANs = append(g.ixpLANs, lan)
+	}
+
+	// Federations: pair up distinct-city IXPs of middling rank.
+	fed := 1
+	for p := 0; p < g.cfg.FederationPairs; p++ {
+		a, b := 1+3*p, 9+3*p
+		if b >= len(g.w.IXPs) {
+			break
+		}
+		g.w.IXPs[a].FederationID = fed
+		g.w.IXPs[b].FederationID = fed
+		fed++
+	}
+	// The two flagship IXPs always have a looking glass: the study's
+	// anchor VPs.
+	for i := 0; i < 2 && i < len(g.w.IXPs); i++ {
+		g.w.IXPs[i].HasLG = true
+	}
+	return nil
+}
+
+// makeWideArea spreads an IXP's fabric across facilities in 5-14 other
+// cities (one facility each), NET-IX/NL-IX style.
+func (g *gen) makeWideArea(ix *IXP, home City) {
+	extra := 5 + g.rng.Intn(10)
+	tried := 0
+	for len(ix.Facilities) < len(g.cityFacs[home.Name])+extra && tried < 200 {
+		tried++
+		c := g.w.Cities[g.rng.Intn(len(g.w.Cities))]
+		if c.Name == home.Name {
+			continue
+		}
+		facs := g.cityFacs[c.Name]
+		if len(facs) == 0 {
+			continue
+		}
+		f := facs[g.rng.Intn(len(facs))]
+		if containsFac(ix.Facilities, f) {
+			continue
+		}
+		ix.Facilities = append(ix.Facilities, f)
+	}
+	ix.WideArea = true
+}
+
+func containsFac(s []FacilityID, f FacilityID) bool {
+	for _, x := range s {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}
+
+// sizeTarget returns the membership target for size rank i.
+func (g *gen) sizeTarget(i int) int {
+	t := float64(g.cfg.LargestIXPMembers) / math.Pow(float64(i+1), g.cfg.SizeExponent)
+	if t < float64(g.cfg.MinIXPMembers) {
+		return g.cfg.MinIXPMembers
+	}
+	return int(t)
+}
+
+// ---------------------------------------------------------------------------
+// Resellers
+
+func (g *gen) buildResellers() {
+	// Round-robin over reseller-friendly IXPs so that every such IXP is
+	// served by at least one reseller.
+	var friendly []*IXP
+	for _, ix := range g.w.IXPs {
+		if ix.AllowsResellers {
+			friendly = append(friendly, ix)
+		}
+	}
+	for i := 0; i < g.cfg.NResellers; i++ {
+		asn := ASN(58000 + i)
+		city := g.w.Cities[g.rng.Intn(len(g.w.Cities))]
+		r := &AS{
+			ASN:         asn,
+			Name:        fmt.Sprintf("Reseller-%d L2 Networks", i+1),
+			Country:     city.Country,
+			HomeCity:    city.Name,
+			HomeLoc:     city.Loc,
+			Tier:        2,
+			TrafficMbps: 5000 + g.rng.Float64()*40000,
+			IsReseller:  true,
+		}
+		// POPs: 3-10 facilities across reseller-friendly IXPs.
+		npops := 3 + g.rng.Intn(8)
+		for p := 0; p < npops && len(friendly) > 0; p++ {
+			ix := friendly[(i+p*g.cfg.NResellers)%len(friendly)]
+			f := ix.Facilities[g.rng.Intn(len(ix.Facilities))]
+			if !containsFac(r.ResellerPOPs, f) {
+				r.ResellerPOPs = append(r.ResellerPOPs, f)
+				r.Facilities = append(r.Facilities, f)
+			}
+		}
+		g.w.ASes[asn] = r
+		g.w.Resellers = append(g.w.Resellers, asn)
+	}
+}
+
+// resellersAt returns resellers with a POP at one of the IXP's
+// facilities; if none (possible for small reseller counts), any
+// reseller is eligible (it will haul the circuit to its nearest POP).
+func (g *gen) resellersAt(ix *IXP) []ASN {
+	var out []ASN
+	for _, asn := range g.w.Resellers {
+		r := g.w.ASes[asn]
+		for _, pop := range r.ResellerPOPs {
+			if containsFac(ix.Facilities, pop) {
+				out = append(out, asn)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, g.w.Resellers...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// ASes
+
+func (g *gen) buildASes() {
+	// Cumulative city weights for weighted home-city sampling.
+	cum := make([]float64, len(g.w.Cities))
+	total := 0.0
+	for i, c := range g.w.Cities {
+		total += c.Weight
+		cum[i] = total
+	}
+	pickCity := func() City {
+		x := g.rng.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		if i >= len(g.w.Cities) {
+			i = len(g.w.Cities) - 1
+		}
+		return g.w.Cities[i]
+	}
+
+	var tier1s []ASN
+	var tier2s []ASN
+	for i := 0; i < g.cfg.NASes; i++ {
+		asn := ASN(100 + i)
+		city := pickCity()
+		tier := 3
+		switch {
+		case i < 12:
+			tier = 1
+		case g.rng.Float64() < 0.08:
+			tier = 2
+		}
+		mu := map[int]float64{1: 12.2, 2: 9.9, 3: 6.7}[tier]
+		traffic := math.Exp(mu + g.rng.NormFloat64()*1.1)
+		a := &AS{
+			ASN:      asn,
+			Name:     fmt.Sprintf("AS%d-%sNet", asn, city.Name),
+			Country:  city.Country,
+			HomeCity: city.Name,
+			HomeLoc: geo.Point{
+				Lat: city.Loc.Lat + (g.rng.Float64()-0.5)*0.3,
+				Lon: city.Loc.Lon + (g.rng.Float64()-0.5)*0.3,
+			},
+			Tier:        tier,
+			TrafficMbps: traffic,
+		}
+		g.w.ASes[asn] = a
+		switch tier {
+		case 1:
+			tier1s = append(tier1s, asn)
+		case 2:
+			tier2s = append(tier2s, asn)
+		}
+	}
+	// Transit relationships.
+	for i := 0; i < g.cfg.NASes; i++ {
+		asn := ASN(100 + i)
+		a := g.w.ASes[asn]
+		switch a.Tier {
+		case 2:
+			n := 1 + g.rng.Intn(3)
+			for j := 0; j < n; j++ {
+				p := tier1s[g.rng.Intn(len(tier1s))]
+				if p != asn && !containsASN(a.Providers, p) {
+					a.Providers = append(a.Providers, p)
+				}
+			}
+		case 3:
+			n := 1 + g.rng.Intn(2)
+			for j := 0; j < n; j++ {
+				var p ASN
+				if len(tier2s) > 0 && g.rng.Float64() < 0.85 {
+					p = tier2s[g.rng.Intn(len(tier2s))]
+				} else {
+					p = tier1s[g.rng.Intn(len(tier1s))]
+				}
+				if p != asn && !containsASN(a.Providers, p) {
+					a.Providers = append(a.Providers, p)
+				}
+			}
+		}
+	}
+}
+
+func containsASN(s []ASN, a ASN) bool {
+	for _, x := range s {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Memberships
+
+func (g *gen) buildMemberships() error {
+	// Peering propensity: traffic^0.4, tier-boosted.
+	weights := make([]float64, g.cfg.NASes)
+	asns := make([]ASN, g.cfg.NASes)
+	for i := 0; i < g.cfg.NASes; i++ {
+		asn := ASN(100 + i)
+		a := g.w.ASes[asn]
+		w := math.Pow(a.TrafficMbps, 0.4)
+		if a.Tier == 2 {
+			w *= 1.6
+		}
+		asns[i] = asn
+		weights[i] = w
+	}
+
+	nRanked := len(g.w.IXPs)
+	for rank, ix := range g.w.IXPs {
+		target := g.sizeTarget(rank)
+		frac := 0.0
+		if nRanked > 1 {
+			frac = float64(rank) / float64(nRanked-1)
+		}
+		share := g.cfg.RemoteShareLargest + frac*(g.cfg.RemoteShareSmallest-g.cfg.RemoteShareLargest)
+		if !ix.AllowsResellers {
+			share *= 0.35
+		}
+		nRemote := int(math.Round(float64(target) * share))
+		nLocal := target - nRemote
+
+		members := g.sampleMembers(ix, asns, weights, target)
+		if len(members) < target {
+			target = len(members)
+			if nRemote > target {
+				nRemote = target
+			}
+			nLocal = target - nRemote
+		}
+		// Nearby ASes make better locals: sort candidates by distance to
+		// the IXP home and take locals from the near end (with shuffling
+		// inside bands to avoid determinism artifacts).
+		home := g.w.Facility(ix.Facilities[0]).Loc
+		sort.SliceStable(members, func(a, b int) bool {
+			da := geo.HaversineKm(g.w.ASes[members[a]].HomeLoc, home)
+			db := geo.HaversineKm(g.w.ASes[members[b]].HomeLoc, home)
+			return da < db
+		})
+		locals := members[:nLocal]
+		remotes := members[nLocal:]
+		// A slice of faraway ASes still peers locally (global carriers
+		// build out to big exchanges): swap ~15% of locals with remotes.
+		for i := 0; i < len(locals)*15/100 && i < len(remotes); i++ {
+			j := len(locals) - 1 - i
+			locals[j], remotes[i] = remotes[i], locals[j]
+		}
+
+		for _, asn := range locals {
+			if err := g.addLocalMember(ix, asn); err != nil {
+				return err
+			}
+		}
+		for _, asn := range remotes {
+			if err := g.addRemoteMember(ix, asn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sampleMembers draws up to n distinct ASes by propensity weight.
+func (g *gen) sampleMembers(ix *IXP, asns []ASN, weights []float64, n int) []ASN {
+	chosen := make(map[ASN]bool, n)
+	var out []ASN
+	total := 0.0
+	cum := make([]float64, len(weights))
+	for i, w := range weights {
+		total += w
+		cum[i] = total
+	}
+	attempts := 0
+	for len(out) < n && attempts < n*30 {
+		attempts++
+		x := g.rng.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		if i >= len(asns) {
+			i = len(asns) - 1
+		}
+		asn := asns[i]
+		if chosen[asn] {
+			continue
+		}
+		chosen[asn] = true
+		out = append(out, asn)
+	}
+	return out
+}
+
+// getRouter returns (creating if needed) the AS's router at a facility,
+// or its home router when fac == -1. New routers get one infrastructure
+// interface from the owner's prefix.
+func (g *gen) getRouter(asn ASN, fac FacilityID, loc geo.Point) (*Router, error) {
+	key := routerKey{asn, fac}
+	if id, ok := g.routers[key]; ok {
+		return g.w.Routers[id], nil
+	}
+	id := g.nextRtr
+	g.nextRtr++
+	r := &Router{
+		ID:       id,
+		Owner:    asn,
+		Facility: fac,
+		Loc:      loc,
+		IPIDInit: uint32(g.rng.Intn(65536)),
+		IPIDRate: 40 + g.rng.Float64()*460,
+	}
+	ip, err := g.asAddr(asn)
+	if err != nil {
+		return nil, err
+	}
+	r.Ifaces = append(r.Ifaces, ip)
+	g.w.Routers[id] = r
+	g.routers[key] = id
+	// Ground-truth colocation record.
+	if fac >= 0 {
+		a := g.w.ASes[asn]
+		if !containsFac(a.Facilities, fac) {
+			a.Facilities = append(a.Facilities, fac)
+		}
+	}
+	return r, nil
+}
+
+// asAddr allocates an address from the AS's infrastructure prefix,
+// allocating prefixes on demand.
+func (g *gen) asAddr(asn ASN) (netip.Addr, error) {
+	for _, p := range g.w.asPrefixes[asn] {
+		if ip, err := g.infra.AllocAddr(p); err == nil {
+			return ip, nil
+		}
+	}
+	p, err := g.infra.AllocPrefix(20)
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("netsim: infra prefix for AS%d: %w", asn, err)
+	}
+	g.w.asPrefixes[asn] = append(g.w.asPrefixes[asn], p)
+	return g.infra.AllocAddr(p)
+}
+
+func (g *gen) addLocalMember(ix *IXP, asn ASN) error {
+	a := g.w.ASes[asn]
+	// Pick the IXP facility closest to the AS home (matters for
+	// wide-area IXPs: members patch in at their nearest site).
+	best := ix.Facilities[0]
+	bestD := math.Inf(1)
+	for _, f := range ix.Facilities {
+		d := geo.HaversineKm(a.HomeLoc, g.w.Facility(f).Loc)
+		if d < bestD {
+			bestD, best = d, f
+		}
+	}
+	r, err := g.getRouter(asn, best, g.w.Facility(best).Loc)
+	if err != nil {
+		return err
+	}
+	ip, err := g.peering.AllocAddr(ix.PeeringLAN)
+	if err != nil {
+		return fmt.Errorf("netsim: %s peering LAN exhausted: %w", ix.Name, err)
+	}
+	r.Ifaces = append(r.Ifaces, ip)
+	r.IXPs = appendIXP(r.IXPs, ix.ID)
+	g.w.Members = append(g.w.Members, &Member{
+		ASN: asn, IXP: ix.ID, Iface: ip, Router: r.ID,
+		PortMbps: g.localPort(ix), Kind: ConnLocal,
+	})
+	return nil
+}
+
+func (g *gen) addRemoteMember(ix *IXP, asn ASN) error {
+	a := g.w.ASes[asn]
+	kind := ConnLongCable
+	u := g.rng.Float64()
+	switch {
+	case ix.AllowsResellers && u < g.cfg.ResellerFrac:
+		kind = ConnReseller
+	case ix.FederationID != 0 && u < g.cfg.ResellerFrac+g.cfg.FederationFrac:
+		kind = ConnFederation
+	}
+
+	var r *Router
+	var err error
+	var reseller ASN
+	var viaFed IXPID
+
+	switch kind {
+	case ConnReseller:
+		rs := g.resellersAt(ix)
+		reseller = rs[g.rng.Intn(len(rs))]
+		if g.rng.Float64() < g.cfg.ColoResellerFrac {
+			// Colocated-but-reseller: router in an IXP facility, virtual
+			// port anyway (discounted fractional capacity).
+			f := ix.Facilities[g.rng.Intn(len(ix.Facilities))]
+			r, err = g.getRouter(asn, f, g.w.Facility(f).Loc)
+		} else {
+			r, err = g.remoteRouter(ix, a)
+		}
+	case ConnFederation:
+		sib := g.federationSibling(ix)
+		if sib == nil {
+			kind = ConnLongCable
+			r, err = g.homeRouter(ix, a)
+			break
+		}
+		viaFed = sib.ID
+		f := sib.Facilities[g.rng.Intn(len(sib.Facilities))]
+		r, err = g.getRouter(asn, f, g.w.Facility(f).Loc)
+	default:
+		r, err = g.remoteRouter(ix, a)
+	}
+	if err != nil {
+		return err
+	}
+
+	ip, err := g.peering.AllocAddr(ix.PeeringLAN)
+	if err != nil {
+		return fmt.Errorf("netsim: %s peering LAN exhausted: %w", ix.Name, err)
+	}
+	r.Ifaces = append(r.Ifaces, ip)
+	r.IXPs = appendIXP(r.IXPs, ix.ID)
+	g.w.Members = append(g.w.Members, &Member{
+		ASN: asn, IXP: ix.ID, Iface: ip, Router: r.ID,
+		PortMbps: g.remotePort(ix, kind), Kind: kind,
+		Reseller: reseller, ViaFed: viaFed,
+	})
+	return nil
+}
+
+// homeRouter returns the AS's home router for a remote membership at
+// ix: either in a non-IXP facility of the AS's home city, or off-net at
+// the AS's home location. A home facility that happens to belong to the
+// IXP itself is not used (a member racked next to the IXP switch would
+// simply patch in locally).
+func (g *gen) homeRouter(ix *IXP, a *AS) (*Router, error) {
+	f := g.homeFacility(a)
+	if f >= 0 && !containsFac(ix.Facilities, f) {
+		return g.getRouter(a.ASN, f, g.w.Facility(f).Loc)
+	}
+	return g.getRouter(a.ASN, -1, a.HomeLoc)
+}
+
+// remoteRouter places the router of a remote (non-colocated)
+// membership. With probability NearbyRemoteFrac the member connects
+// from a regional POP in a nearby city (the paper's Rotterdam-to-
+// Amsterdam case: sub-2ms RTT, yet remote); otherwise from home.
+func (g *gen) remoteRouter(ix *IXP, a *AS) (*Router, error) {
+	if g.rng.Float64() < g.cfg.NearbyRemoteFrac {
+		if f, ok := g.nearbyFacility(ix); ok {
+			return g.getRouter(a.ASN, f, g.w.Facility(f).Loc)
+		}
+	}
+	return g.homeRouter(ix, a)
+}
+
+// nearbyFacility picks a facility in a different metro 20-400 km from
+// the IXP's main site, excluding the IXP's own facilities.
+func (g *gen) nearbyFacility(ix *IXP) (FacilityID, bool) {
+	home := g.w.Facility(ix.Facilities[0]).Loc
+	var cands []FacilityID
+	for _, f := range g.w.Facilities {
+		if containsFac(ix.Facilities, f.ID) {
+			continue
+		}
+		d := geo.HaversineKm(home, f.Loc)
+		if d > geo.MetroSeparationKm && d < 400 {
+			cands = append(cands, f.ID)
+		}
+	}
+	if len(cands) == 0 {
+		return -1, false
+	}
+	return cands[g.rng.Intn(len(cands))], true
+}
+
+func (g *gen) federationSibling(ix *IXP) *IXP {
+	if ix.FederationID == 0 {
+		return nil
+	}
+	for _, other := range g.w.IXPs {
+		if other.ID != ix.ID && other.FederationID == ix.FederationID {
+			return other
+		}
+	}
+	return nil
+}
+
+func appendIXP(s []IXPID, id IXPID) []IXPID {
+	for _, x := range s {
+		if x == id {
+			return s
+		}
+	}
+	return append(s, id)
+}
+
+// localPort samples a physical port capacity from the IXP price list.
+func (g *gen) localPort(ix *IXP) int {
+	opts := ix.PortOptionsMbps
+	u := g.rng.Float64()
+	switch {
+	case len(opts) >= 3 && u < 0.12:
+		return opts[2] // 100GE, flagship ports: local peers only
+	case u < 0.55:
+		return opts[0]
+	default:
+		return opts[1]
+	}
+}
+
+// remotePort samples the port capacity of a remote member. Only
+// reseller customers can hold fractional (sub-Cmin) virtual ports.
+func (g *gen) remotePort(ix *IXP, kind ConnKind) int {
+	if kind == ConnReseller && g.rng.Float64() < g.cfg.SubMinPortFrac {
+		fr := []int{100, 200, 500}
+		return fr[g.rng.Intn(len(fr))]
+	}
+	if g.rng.Float64() < 0.75 {
+		return ix.PortOptionsMbps[0]
+	}
+	return ix.PortOptionsMbps[1]
+}
+
+// ---------------------------------------------------------------------------
+// Private interconnections
+
+func (g *gen) buildPrivateLinks() {
+	// Routers per facility.
+	perFac := make(map[FacilityID][]RouterID)
+	var ids []RouterID
+	for id := range g.w.Routers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := g.w.Routers[id]
+		if r.Facility >= 0 {
+			perFac[r.Facility] = append(perFac[r.Facility], id)
+		}
+	}
+	var facs []FacilityID
+	for f := range perFac {
+		facs = append(facs, f)
+	}
+	sort.Slice(facs, func(i, j int) bool { return facs[i] < facs[j] })
+
+	seen := make(map[[2]RouterID]bool)
+	for _, f := range facs {
+		rs := perFac[f]
+		if len(rs) < 2 {
+			continue
+		}
+		for _, a := range rs {
+			n := poisson(g.rng, g.cfg.PrivateLinkPerFacilityAS)
+			for k := 0; k < n; k++ {
+				var b RouterID
+				fac := f
+				if g.rng.Float64() < g.cfg.TetheredPrivateFrac && len(facs) > 1 {
+					// Tethered interconnect to another facility.
+					of := facs[g.rng.Intn(len(facs))]
+					cands := perFac[of]
+					b = cands[g.rng.Intn(len(cands))]
+					fac = -1
+				} else {
+					b = rs[g.rng.Intn(len(rs))]
+				}
+				ra, rb := g.w.Routers[a], g.w.Routers[b]
+				if a == b || ra.Owner == rb.Owner {
+					continue
+				}
+				key := [2]RouterID{a, b}
+				if a > b {
+					key = [2]RouterID{b, a}
+				}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				ipa, err1 := g.asAddr(ra.Owner)
+				ipb, err2 := g.asAddr(rb.Owner)
+				if err1 != nil || err2 != nil {
+					continue
+				}
+				ra.Ifaces = append(ra.Ifaces, ipa)
+				rb.Ifaces = append(rb.Ifaces, ipb)
+				g.w.Private = append(g.w.Private, PrivateLink{
+					A: a, B: b, AIface: ipa, BIface: ipb, Facility: fac,
+				})
+			}
+		}
+	}
+}
+
+// poisson draws a Poisson-distributed integer with the given mean using
+// Knuth's method (fine for small means).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package netsim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"rpeer/internal/geo"
+)
+
+// Latency is the world's delay oracle. It produces propagation-model
+// RTTs between arbitrary points, routers and facilities. Base RTTs are
+// deterministic per unordered endpoint pair (a fixed "path" with a
+// fixed stretch factor), while Sample adds per-measurement jitter, so
+// that the minimum over a ping campaign converges to the base value —
+// exactly the property Step 2's RTTmin aggregation relies on.
+type Latency struct {
+	w    *World
+	seed int64
+
+	// FiberKmPerMs is the one-way signal speed in fibre (~2/3 c).
+	FiberKmPerMs float64
+	// OutlierProb is the probability that an endpoint pair's layer-2
+	// path is pathologically circuitous, producing RTTs outside the
+	// vmin bound of the inference speed model (paper footnote 7).
+	OutlierProb float64
+}
+
+func newLatency(w *World, seed int64) *Latency {
+	return &Latency{
+		w:            w,
+		seed:         seed,
+		FiberKmPerMs: 200, // 2/3 of c, the usual engineering figure
+		OutlierProb:  0.012,
+	}
+}
+
+// pairHash derives a deterministic 64-bit value for an unordered pair
+// of path endpoints, mixed with the world seed.
+func (l *Latency) pairHash(a, b uint64) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	var buf [24]byte
+	putU64(buf[0:], a)
+	putU64(buf[8:], b)
+	putU64(buf[16:], uint64(l.seed))
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * (7 - i)))
+	}
+}
+
+// unit converts a hash to a float in [0, 1).
+func unit(h uint64) float64 { return float64(h%1_000_003) / 1_000_003 }
+
+// BaseRTT returns the deterministic floor RTT in milliseconds between
+// two geographic points, for the path identified by (keyA, keyB).
+//
+// The model: sub-kilometre endpoints see only LAN/serialisation
+// overhead (0.15-0.9 ms); everything else pays two-way propagation at
+// FiberKmPerMs over a geodesic inflated by a per-path stretch factor in
+// [1.1, 1.7], plus per-hop queuing overhead. With stretch s, the
+// effective end-to-end speed is d/RTT = FiberKmPerMs/(2s), i.e. between
+// ~59 and ~91 km/ms — safely inside the inference model's
+// [vmin(d), 4/9 c] bounds for all but OutlierProb of paths, which get a
+// 3-6x stretch to emulate grossly circuitous layer-2 transport.
+func (l *Latency) BaseRTT(a, b geo.Point, keyA, keyB uint64) float64 {
+	d := geo.DistanceKm(a, b)
+	h := l.pairHash(keyA, keyB)
+	u1 := unit(h)
+	u2 := unit(h * 2654435761)
+	if d < 1 {
+		// Same facility / campus: switch and serialisation latency only.
+		return 0.15 + 0.75*u1
+	}
+	stretch := 1.1 + 0.6*u1
+	if u2 < l.OutlierProb {
+		stretch = 3 + 3*u1
+	}
+	hops := 1 + math.Log10(1+d)        // rough router count growth
+	overhead := 0.08 * hops * (1 + u2) // queuing/serialisation per hop
+	return 2*d*stretch/l.FiberKmPerMs + overhead
+}
+
+// RouterRTT returns the floor RTT between two routers.
+func (l *Latency) RouterRTT(a, b *Router) float64 {
+	return l.BaseRTT(a.Loc, b.Loc, uint64(a.ID), uint64(b.ID))
+}
+
+// PointToRouterRTT returns the floor RTT between an arbitrary vantage
+// location (keyed by vpKey, e.g. a VP index offset) and a router.
+func (l *Latency) PointToRouterRTT(vp geo.Point, vpKey uint64, r *Router) float64 {
+	return l.BaseRTT(vp, r.Loc, vpKey|1<<60, uint64(r.ID))
+}
+
+// FacilityRTT returns the Y.1731-style inter-facility delay between two
+// facilities of (typically) a wide-area IXP fabric. Dedicated L2
+// transport is less circuitous than the general model, so stretch is
+// drawn from [1.05, 1.35].
+func (l *Latency) FacilityRTT(f1, f2 FacilityID) float64 {
+	a := l.w.Facility(f1)
+	b := l.w.Facility(f2)
+	if a == nil || b == nil {
+		return 0
+	}
+	d := geo.DistanceKm(a.Loc, b.Loc)
+	if d < 1 {
+		return 0.1 + 0.4*unit(l.pairHash(uint64(f1)|1<<59, uint64(f2)|1<<59))
+	}
+	u := unit(l.pairHash(uint64(f1)|1<<59, uint64(f2)|1<<59))
+	stretch := 1.05 + 0.30*u
+	return 2*d*stretch/l.FiberKmPerMs + 0.1
+}
+
+// Sample produces one ping observation around a base RTT: multiplicative
+// jitter plus occasional heavy-tailed queueing spikes. Sample never
+// returns less than base, so the campaign minimum estimates base.
+func (l *Latency) Sample(rng *rand.Rand, base float64) float64 {
+	j := math.Abs(rng.NormFloat64()) * 0.04 * base
+	if rng.Float64() < 0.07 {
+		j += rng.ExpFloat64() * 2.5 // transient congestion spike
+	}
+	return base + j
+}
+
+// InterFacilityDelays returns one DelaySample per facility pair of the
+// given IXP, reproducing the Y.1731 performance-monitoring feeds the
+// paper obtained from NL-IX and NET-IX (Figs 2a and 6).
+func (l *Latency) InterFacilityDelays(id IXPID) []geo.DelaySample {
+	ix := l.w.IXP(id)
+	if ix == nil {
+		return nil
+	}
+	var out []geo.DelaySample
+	for i := 0; i < len(ix.Facilities); i++ {
+		for j := i + 1; j < len(ix.Facilities); j++ {
+			fa := l.w.Facility(ix.Facilities[i])
+			fb := l.w.Facility(ix.Facilities[j])
+			if fa == nil || fb == nil {
+				continue
+			}
+			out = append(out, geo.DelaySample{
+				DistanceKm: geo.DistanceKm(fa.Loc, fb.Loc),
+				RTTMs:      l.FacilityRTT(ix.Facilities[i], ix.Facilities[j]),
+			})
+		}
+	}
+	return out
+}

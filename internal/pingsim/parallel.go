@@ -1,0 +1,107 @@
+package pingsim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rpeer/internal/netsim"
+)
+
+// RunParallel executes the same campaign as Run across a worker pool,
+// one VP per task. Results are bit-identical to RunParallel with any
+// other worker count (but not to the sequential Run, which threads a
+// single RNG through all VPs): every (VP, target) pair derives its own
+// RNG from a stable hash of (seed, VP id, interface), so scheduling
+// order cannot leak into the measurements.
+//
+// Use this for large worlds; the default world campaign is ~3x faster
+// on 8 cores.
+func RunParallel(w *netsim.World, vps []*VP, cfg CampaignConfig, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &Result{
+		VPs:            vps,
+		ByVP:           make(map[int][]*Measurement, len(vps)),
+		RouteServerRTT: make(map[int]float64, len(vps)),
+	}
+
+	type vpOut struct {
+		vp     *VP
+		rsRTT  float64
+		ms     []*Measurement
+		usable bool
+	}
+	tasks := make(chan *VP)
+	outs := make(chan vpOut, len(vps))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for vp := range tasks {
+				rng := pairRand(cfg.Seed, vp.ID, 0, 0)
+				rsRTT := routeServerRTT(w, vp, rng)
+				usable := !vp.dead && !math.IsNaN(rsRTT) && rsRTT < 1.0
+
+				members := w.MembersOf(vp.IXP)
+				ms := make([]*Measurement, 0, len(members))
+				for _, mem := range members {
+					prng := pairRandAddr(cfg.Seed, vp.ID, mem.Iface)
+					ms = append(ms, pingTarget(w, vp, mem, cfg, prng))
+				}
+				sort.Slice(ms, func(i, j int) bool { return ms[i].Iface.Less(ms[j].Iface) })
+				outs <- vpOut{vp: vp, rsRTT: rsRTT, ms: ms, usable: usable}
+			}
+		}()
+	}
+	go func() {
+		for _, vp := range vps {
+			tasks <- vp
+		}
+		close(tasks)
+		wg.Wait()
+		close(outs)
+	}()
+
+	for o := range outs {
+		res.ByVP[o.vp.ID] = o.ms
+		res.RouteServerRTT[o.vp.ID] = o.rsRTT
+		if o.usable {
+			res.UsableVPs = append(res.UsableVPs, o.vp)
+		}
+	}
+	// Deterministic order regardless of completion order.
+	sort.Slice(res.UsableVPs, func(i, j int) bool { return res.UsableVPs[i].ID < res.UsableVPs[j].ID })
+	return res
+}
+
+// pairRand derives a deterministic RNG for a (seed, vp, lo, hi) tuple.
+func pairRand(seed int64, vpID int, lo, hi uint64) *rand.Rand {
+	h := fnv.New64a()
+	var buf [32]byte
+	put64(buf[0:], uint64(seed))
+	put64(buf[8:], uint64(vpID))
+	put64(buf[16:], lo)
+	put64(buf[24:], hi)
+	_, _ = h.Write(buf[:])
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// pairRandAddr derives a deterministic RNG for a (seed, vp, address)
+// tuple.
+func pairRandAddr(seed int64, vpID int, ip interface{ As4() [4]byte }) *rand.Rand {
+	b := ip.As4()
+	lo := uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+	return pairRand(seed, vpID, lo, 0x9e3779b97f4a7c15)
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,362 @@
+// Package pingsim simulates the paper's ping measurement plane
+// (Sections 3.1 and 5.2, Step 2): vantage points inside IXPs (looking
+// glasses on the peering LAN and RIPE-Atlas-style probes colocated
+// with the IXP), repeated ping campaigns against member peering
+// interfaces, reply-TTL modelling, and the TTL-match / TTL-switch
+// filters plus minimum-RTT aggregation the methodology applies.
+package pingsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"rpeer/internal/geo"
+	"rpeer/internal/netsim"
+)
+
+// VPKind distinguishes vantage point flavours.
+type VPKind uint8
+
+const (
+	// KindLG is a looking glass directly attached to the IXP peering
+	// LAN. LGs respond reliably but many round RTTs up to whole
+	// milliseconds.
+	KindLG VPKind = iota
+	// KindAtlas is a RIPE-Atlas-style probe colocated with the IXP but
+	// outside the peering LAN (one router hop away).
+	KindAtlas
+)
+
+// String implements fmt.Stringer.
+func (k VPKind) String() string {
+	if k == KindLG {
+		return "LG"
+	}
+	return "Atlas"
+}
+
+// VP is a measurement vantage point inside (or believed inside) an IXP.
+type VP struct {
+	ID   int
+	IXP  netsim.IXPID
+	Kind VPKind
+	// Facility hosting the VP (-1 for management-LAN probes parked at
+	// the IXP NOC, which may be outside any listed facility).
+	Facility netsim.FacilityID
+	Loc      geo.Point
+	SrcIP    netip.Addr
+	// RoundsUp marks LGs that report integer milliseconds (rounded up).
+	RoundsUp bool
+
+	// Hidden ground-truth attributes (not consulted by the inference):
+	// mgmtLAN probes have inflated base RTT; dead probes never answer.
+	mgmtLAN     bool
+	mgmtExtraMs float64
+	dead        bool
+}
+
+// CampaignConfig parametrises a ping campaign.
+type CampaignConfig struct {
+	// Samples per (VP, target) pair: the paper pings every two hours
+	// for two days = 24 samples.
+	Samples int
+	// TargetResponseLG / TargetResponseAtlas are the probabilities that
+	// a member interface answers pings from each VP kind at all
+	// (Table 5: 95% vs 75%).
+	TargetResponseLG    float64
+	TargetResponseAtlas float64
+	// PerSampleLoss is the per-ping loss probability for responsive
+	// targets.
+	PerSampleLoss float64
+	// ExtraHopProb is the probability that replies arrive with an
+	// unexpected extra TTL decrement (reply beyond the IXP subnet;
+	// dropped by the TTL-match filter).
+	ExtraHopProb float64
+	// TTLSwitchProb is the probability that a target's reply TTL
+	// flip-flops during the campaign (dropped by the TTL-switch
+	// filter).
+	TTLSwitchProb float64
+	// DisableTTLFilters keeps the noisy pairs in the result instead of
+	// flagging them (the TTL-filter ablation): RTT minimums then
+	// include replies sourced beyond the IXP subnet.
+	DisableTTLFilters bool
+	// Seed drives all randomness of the campaign.
+	Seed int64
+}
+
+// DefaultCampaign mirrors the paper's setup.
+func DefaultCampaign() CampaignConfig {
+	return CampaignConfig{
+		Samples:             24,
+		TargetResponseLG:    0.95,
+		TargetResponseAtlas: 0.75,
+		PerSampleLoss:       0.08,
+		ExtraHopProb:        0.015,
+		TTLSwitchProb:       0.01,
+		Seed:                1,
+	}
+}
+
+// DeriveVPs instantiates the vantage points the world offers: one LG
+// per LG-operating IXP plus the IXP's Atlas probes. Roughly a quarter
+// of Atlas probes sit in the management LAN (inflated RTT, to be
+// caught by the route-server sanity filter) and some are dead.
+func DeriveVPs(w *netsim.World, seed int64) []*VP {
+	rng := rand.New(rand.NewSource(seed))
+	var vps []*VP
+	id := 0
+	for _, ix := range w.IXPs {
+		if ix.HasLG {
+			f := ix.Facilities[0]
+			vps = append(vps, &VP{
+				ID: id, IXP: ix.ID, Kind: KindLG,
+				Facility: f, Loc: w.Facility(f).Loc,
+				SrcIP:    ix.RouteServer,
+				RoundsUp: rng.Float64() < 0.5,
+			})
+			id++
+		}
+		for p := 0; p < ix.AtlasProbes; p++ {
+			f := ix.Facilities[rng.Intn(len(ix.Facilities))]
+			vp := &VP{
+				ID: id, IXP: ix.ID, Kind: KindAtlas,
+				Facility: f, Loc: w.Facility(f).Loc,
+			}
+			ip, err := mgmtAddr(w, ix, p)
+			if err == nil {
+				vp.SrcIP = ip
+			}
+			switch {
+			case rng.Float64() < 0.20:
+				vp.dead = true
+			case rng.Float64() < 0.30:
+				// Management-LAN probe: the NOC is elsewhere in town (or
+				// in another town); every RTT is inflated.
+				vp.mgmtLAN = true
+				vp.mgmtExtraMs = 1 + rng.ExpFloat64()*6
+				vp.Facility = -1
+			}
+			vps = append(vps, vp)
+			id++
+		}
+	}
+	return vps
+}
+
+func mgmtAddr(w *netsim.World, ix *netsim.IXP, n int) (netip.Addr, error) {
+	ip := ix.MgmtLAN.Addr()
+	for i := 0; i <= n; i++ {
+		ip = ip.Next()
+	}
+	if !ix.MgmtLAN.Contains(ip) {
+		return netip.Addr{}, fmt.Errorf("pingsim: mgmt LAN of %s exhausted", ix.Name)
+	}
+	return ip, nil
+}
+
+// Measurement is the filtered outcome for one (VP, interface) pair.
+type Measurement struct {
+	VP    *VP
+	Iface netip.Addr
+	ASN   netsim.ASN
+	// RTTMinMs is the minimum RTT across surviving samples;
+	// math.NaN() when no usable sample survived.
+	RTTMinMs float64
+	// Replies is the number of echo replies received (pre-filter).
+	Replies int
+	// FilteredTTL is true when the TTL-match or TTL-switch filter
+	// discarded the pair.
+	FilteredTTL bool
+}
+
+// Responsive reports whether at least one reply arrived.
+func (m *Measurement) Responsive() bool { return m.Replies > 0 }
+
+// Usable reports whether the measurement yields an RTTmin the
+// inference may consume.
+func (m *Measurement) Usable() bool {
+	return m.Replies > 0 && !m.FilteredTTL && !math.IsNaN(m.RTTMinMs)
+}
+
+// Result is the outcome of a campaign.
+type Result struct {
+	VPs []*VP
+	// ByVP maps VP id to its measurements (ordered by target address).
+	ByVP map[int][]*Measurement
+	// RouteServerRTT maps VP id to its RTTmin towards the IXP route
+	// server (the VP-usability sanity check).
+	RouteServerRTT map[int]float64
+	// UsableVPs lists VPs that survive the route-server filter
+	// (RTTmin < 1 ms) and answered at all.
+	UsableVPs []*VP
+}
+
+// Run executes a ping campaign from every VP towards all member
+// peering interfaces of the VP's IXP, applying the TTL filters and the
+// route-server VP-usability filter, and aggregating minimum RTTs.
+func Run(w *netsim.World, vps []*VP, cfg CampaignConfig) *Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{
+		VPs:            vps,
+		ByVP:           make(map[int][]*Measurement, len(vps)),
+		RouteServerRTT: make(map[int]float64, len(vps)),
+	}
+	for _, vp := range vps {
+		// Sanity ping to the route server.
+		rsRTT := routeServerRTT(w, vp, rng)
+		res.RouteServerRTT[vp.ID] = rsRTT
+		usable := !vp.dead && !math.IsNaN(rsRTT) && rsRTT < 1.0
+		if usable {
+			res.UsableVPs = append(res.UsableVPs, vp)
+		}
+
+		members := w.MembersOf(vp.IXP)
+		ms := make([]*Measurement, 0, len(members))
+		for _, mem := range members {
+			ms = append(ms, pingTarget(w, vp, mem, cfg, rng))
+		}
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Iface.Less(ms[j].Iface) })
+		res.ByVP[vp.ID] = ms
+	}
+	return res
+}
+
+// routeServerRTT simulates the VP's ping to the IXP route server.
+func routeServerRTT(w *netsim.World, vp *VP, rng *rand.Rand) float64 {
+	if vp.dead {
+		return math.NaN()
+	}
+	ix := w.IXP(vp.IXP)
+	rsLoc := w.Facility(ix.Facilities[0]).Loc
+	base := 0.1 + 0.3*rng.Float64()
+	if vp.Facility >= 0 && vp.Facility != ix.Facilities[0] {
+		base = w.Latency().BaseRTT(vp.Loc, rsLoc, uint64(vp.ID)|1<<61, uint64(ix.ID)|1<<62)
+	}
+	if vp.mgmtLAN {
+		base += vp.mgmtExtraMs
+	}
+	return base
+}
+
+// pingTarget runs the per-pair sample loop with reply-TTL modelling.
+func pingTarget(w *netsim.World, vp *VP, mem *netsim.Member, cfg CampaignConfig, rng *rand.Rand) *Measurement {
+	m := &Measurement{VP: vp, Iface: mem.Iface, ASN: mem.ASN, RTTMinMs: math.NaN()}
+	if vp.dead {
+		return m
+	}
+	respond := cfg.TargetResponseLG
+	if vp.Kind == KindAtlas {
+		respond = cfg.TargetResponseAtlas
+	}
+	if rng.Float64() >= respond {
+		return m // interface filters this VP's pings entirely
+	}
+
+	r := w.Router(mem.Router)
+	base := w.Latency().PointToRouterRTT(vp.Loc, uint64(vp.ID), r)
+	if vp.mgmtLAN {
+		base += vp.mgmtExtraMs
+	}
+
+	// Reply TTL model: replies sourced on the peering LAN arrive with
+	// the initial TTL (LG case) or one less (Atlas probes sit one hop
+	// off the LAN). A misbehaving target replies from deeper inside the
+	// member network.
+	initTTL := 255
+	if rng.Float64() < 0.4 {
+		initTTL = 64
+	}
+	expected := initTTL
+	if vp.Kind == KindAtlas {
+		expected = initTTL - 1
+	}
+	extraHops := 0
+	if rng.Float64() < cfg.ExtraHopProb {
+		extraHops = 1 + rng.Intn(3)
+	}
+	switches := rng.Float64() < cfg.TTLSwitchProb
+
+	min := math.NaN()
+	seenTTL := -1
+	for s := 0; s < cfg.Samples; s++ {
+		if rng.Float64() < cfg.PerSampleLoss {
+			continue
+		}
+		m.Replies++
+		ttl := expected - extraHops
+		if switches && s%2 == 1 {
+			ttl = expected - 1 - extraHops
+		}
+		if seenTTL >= 0 && ttl != seenTTL && !cfg.DisableTTLFilters {
+			m.FilteredTTL = true // TTL-switch filter
+		}
+		seenTTL = ttl
+		if ttl != expected {
+			if !cfg.DisableTTLFilters {
+				m.FilteredTTL = true // TTL-match filter
+				continue
+			}
+			// Filters disabled: the reply comes from beyond the IXP
+			// subnet and drags extra path latency into the minimum.
+			rtt := w.Latency().Sample(rng, base) + float64(expected-ttl)*1.5
+			if math.IsNaN(min) || rtt < min {
+				min = rtt
+			}
+			continue
+		}
+		rtt := w.Latency().Sample(rng, base)
+		if vp.Kind == KindLG && vp.RoundsUp {
+			rtt = math.Ceil(rtt)
+		}
+		if math.IsNaN(min) || rtt < min {
+			min = rtt
+		}
+	}
+	m.RTTMinMs = min
+	return m
+}
+
+// MinRTTByIface folds a campaign result into the per-interface RTTmin
+// across all *usable* VPs of the interface's IXP, applying the paper's
+// LG rounding correction downstream consumers need the raw value for:
+// the minimum over VPs of each VP's RTTmin.
+func (r *Result) MinRTTByIface() map[netip.Addr]float64 {
+	out := make(map[netip.Addr]float64)
+	usable := make(map[int]bool, len(r.UsableVPs))
+	for _, vp := range r.UsableVPs {
+		usable[vp.ID] = true
+	}
+	for id, ms := range r.ByVP {
+		if !usable[id] {
+			continue
+		}
+		for _, m := range ms {
+			if !m.Usable() {
+				continue
+			}
+			if cur, ok := out[m.Iface]; !ok || m.RTTMinMs < cur {
+				out[m.Iface] = m.RTTMinMs
+			}
+		}
+	}
+	return out
+}
+
+// VPRounding reports whether any usable VP that measured iface rounds
+// RTTs up; Step 3 widens the lower distance bound for such targets.
+func (r *Result) VPRounding(iface netip.Addr) bool {
+	for _, vp := range r.UsableVPs {
+		if !vp.RoundsUp {
+			continue
+		}
+		for _, m := range r.ByVP[vp.ID] {
+			if m.Iface == iface && m.Usable() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,192 @@
+// Package portal implements the web service of the paper's Section 9
+// ("Prototype and Portal"): an HTTP API publishing remote peering
+// inference snapshots per IXP, with the member-level verdicts and the
+// geographic footprint data the public portal visualises.
+package portal
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"rpeer/internal/core"
+	"rpeer/internal/exp"
+)
+
+// Server serves inference snapshots.
+type Server struct {
+	env *exp.Env
+	mux *http.ServeMux
+	// Now is injected for testability; defaults to time.Now.
+	Now func() time.Time
+}
+
+// New builds a server over an assembled experiment environment.
+func New(env *exp.Env) *Server {
+	s := &Server{env: env, mux: http.NewServeMux(), Now: time.Now}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
+	s.mux.HandleFunc("GET /api/ixps", s.handleIXPs)
+	s.mux.HandleFunc("GET /api/ixps/{name}", s.handleIXP)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, map[string]string{"status": "ok", "time": s.Now().UTC().Format(time.RFC3339)})
+}
+
+// Summary is the headline snapshot.
+type Summary struct {
+	GeneratedAt string  `json:"generated_at"`
+	IXPs        int     `json:"ixps"`
+	Interfaces  int     `json:"interfaces"`
+	Local       int     `json:"local"`
+	Remote      int     `json:"remote"`
+	Unknown     int     `json:"unknown"`
+	RemoteShare float64 `json:"remote_share"`
+}
+
+func (s *Server) summary() Summary {
+	sum := Summary{GeneratedAt: s.Now().UTC().Format(time.RFC3339)}
+	names := make(map[string]bool)
+	for _, inf := range s.env.Report.Inferences {
+		names[inf.IXP] = true
+		sum.Interfaces++
+		switch inf.Class {
+		case core.ClassLocal:
+			sum.Local++
+		case core.ClassRemote:
+			sum.Remote++
+		default:
+			sum.Unknown++
+		}
+	}
+	sum.IXPs = len(names)
+	if d := sum.Local + sum.Remote; d > 0 {
+		sum.RemoteShare = float64(sum.Remote) / float64(d)
+	}
+	return sum
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, s.summary())
+}
+
+// IXPEntry is one row of the /api/ixps listing.
+type IXPEntry struct {
+	Name        string  `json:"name"`
+	Members     int     `json:"members"`
+	Local       int     `json:"local"`
+	Remote      int     `json:"remote"`
+	Unknown     int     `json:"unknown"`
+	RemoteShare float64 `json:"remote_share"`
+	WideArea    bool    `json:"wide_area"`
+	Facilities  int     `json:"facilities"`
+}
+
+func (s *Server) ixpEntries() []IXPEntry {
+	byName := make(map[string]*IXPEntry)
+	for _, inf := range s.env.Report.Inferences {
+		e := byName[inf.IXP]
+		if e == nil {
+			e = &IXPEntry{Name: inf.IXP}
+			if ix := s.env.IXPByName(inf.IXP); ix != nil {
+				e.WideArea = ix.WideArea
+				e.Facilities = len(ix.Facilities)
+			}
+			byName[inf.IXP] = e
+		}
+		e.Members++
+		switch inf.Class {
+		case core.ClassLocal:
+			e.Local++
+		case core.ClassRemote:
+			e.Remote++
+		default:
+			e.Unknown++
+		}
+	}
+	var out []IXPEntry
+	for _, e := range byName {
+		if d := e.Local + e.Remote; d > 0 {
+			e.RemoteShare = float64(e.Remote) / float64(d)
+		}
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Members != out[j].Members {
+			return out[i].Members > out[j].Members
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func (s *Server) handleIXPs(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, s.ixpEntries())
+}
+
+// MemberVerdict is one member row of an IXP detail page.
+type MemberVerdict struct {
+	Iface    string  `json:"iface"`
+	ASN      uint32  `json:"asn"`
+	Class    string  `json:"class"`
+	Step     string  `json:"step"`
+	RTTMinMs float64 `json:"rtt_min_ms,omitempty"`
+}
+
+// IXPDetail is the /api/ixps/{name} payload.
+type IXPDetail struct {
+	IXPEntry
+	PeeringLAN string          `json:"peering_lan,omitempty"`
+	Members    []MemberVerdict `json:"member_verdicts"`
+}
+
+func (s *Server) handleIXP(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var detail IXPDetail
+	found := false
+	for _, e := range s.ixpEntries() {
+		if e.Name == name {
+			detail.IXPEntry = e
+			found = true
+			break
+		}
+	}
+	if !found {
+		http.Error(w, fmt.Sprintf("unknown IXP %q", name), http.StatusNotFound)
+		return
+	}
+	if ix := s.env.IXPByName(name); ix != nil {
+		detail.PeeringLAN = ix.PeeringLAN.String()
+	}
+	for _, inf := range s.env.Report.Inferences {
+		if inf.IXP != name {
+			continue
+		}
+		mv := MemberVerdict{
+			Iface: inf.Iface.String(), ASN: uint32(inf.ASN),
+			Class: inf.Class.String(), Step: inf.Step.String(),
+		}
+		if inf.HasRTT() {
+			mv.RTTMinMs = inf.RTTMinMs
+		}
+		detail.Members = append(detail.Members, mv)
+	}
+	sort.Slice(detail.Members, func(i, j int) bool { return detail.Members[i].Iface < detail.Members[j].Iface })
+	s.writeJSON(w, detail)
+}

@@ -1,0 +1,142 @@
+package portal
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rpeer/internal/exp"
+)
+
+var cenv *exp.Env
+
+func server(t testing.TB) *Server {
+	t.Helper()
+	if cenv == nil {
+		e, err := exp.NewEnv(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cenv = e
+	}
+	s := New(cenv)
+	s.Now = func() time.Time { return time.Date(2018, 4, 9, 12, 0, 0, 0, time.UTC) }
+	return s
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestHealthz(t *testing.T) {
+	rr := get(t, server(t), "/healthz")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("status field = %q", body["status"])
+	}
+	if body["time"] != "2018-04-09T12:00:00Z" {
+		t.Errorf("time field = %q (clock injection broken)", body["time"])
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rr := get(t, server(t), "/api/summary")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var sum Summary
+	if err := json.Unmarshal(rr.Body.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Interfaces < 5000 {
+		t.Errorf("interfaces = %d, want thousands", sum.Interfaces)
+	}
+	if sum.RemoteShare < 0.15 || sum.RemoteShare > 0.45 {
+		t.Errorf("remote share = %.3f, want ~0.28", sum.RemoteShare)
+	}
+	if sum.Local+sum.Remote+sum.Unknown != sum.Interfaces {
+		t.Error("summary counts inconsistent")
+	}
+}
+
+func TestIXPList(t *testing.T) {
+	rr := get(t, server(t), "/api/ixps")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var list []IXPEntry
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) < 30 {
+		t.Fatalf("ixps = %d", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].Members > list[i-1].Members {
+			t.Fatal("list not sorted by size")
+		}
+	}
+}
+
+func TestIXPDetail(t *testing.T) {
+	s := server(t)
+	rr := get(t, s, "/api/ixps")
+	var list []IXPEntry
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	name := list[0].Name
+	rr = get(t, s, "/api/ixps/"+name)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rr.Code, rr.Body.String())
+	}
+	var detail IXPDetail
+	if err := json.Unmarshal(rr.Body.Bytes(), &detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.Name != name || len(detail.Members) != detail.IXPEntry.Members {
+		t.Errorf("detail inconsistent: %s members=%d rows=%d", detail.Name, detail.IXPEntry.Members, len(detail.Members))
+	}
+	if detail.PeeringLAN == "" {
+		t.Error("missing peering LAN")
+	}
+	seen := map[string]bool{}
+	for _, m := range detail.Members {
+		if m.Class != "local" && m.Class != "remote" && m.Class != "unknown" {
+			t.Fatalf("bad class %q", m.Class)
+		}
+		if seen[m.Iface] {
+			t.Fatalf("duplicate iface %s", m.Iface)
+		}
+		seen[m.Iface] = true
+	}
+}
+
+func TestIXPNotFound(t *testing.T) {
+	rr := get(t, server(t), "/api/ixps/Nowhere-IX")
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rr.Code)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := server(t)
+	req := httptest.NewRequest(http.MethodPost, "/api/summary", nil)
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", rr.Code)
+	}
+}

@@ -1,0 +1,152 @@
+package registry
+
+import (
+	"math/rand"
+	"sort"
+
+	"rpeer/internal/netsim"
+)
+
+// ColoDB is the PDB/Inflect-style colocation database (Section 3.4):
+// which facilities each AS and each IXP is present at. Like its
+// real-world counterpart it is incomplete (ASes missing entirely,
+// facilities missing from records) and noisy (spurious presence, most
+// notoriously remote peers listing their port reseller's facility).
+type ColoDB struct {
+	// ASFacilities maps an AS to its recorded facilities. ASes absent
+	// from the map have no colocation data at all.
+	ASFacilities map[netsim.ASN][]netsim.FacilityID
+	// IXPFacilities maps an IXP name to its recorded switch facilities.
+	IXPFacilities map[string][]netsim.FacilityID
+}
+
+// ColoNoise controls colocation-data degradation, with defaults chosen
+// to reproduce Fig 5: ~18% of remote peers without any data, ~5%
+// showing one spurious IXP facility, locals essentially complete.
+type ColoNoise struct {
+	// MissingAS is the probability an AS has no colocation record.
+	MissingAS float64
+	// MissingASRemoteOnly is the extra missing probability for ASes
+	// with no local membership anywhere (pure remotes are the ones that
+	// never bothered filling PDB in).
+	MissingASRemoteOnly float64
+	// DropFacility is the per-facility omission probability inside a
+	// record.
+	DropFacility float64
+	// ResellerArtifact is the probability a reseller customer lists the
+	// reseller's POP facility as its own.
+	ResellerArtifact float64
+	// SpuriousFacility is the probability of one random bogus facility
+	// in a record.
+	SpuriousFacility float64
+	// MissingIXPFacility is the per-facility omission probability for
+	// IXP records (websites backfill most of these; Section 3.4).
+	MissingIXPFacility float64
+}
+
+// DefaultColoNoise returns the Fig 5-calibrated noise rates.
+func DefaultColoNoise() ColoNoise {
+	return ColoNoise{
+		MissingAS:           0.06,
+		MissingASRemoteOnly: 0.16,
+		DropFacility:        0.04,
+		ResellerArtifact:    0.05,
+		SpuriousFacility:    0.02,
+		MissingIXPFacility:  0.02,
+	}
+}
+
+// BuildColo projects the world's ground-truth colocation data into a
+// noisy ColoDB.
+func BuildColo(w *netsim.World, n ColoNoise, seed int64) *ColoDB {
+	rng := rand.New(rand.NewSource(seed))
+	db := &ColoDB{
+		ASFacilities:  make(map[netsim.ASN][]netsim.FacilityID),
+		IXPFacilities: make(map[string][]netsim.FacilityID),
+	}
+	for _, ix := range w.IXPs {
+		var facs []netsim.FacilityID
+		for _, f := range ix.Facilities {
+			if rng.Float64() >= n.MissingIXPFacility {
+				facs = append(facs, f)
+			}
+		}
+		if len(facs) == 0 && len(ix.Facilities) > 0 {
+			facs = append(facs, ix.Facilities[0])
+		}
+		db.IXPFacilities[ix.Name] = facs
+	}
+
+	for _, asn := range w.ASNs {
+		as := w.AS(asn)
+		miss := n.MissingAS
+		hasLocal := false
+		var resellers []netsim.ASN
+		for _, m := range w.MembershipsOf(asn) {
+			if m.Kind == netsim.ConnLocal {
+				hasLocal = true
+			}
+			if m.Kind == netsim.ConnReseller && m.Reseller != 0 {
+				resellers = append(resellers, m.Reseller)
+			}
+		}
+		if !hasLocal && len(w.MembershipsOf(asn)) > 0 {
+			miss += n.MissingASRemoteOnly
+		}
+		if rng.Float64() < miss {
+			continue // AS entirely absent from PDB
+		}
+		var rec []netsim.FacilityID
+		for _, f := range as.Facilities {
+			if rng.Float64() >= n.DropFacility {
+				rec = append(rec, f)
+			}
+		}
+		// Reseller artefact: list the reseller's POP facility.
+		if len(resellers) > 0 && rng.Float64() < n.ResellerArtifact {
+			r := w.AS(resellers[rng.Intn(len(resellers))])
+			if r != nil && len(r.ResellerPOPs) > 0 {
+				rec = appendUniqueFac(rec, r.ResellerPOPs[rng.Intn(len(r.ResellerPOPs))])
+			}
+		}
+		if rng.Float64() < n.SpuriousFacility && len(w.Facilities) > 0 {
+			rec = appendUniqueFac(rec, w.Facilities[rng.Intn(len(w.Facilities))].ID)
+		}
+		if len(rec) == 0 && len(as.Facilities) == 0 {
+			// ASes with no ground-truth presence legitimately appear
+			// with an empty record only if they registered at all.
+			if rng.Float64() < 0.5 {
+				continue
+			}
+		}
+		sort.Slice(rec, func(i, j int) bool { return rec[i] < rec[j] })
+		db.ASFacilities[asn] = rec
+	}
+	return db
+}
+
+func appendUniqueFac(s []netsim.FacilityID, f netsim.FacilityID) []netsim.FacilityID {
+	for _, x := range s {
+		if x == f {
+			return s
+		}
+	}
+	return append(s, f)
+}
+
+// Facilities returns the AS's recorded facilities and whether the AS
+// has any colocation data at all.
+func (db *ColoDB) Facilities(asn netsim.ASN) ([]netsim.FacilityID, bool) {
+	rec, ok := db.ASFacilities[asn]
+	return rec, ok
+}
+
+// CommonWithIXP returns the facilities the AS record shares with the
+// IXP record, and whether the AS has any colocation data at all.
+func (db *ColoDB) CommonWithIXP(asn netsim.ASN, ixp string) (common []netsim.FacilityID, hasData bool) {
+	rec, ok := db.ASFacilities[asn]
+	if !ok {
+		return nil, false
+	}
+	return netsim.CommonFacilities(rec, db.IXPFacilities[ixp]), true
+}

@@ -1,0 +1,59 @@
+package registry
+
+import (
+	"net/netip"
+	"sort"
+
+	"rpeer/internal/netsim"
+)
+
+// IPMap performs longest-prefix IP-to-AS mapping, the analogue of the
+// CAIDA Routeviews prefix2as dataset the paper uses for traceroute
+// interpretation (Section 5.2, Step 5).
+type IPMap struct {
+	entries []ipMapEntry
+}
+
+type ipMapEntry struct {
+	prefix netip.Prefix
+	asn    netsim.ASN
+}
+
+// BuildIPMap compiles the map from the world's per-AS infrastructure
+// prefixes. IXP peering LANs are deliberately not included: those
+// addresses belong to the IXP's address space, not to member ASes.
+func BuildIPMap(w *netsim.World) *IPMap {
+	m := &IPMap{}
+	for _, asn := range w.ASNs {
+		for _, p := range w.ASPrefixes(asn) {
+			m.entries = append(m.entries, ipMapEntry{p, asn})
+		}
+	}
+	sort.Slice(m.entries, func(i, j int) bool {
+		a, b := m.entries[i].prefix, m.entries[j].prefix
+		if a.Addr() != b.Addr() {
+			return a.Addr().Less(b.Addr())
+		}
+		return a.Bits() < b.Bits()
+	})
+	return m
+}
+
+// ASOf returns the AS originating the longest matching prefix for ip.
+func (m *IPMap) ASOf(ip netip.Addr) (netsim.ASN, bool) {
+	// The world's infrastructure prefixes never overlap, so the first
+	// containing prefix is the answer. Binary search for the last entry
+	// whose base address is <= ip, then check containment.
+	i := sort.Search(len(m.entries), func(i int) bool {
+		return ip.Less(m.entries[i].prefix.Addr())
+	})
+	for j := i - 1; j >= 0 && j >= i-2; j-- {
+		if m.entries[j].prefix.Contains(ip) {
+			return m.entries[j].asn, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of mapped prefixes.
+func (m *IPMap) Len() int { return len(m.entries) }

@@ -1,0 +1,303 @@
+// Package registry models the IXP-related data sources the paper
+// combines (Section 3.2): IXP websites (Euro-IX style machine-readable
+// exports), Hurricane Electric, PeeringDB and Packet Clearing House,
+// plus the PDB/Inflect colocation-facility database (Section 3.4).
+//
+// Each source is a noisy, incomplete projection of the ground truth in
+// a netsim.World; Merge resolves conflicts with the paper's preference
+// ordering (Websites > HE > PDB > PCH) and reports the per-source
+// contribution and conflict statistics of Table 1.
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"rpeer/internal/netsim"
+)
+
+// Source identifies an IXP data source.
+type Source int
+
+// Sources in decreasing trust order (the paper's conflict-resolution
+// preference).
+const (
+	SrcWebsite Source = iota
+	SrcHE
+	SrcPDB
+	SrcPCH
+	numSources
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SrcWebsite:
+		return "Websites"
+	case SrcHE:
+		return "HE"
+	case SrcPDB:
+		return "PDB"
+	case SrcPCH:
+		return "PCH"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// PrefixRecord maps an IXP peering-LAN prefix to an IXP name.
+type PrefixRecord struct {
+	Prefix netip.Prefix
+	IXP    string
+}
+
+// InterfaceRecord maps a peering-LAN address to the member AS holding
+// it, within the named IXP.
+type InterfaceRecord struct {
+	IP  netip.Addr
+	ASN netsim.ASN
+	IXP string
+}
+
+// PortRecord reports the port capacity of a member at an IXP.
+type PortRecord struct {
+	IXP      string
+	ASN      netsim.ASN
+	PortMbps int
+}
+
+// Snapshot is one source's view of the IXP ecosystem.
+type Snapshot struct {
+	Source     Source
+	Prefixes   []PrefixRecord
+	Interfaces []InterfaceRecord
+	Ports      []PortRecord
+	// MinPortMbps is the minimum physical port capacity from the IXP's
+	// pricing page (websites only).
+	MinPortMbps map[string]int
+}
+
+// NoiseConfig controls how lossy each synthesized source is. All rates
+// are probabilities in [0, 1].
+type NoiseConfig struct {
+	// Coverage is the probability that a ground-truth record appears in
+	// the source at all.
+	Coverage map[Source]float64
+	// WrongASN is the probability that an interface record carries a
+	// wrong AS (Table 1 conflict rates are a fraction of a percent).
+	WrongASN map[Source]float64
+	// PortCoverage and StalePort control port-capacity records: Website
+	// data is authoritative; PDB entries may be missing or stale.
+	PortCoverage map[Source]float64
+	StalePort    map[Source]float64
+	// WebsiteIXPFrac is the fraction of IXPs that publish
+	// machine-readable member lists on their website.
+	WebsiteIXPFrac float64
+}
+
+// DefaultNoise mirrors the orders of magnitude observed in Table 1:
+// HE covers nearly everything, PDB most, PCH a fifth, and conflicting
+// entries stay in the 0.1-0.4% range.
+func DefaultNoise() NoiseConfig {
+	return NoiseConfig{
+		Coverage: map[Source]float64{
+			SrcWebsite: 1.0, // for IXPs that publish at all
+			SrcHE:      0.94,
+			SrcPDB:     0.78,
+			SrcPCH:     0.20,
+		},
+		WrongASN: map[Source]float64{
+			SrcWebsite: 0.0005,
+			SrcHE:      0.0027,
+			SrcPDB:     0.0028,
+			SrcPCH:     0.0037,
+		},
+		PortCoverage: map[Source]float64{
+			SrcWebsite: 0.97,
+			SrcPDB:     0.80,
+		},
+		StalePort: map[Source]float64{
+			SrcWebsite: 0.005,
+			SrcPDB:     0.03,
+		},
+		WebsiteIXPFrac: 0.70,
+	}
+}
+
+// BuildSnapshot projects the world into one source's snapshot.
+// Randomness is drawn from rng, so snapshots are reproducible given a
+// seeded generator.
+func BuildSnapshot(w *netsim.World, src Source, n NoiseConfig, rng *rand.Rand) *Snapshot {
+	s := &Snapshot{Source: src, MinPortMbps: make(map[string]int)}
+	cov := n.Coverage[src]
+	wrong := n.WrongASN[src]
+	portCov := n.PortCoverage[src]
+	stale := n.StalePort[src]
+
+	for _, ix := range w.IXPs {
+		published := true
+		if src == SrcWebsite {
+			published = ix.ID < 10 || rng.Float64() < n.WebsiteIXPFrac
+		}
+		if !published {
+			continue
+		}
+		if rng.Float64() < cov {
+			s.Prefixes = append(s.Prefixes, PrefixRecord{Prefix: ix.PeeringLAN, IXP: ix.Name})
+		}
+		if src == SrcWebsite {
+			s.MinPortMbps[ix.Name] = ix.MinPortMbps
+		}
+		for _, m := range w.MembersOf(ix.ID) {
+			if rng.Float64() >= cov {
+				continue
+			}
+			asn := m.ASN
+			if rng.Float64() < wrong {
+				// Conflicting entry: attribute the interface to a random
+				// other member of the same IXP (the typical real-world
+				// artefact: stale reassignment).
+				others := w.MembersOf(ix.ID)
+				asn = others[rng.Intn(len(others))].ASN
+			}
+			s.Interfaces = append(s.Interfaces, InterfaceRecord{IP: m.Iface, ASN: asn, IXP: ix.Name})
+			if portCov > 0 && rng.Float64() < portCov {
+				p := m.PortMbps
+				if rng.Float64() < stale {
+					// Stale record: report the IXP's base physical port
+					// instead of the member's true capacity.
+					p = ix.MinPortMbps
+				}
+				s.Ports = append(s.Ports, PortRecord{IXP: ix.Name, ASN: m.ASN, PortMbps: p})
+			}
+		}
+	}
+	return s
+}
+
+// SourceStats summarises one source's contribution to the merged
+// dataset (one row of Table 1).
+type SourceStats struct {
+	Source             Source
+	Prefixes           int // total prefixes contributed
+	UniquePrefixes     int // prefixes no higher-preference source had
+	ConflictPrefixes   int // prefixes disagreeing with a higher source
+	Interfaces         int
+	UniqueInterfaces   int
+	ConflictInterfaces int
+}
+
+// Dataset is the merged, conflict-resolved IXP dataset the inference
+// pipeline consumes.
+type Dataset struct {
+	// PrefixIXP maps each peering-LAN prefix to the IXP name.
+	PrefixIXP map[netip.Prefix]string
+	// IfaceASN maps each known IXP interface to its member AS.
+	IfaceASN map[netip.Addr]netsim.ASN
+	// IfaceIXP maps each known IXP interface to the IXP name.
+	IfaceIXP map[netip.Addr]string
+	// Ports maps (IXP name, ASN) to the reported port capacity.
+	Ports map[PortKey]int
+	// MinPort maps IXP name to the advertised minimum physical port
+	// capacity (absent for IXPs without website pricing data).
+	MinPort map[string]int
+	// Stats holds the per-source Table 1 rows, in preference order.
+	Stats []SourceStats
+}
+
+// PortKey identifies one membership in the Ports map.
+type PortKey struct {
+	IXP string
+	ASN netsim.ASN
+}
+
+// Merge combines snapshots with the preference ordering
+// Websites > HE > PDB > PCH, counting per-source contributions and
+// conflicts (Table 1).
+func Merge(snaps []*Snapshot) *Dataset {
+	d := &Dataset{
+		PrefixIXP: make(map[netip.Prefix]string),
+		IfaceASN:  make(map[netip.Addr]netsim.ASN),
+		IfaceIXP:  make(map[netip.Addr]string),
+		Ports:     make(map[PortKey]int),
+		MinPort:   make(map[string]int),
+	}
+	ordered := append([]*Snapshot(nil), snaps...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Source < ordered[j].Source })
+
+	for _, s := range ordered {
+		st := SourceStats{Source: s.Source}
+		for _, p := range s.Prefixes {
+			st.Prefixes++
+			if prev, ok := d.PrefixIXP[p.Prefix]; ok {
+				if prev != p.IXP {
+					st.ConflictPrefixes++
+				}
+				continue // higher-preference source wins
+			}
+			st.UniquePrefixes++
+			d.PrefixIXP[p.Prefix] = p.IXP
+		}
+		for _, r := range s.Interfaces {
+			st.Interfaces++
+			if prev, ok := d.IfaceASN[r.IP]; ok {
+				if prev != r.ASN {
+					st.ConflictInterfaces++
+				}
+				continue
+			}
+			st.UniqueInterfaces++
+			d.IfaceASN[r.IP] = r.ASN
+			d.IfaceIXP[r.IP] = r.IXP
+		}
+		for _, p := range s.Ports {
+			k := PortKey{p.IXP, p.ASN}
+			if _, ok := d.Ports[k]; !ok {
+				d.Ports[k] = p.PortMbps
+			}
+		}
+		for name, min := range s.MinPortMbps {
+			if _, ok := d.MinPort[name]; !ok {
+				d.MinPort[name] = min
+			}
+		}
+		d.Stats = append(d.Stats, st)
+	}
+	return d
+}
+
+// IXPOf returns the IXP name whose peering LAN contains ip, if any.
+func (d *Dataset) IXPOf(ip netip.Addr) (string, bool) {
+	for p, name := range d.PrefixIXP {
+		if p.Contains(ip) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// MembersOf returns the interface records of one IXP, sorted by
+// address for determinism.
+func (d *Dataset) MembersOf(ixp string) []InterfaceRecord {
+	var out []InterfaceRecord
+	for ip, name := range d.IfaceIXP {
+		if name == ixp {
+			out = append(out, InterfaceRecord{IP: ip, ASN: d.IfaceASN[ip], IXP: name})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP.Less(out[j].IP) })
+	return out
+}
+
+// Build generates all four source snapshots from the world and merges
+// them. It is the one-call entry point used by the experiments.
+func Build(w *netsim.World, n NoiseConfig, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var snaps []*Snapshot
+	for s := SrcWebsite; s < numSources; s++ {
+		snaps = append(snaps, BuildSnapshot(w, s, n, rng))
+	}
+	return Merge(snaps)
+}

@@ -1,0 +1,208 @@
+// Package report provides the presentation-layer helpers shared by the
+// experiment harness: empirical CDFs, histograms, percentiles, and
+// fixed-width ASCII tables matching the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ECDF is an empirical cumulative distribution function over float64
+// samples.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts the samples. NaNs are dropped.
+func NewECDF(samples []float64) *ECDF {
+	s := make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if !math.IsNaN(v) {
+			s = append(s, v)
+		}
+	}
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the number of samples.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile (q in [0,1]).
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(q * float64(len(e.sorted)-1))
+	return e.sorted[i]
+}
+
+// Median is the 0.5 quantile.
+func (e *ECDF) Median() float64 { return e.Quantile(0.5) }
+
+// Histogram buckets samples into labelled bins.
+type Histogram struct {
+	Labels []string
+	Counts []int
+	Total  int
+}
+
+// NewHistogram buckets each sample into the first bin whose upper
+// bound is >= the sample (bounds ascending; +Inf as last catches all).
+func NewHistogram(samples []float64, bounds []float64, labels []string) *Histogram {
+	h := &Histogram{Labels: labels, Counts: make([]int, len(bounds))}
+	for _, v := range samples {
+		if math.IsNaN(v) {
+			continue
+		}
+		for i, b := range bounds {
+			if v <= b {
+				h.Counts[i]++
+				h.Total++
+				break
+			}
+		}
+	}
+	return h
+}
+
+// Frac returns the fraction of samples in bin i.
+func (h *Histogram) Frac(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// Table renders fixed-width ASCII tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(t.Headers)
+	fmt.Fprintf(w, "|-%s-|\n", strings.Join(sep, "-|-"))
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// sparkRunes are the eight block heights used by Sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a compact unicode trend line of the values, useful
+// for longitudinal series in terminal reports. NaNs render as spaces;
+// a flat series renders at half height.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, 0, len(values))
+	for _, v := range values {
+		switch {
+		case math.IsNaN(v):
+			out = append(out, ' ')
+		case hi == lo:
+			out = append(out, sparkRunes[len(sparkRunes)/2])
+		default:
+			i := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			out = append(out, sparkRunes[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,153 @@
+package report
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFDropsNaN(t *testing.T) {
+	e := NewECDF([]float64{1, math.NaN(), 2})
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if got := e.At(5); got != 0 {
+		t.Errorf("At on empty = %v", got)
+	}
+	if !math.IsNaN(e.Quantile(0.5)) {
+		t.Error("Quantile on empty should be NaN")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		clean := make([]float64, 0, len(samples))
+		for _, v := range samples {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		e := NewECDF(clean)
+		if a > b {
+			a, b = b, a
+		}
+		return e.At(a) <= e.At(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileOrderProperty(t *testing.T) {
+	f := func(samples []float64) bool {
+		clean := make([]float64, 0, len(samples))
+		for _, v := range samples {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		e := NewECDF(clean)
+		qs := []float64{0, 0.25, 0.5, 0.75, 1}
+		vals := make([]float64, len(qs))
+		for i, q := range qs {
+			vals[i] = e.Quantile(q)
+		}
+		return sort.Float64sAreSorted(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(
+		[]float64{100, 200, 500, 1000, 1000, 10000, 100000},
+		[]float64{500, 1000, 10000, math.Inf(1)},
+		[]string{"<=FE5", "1GE", "10GE", "100GE+"},
+	)
+	if h.Total != 7 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	wants := []int{3, 2, 1, 1}
+	for i, w := range wants {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if got := h.Frac(0); math.Abs(got-3.0/7) > 1e-9 {
+		t.Errorf("Frac(0) = %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Table X", "IXP", "ACC")
+	tab.AddRow("Amsterdam-IX", 0.956)
+	tab.AddRow("Frankfurt-IX", 0.91)
+	out := tab.String()
+	if !strings.Contains(out, "Table X") || !strings.Contains(out, "Amsterdam-IX") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "0.96") {
+		t.Errorf("float formatting broken:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.283); got != "28.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if runes := []rune(s); len(runes) != 8 {
+		t.Fatalf("sparkline length = %d, want 8", len(runes))
+	}
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Errorf("monotone sparkline = %q", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▅' {
+			t.Errorf("flat sparkline = %q, want mid-height blocks", flat)
+		}
+	}
+	withNaN := []rune(Sparkline([]float64{1, math.NaN(), 2}))
+	if withNaN[1] != ' ' {
+		t.Errorf("NaN should render as space: %q", string(withNaN))
+	}
+}

@@ -1,0 +1,177 @@
+// Package resilience quantifies the failure-propagation implications
+// of remote peering discussed in the paper's Sections 2 and 7: reseller
+// customers share fractions of one physical IXP port, and remote
+// members reach many IXPs over a single router, so one port or router
+// failure can take down interconnections for networks hundreds or
+// thousands of kilometres away — neither traffic nor outages "stay
+// local".
+package resilience
+
+import (
+	"math"
+	"sort"
+
+	"rpeer/internal/geo"
+	"rpeer/internal/netsim"
+)
+
+// PortGroup is one reseller's shared physical port at one IXP: the set
+// of customer memberships multiplexed onto it.
+type PortGroup struct {
+	Reseller netsim.ASN
+	IXP      netsim.IXPID
+	// Members are the customer memberships sharing the port.
+	Members []*netsim.Member
+	// MaxKm is the maximum distance between the IXP and any affected
+	// member router: how far the outage propagates.
+	MaxKm float64
+}
+
+// RouterGroup is one multi-IXP router and the memberships that die
+// with it.
+type RouterGroup struct {
+	Router  netsim.RouterID
+	Owner   netsim.ASN
+	IXPs    []netsim.IXPID
+	Members []*netsim.Member
+}
+
+// Analysis is the resilience report for one world.
+type Analysis struct {
+	// SharedPorts lists reseller port groups with at least two
+	// customers (the single-port failure domain of Section 2).
+	SharedPorts []PortGroup
+	// MultiIXPRouters lists routers whose failure severs memberships
+	// at two or more exchanges.
+	MultiIXPRouters []RouterGroup
+}
+
+// Analyze computes the failure domains of the world's ground truth.
+// (This is an oracle-side analysis, like the paper's discussion: it
+// reasons about what an operator with full knowledge would see; the
+// inference pipeline is what approximates this knowledge in practice.)
+func Analyze(w *netsim.World) *Analysis {
+	a := &Analysis{}
+
+	// Reseller shared ports: group reseller memberships per
+	// (reseller, IXP).
+	type pk struct {
+		r  netsim.ASN
+		ix netsim.IXPID
+	}
+	ports := make(map[pk][]*netsim.Member)
+	for _, m := range w.Members {
+		if m.Kind == netsim.ConnReseller && m.Reseller != 0 {
+			k := pk{m.Reseller, m.IXP}
+			ports[k] = append(ports[k], m)
+		}
+	}
+	var keys []pk
+	for k := range ports {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].r != keys[j].r {
+			return keys[i].r < keys[j].r
+		}
+		return keys[i].ix < keys[j].ix
+	})
+	for _, k := range keys {
+		ms := ports[k]
+		if len(ms) < 2 {
+			continue
+		}
+		g := PortGroup{Reseller: k.r, IXP: k.ix, Members: ms}
+		ixLocs := w.FacilityLocs(k.ix)
+		for _, m := range ms {
+			r := w.Router(m.Router)
+			if r == nil {
+				continue
+			}
+			d := math.Inf(1)
+			for _, loc := range ixLocs {
+				if dd := geo.DistanceKm(r.Loc, loc); dd < d {
+					d = dd
+				}
+			}
+			if !math.IsInf(d, 1) && d > g.MaxKm {
+				g.MaxKm = d
+			}
+		}
+		a.SharedPorts = append(a.SharedPorts, g)
+	}
+
+	// Multi-IXP routers: memberships per router.
+	byRouter := make(map[netsim.RouterID][]*netsim.Member)
+	for _, m := range w.Members {
+		byRouter[m.Router] = append(byRouter[m.Router], m)
+	}
+	for _, id := range w.RouterIDs {
+		ms := byRouter[id]
+		ixps := make(map[netsim.IXPID]bool)
+		for _, m := range ms {
+			ixps[m.IXP] = true
+		}
+		if len(ixps) < 2 {
+			continue
+		}
+		r := w.Router(id)
+		var ids []netsim.IXPID
+		for ix := range ixps {
+			ids = append(ids, ix)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		a.MultiIXPRouters = append(a.MultiIXPRouters, RouterGroup{
+			Router: id, Owner: r.Owner, IXPs: ids, Members: ms,
+		})
+	}
+	return a
+}
+
+// Summary condenses an analysis into the headline resilience numbers.
+type Summary struct {
+	// SharedPorts is the number of reseller ports with >= 2 customers.
+	SharedPorts int
+	// MaxCustomersPerPort is the largest single-port failure domain.
+	MaxCustomersPerPort int
+	// MeanCustomersPerPort is the mean failure-domain size.
+	MeanCustomersPerPort float64
+	// PortsReachingOver500Km counts ports whose failure affects a
+	// member more than 500 km away.
+	PortsReachingOver500Km int
+	// MultiIXPRouters is the number of single-router multi-exchange
+	// failure domains.
+	MultiIXPRouters int
+	// MaxIXPsPerRouter is the largest per-router exchange count.
+	MaxIXPsPerRouter int
+	// MembershipsBehindMultiIXPRouters counts memberships that share a
+	// router with at least one other exchange.
+	MembershipsBehindMultiIXPRouters int
+}
+
+// Summarize derives the Summary from an Analysis.
+func (a *Analysis) Summarize() Summary {
+	var s Summary
+	s.SharedPorts = len(a.SharedPorts)
+	tot := 0
+	for _, g := range a.SharedPorts {
+		tot += len(g.Members)
+		if len(g.Members) > s.MaxCustomersPerPort {
+			s.MaxCustomersPerPort = len(g.Members)
+		}
+		if g.MaxKm > 500 {
+			s.PortsReachingOver500Km++
+		}
+	}
+	if s.SharedPorts > 0 {
+		s.MeanCustomersPerPort = float64(tot) / float64(s.SharedPorts)
+	}
+	s.MultiIXPRouters = len(a.MultiIXPRouters)
+	for _, g := range a.MultiIXPRouters {
+		if len(g.IXPs) > s.MaxIXPsPerRouter {
+			s.MaxIXPsPerRouter = len(g.IXPs)
+		}
+		s.MembershipsBehindMultiIXPRouters += len(g.Members)
+	}
+	return s
+}

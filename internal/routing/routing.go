@@ -1,0 +1,216 @@
+// Package routing reproduces the Section 6.4 analysis of remote
+// peering's interplay with Internet routing: for every remote member
+// of a large flagship IXP and every other member it shares a second
+// exchange with, which interconnection does the traffic actually
+// cross, and is that the latency-optimal (hot-potato) choice?
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"rpeer/internal/geo"
+	"rpeer/internal/netsim"
+)
+
+// Outcome classifies one {remote member, peer} pair (paper buckets:
+// 66% / 18% / 16%).
+type Outcome uint8
+
+const (
+	// HotPotato: traffic exits at the common IXP closest to the remote
+	// member — the expected strategy.
+	HotPotato Outcome = iota
+	// FartherRP: traffic crosses the remote-peering link at the
+	// flagship although another common IXP is closer to the member.
+	FartherRP
+	// CloserRPUnused: traffic crosses another exchange although the
+	// flagship's remote-peering link is the closer option.
+	CloserRPUnused
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case HotPotato:
+		return "hot-potato"
+	case FartherRP:
+		return "farther-RP-used"
+	default:
+		return "closer-RP-unused"
+	}
+}
+
+// Config parametrises the simulated routing policies.
+type Config struct {
+	Seed int64
+	// PolicyCompliance is the probability that a member's BGP policy
+	// actually implements the hot-potato exit; the remainder picks the
+	// other candidate for opaque business reasons.
+	PolicyCompliance float64
+	// MaxPairs caps the analysed pairs (the paper probes ~245k pairs
+	// with at most 5 Atlas probes per source AS).
+	MaxPairs int
+}
+
+// DefaultConfig mirrors the observed compliance level.
+func DefaultConfig() Config {
+	return Config{Seed: 1, PolicyCompliance: 0.66, MaxPairs: 250000}
+}
+
+// Pair is one analysed {remote member, other member} combination.
+type Pair struct {
+	RemoteASN netsim.ASN
+	OtherASN  netsim.ASN
+	// ViaIXP is the exchange the simulated traceroute crossed.
+	ViaIXP netsim.IXPID
+	// ClosestIXP is the hot-potato-optimal candidate.
+	ClosestIXP netsim.IXPID
+	// DeltaKm is how much closer the optimal exit is than the chosen
+	// one (0 for compliant pairs).
+	DeltaKm float64
+	Outcome Outcome
+}
+
+// Analysis aggregates the Section 6.4 numbers.
+type Analysis struct {
+	Flagship  netsim.IXPID
+	Pairs     []Pair
+	HotPotato int
+	FartherRP int
+	CloserRP  int
+}
+
+// Fractions returns the outcome shares.
+func (a *Analysis) Fractions() (hot, farther, closer float64) {
+	n := float64(len(a.Pairs))
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(a.HotPotato) / n, float64(a.FartherRP) / n, float64(a.CloserRP) / n
+}
+
+// Analyze runs the study against the flagship IXP for the given set of
+// (inferred) remote member ASNs.
+func Analyze(w *netsim.World, flagship netsim.IXPID, remoteASNs []netsim.ASN, cfg Config) *Analysis {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := &Analysis{Flagship: flagship}
+
+	remoteSet := make(map[netsim.ASN]bool, len(remoteASNs))
+	for _, asn := range remoteASNs {
+		remoteSet[asn] = true
+	}
+	members := w.MembersOf(flagship)
+	// Index: AS -> set of IXPs it belongs to.
+	ixpsOf := make(map[netsim.ASN]map[netsim.IXPID]bool)
+	for _, asn := range w.ASNs {
+		set := make(map[netsim.IXPID]bool)
+		for _, m := range w.MembershipsOf(asn) {
+			set[m.IXP] = true
+		}
+		ixpsOf[asn] = set
+	}
+
+	sortedMembers := append([]*netsim.Member(nil), members...)
+	sort.Slice(sortedMembers, func(i, j int) bool { return sortedMembers[i].ASN < sortedMembers[j].ASN })
+
+	for _, mr := range sortedMembers {
+		if !remoteSet[mr.ASN] {
+			continue
+		}
+		rLoc := w.Router(mr.Router).Loc
+		for _, mx := range sortedMembers {
+			if mx.ASN == mr.ASN {
+				continue
+			}
+			if len(a.Pairs) >= cfg.MaxPairs {
+				return finish(a)
+			}
+			// Closest other common IXP (besides the flagship).
+			other, otherD, ok := closestCommonIXP(w, ixpsOf, mr.ASN, mx.ASN, flagship, rLoc)
+			if !ok {
+				continue
+			}
+			flagD := distToIXP(w, flagship, rLoc)
+			closest, closestD := flagship, flagD
+			if otherD < flagD {
+				closest, closestD = other, otherD
+			}
+			if math.Abs(otherD-flagD) < 1 {
+				// Indistinguishable exits (sub-km difference): any
+				// choice is latency-optimal; skip the pair like the
+				// paper's analysis skips ambiguous crossings.
+				continue
+			}
+			// Policy: hot-potato with probability PolicyCompliance,
+			// otherwise the member's BGP preferences pick the other
+			// candidate.
+			chosen := closest
+			if rng.Float64() >= cfg.PolicyCompliance {
+				if closest == flagship {
+					chosen = other
+				} else {
+					chosen = flagship
+				}
+			}
+			p := Pair{
+				RemoteASN: mr.ASN, OtherASN: mx.ASN,
+				ViaIXP: chosen, ClosestIXP: closest,
+			}
+			switch {
+			case chosen == closest:
+				p.Outcome = HotPotato
+			case chosen == flagship:
+				p.Outcome = FartherRP
+				p.DeltaKm = flagD - closestD
+			default:
+				p.Outcome = CloserRPUnused
+				p.DeltaKm = otherD - closestD
+			}
+			a.Pairs = append(a.Pairs, p)
+		}
+	}
+	return finish(a)
+}
+
+func finish(a *Analysis) *Analysis {
+	for _, p := range a.Pairs {
+		switch p.Outcome {
+		case HotPotato:
+			a.HotPotato++
+		case FartherRP:
+			a.FartherRP++
+		default:
+			a.CloserRP++
+		}
+	}
+	return a
+}
+
+// closestCommonIXP finds the common IXP (excluding the flagship) whose
+// nearest facility is closest to the member location.
+func closestCommonIXP(w *netsim.World, ixpsOf map[netsim.ASN]map[netsim.IXPID]bool, a, b netsim.ASN, flagship netsim.IXPID, loc geo.Point) (netsim.IXPID, float64, bool) {
+	best := netsim.IXPID(-1)
+	bestD := math.Inf(1)
+	for ix := range ixpsOf[a] {
+		if ix == flagship || !ixpsOf[b][ix] {
+			continue
+		}
+		if d := distToIXP(w, ix, loc); d < bestD {
+			best, bestD = ix, d
+		}
+	}
+	return best, bestD, best >= 0
+}
+
+// distToIXP is the distance from loc to the IXP's nearest facility.
+func distToIXP(w *netsim.World, ix netsim.IXPID, loc geo.Point) float64 {
+	best := math.Inf(1)
+	for _, p := range w.FacilityLocs(ix) {
+		if d := geo.DistanceKm(loc, p); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,240 @@
+// Package tracesim synthesizes the traceroute corpus the methodology
+// mines (Section 3.1: 3.15B RIPE Atlas paths; here a seeded, targeted
+// corpus with the same structural features): paths crossing IXP
+// peering LANs, paths over private facility interconnections, transit
+// lead-ins, unresponsive hops and per-hop RTTs from globally
+// distributed probes.
+package tracesim
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"rpeer/internal/geo"
+	"rpeer/internal/netsim"
+	"rpeer/internal/traix"
+)
+
+// Config controls corpus generation.
+type Config struct {
+	Seed int64
+	// PathsPerMembership is how many crossing paths enter each IXP
+	// through each membership (the membership acting as near member).
+	PathsPerMembership int
+	// PrivatePathProb is the probability that a private link is
+	// traversed by a path (per direction).
+	PrivatePathProb float64
+	// LeadInProb adds transit hops in front of a path.
+	LeadInProb float64
+	// StarProb replaces a hop with an unresponsive "*".
+	StarProb float64
+}
+
+// DefaultConfig returns the corpus parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		PathsPerMembership: 3,
+		PrivatePathProb:    0.9,
+		LeadInProb:         0.5,
+		StarProb:           0.02,
+	}
+}
+
+// Generate builds the corpus. The output is deterministic for a given
+// world and config.
+func Generate(w *netsim.World, cfg Config) []*traix.Path {
+	g := &pathGen{w: w, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	var paths []*traix.Path
+
+	// Crossing paths: each membership acts as the near member entering
+	// its IXP towards randomly chosen far members.
+	for _, ix := range w.IXPs {
+		members := w.MembersOf(ix.ID)
+		if len(members) < 2 {
+			continue
+		}
+		for _, near := range members {
+			for k := 0; k < cfg.PathsPerMembership; k++ {
+				far := members[g.rng.Intn(len(members))]
+				if far == near {
+					continue
+				}
+				if p := g.crossingPath(near, far); p != nil {
+					paths = append(paths, p)
+				}
+			}
+		}
+	}
+
+	// Private-interconnect paths, both directions.
+	for i := range w.Private {
+		pl := &w.Private[i]
+		if g.rng.Float64() < cfg.PrivatePathProb {
+			if p := g.privatePath(pl, false); p != nil {
+				paths = append(paths, p)
+			}
+		}
+		if g.rng.Float64() < cfg.PrivatePathProb {
+			if p := g.privatePath(pl, true); p != nil {
+				paths = append(paths, p)
+			}
+		}
+	}
+	return paths
+}
+
+type pathGen struct {
+	w   *netsim.World
+	cfg Config
+	rng *rand.Rand
+}
+
+// probeLoc picks a random probe location (anywhere in the world).
+func (g *pathGen) probeLoc() geo.Point {
+	c := g.w.Cities[g.rng.Intn(len(g.w.Cities))]
+	return c.Loc
+}
+
+// synthIP fabricates a stable non-interface address inside the AS's
+// first prefix (from the top of the range, far away from allocated
+// interface addresses).
+func (g *pathGen) synthIP(asn netsim.ASN) (netip.Addr, bool) {
+	ps := g.w.ASPrefixes(asn)
+	if len(ps) == 0 {
+		return netip.Addr{}, false
+	}
+	p := ps[0]
+	b := p.Addr().As4()
+	// Last /24 of the prefix, random final octet >= 1.
+	size := uint32(1) << (32 - p.Bits())
+	base := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	off := size - 256 + uint32(1+g.rng.Intn(250))
+	u := base + off
+	return netip.AddrFrom4([4]byte{byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u)}), true
+}
+
+// hopRTT models the probe-to-hop RTT of the first path hop (heavier
+// noise than pings: traceroute samples once).
+func (g *pathGen) hopRTT(src geo.Point, srcKey uint64, r *netsim.Router) float64 {
+	base := g.w.Latency().PointToRouterRTT(src, srcKey, r)
+	return g.w.Latency().Sample(g.rng, base) + g.rng.ExpFloat64()*0.5
+}
+
+// nextHopRTT extends a path to the next router: hop RTTs accumulate
+// along the forward path (RTT to hop k ≈ RTT to hop k-1 plus the
+// inter-router segment RTT, plus per-hop reply jitter), which is what
+// makes consecutive-hop RTT differences usable as inter-peer delay
+// estimates — the "Beyond Pings" idea of the paper's Section 8.
+func (g *pathGen) nextHopRTT(prevRTT float64, prev, cur *netsim.Router) float64 {
+	seg := g.w.Latency().RouterRTT(prev, cur)
+	return prevRTT + g.w.Latency().Sample(g.rng, seg) + g.rng.ExpFloat64()*0.4
+}
+
+func (g *pathGen) star(h traix.Hop) traix.Hop {
+	if g.rng.Float64() < g.cfg.StarProb {
+		return traix.Hop{}
+	}
+	return h
+}
+
+// crossingPath builds probe -> [transit] -> near router -> far member
+// IXP interface -> far AS interior.
+func (g *pathGen) crossingPath(near, far *netsim.Member) *traix.Path {
+	w := g.w
+	nearR := w.Router(near.Router)
+	farR := w.Router(far.Router)
+	if nearR == nil || farR == nil {
+		return nil
+	}
+	dst, ok := g.synthIP(far.ASN)
+	if !ok {
+		return nil
+	}
+	src := g.probeLoc()
+	srcKey := uint64(g.rng.Int63()) | 1<<58
+
+	var hops []traix.Hop
+	if g.rng.Float64() < g.cfg.LeadInProb {
+		if tip, ok := g.leadInHop(near.ASN); ok {
+			hops = append(hops, g.star(traix.Hop{IP: tip, RTTMs: g.rng.Float64() * 20}))
+		}
+	}
+	// Near member's router: replies with its infrastructure interface.
+	nearRTT := g.hopRTT(src, srcKey, nearR)
+	hops = append(hops, traix.Hop{IP: nearR.Ifaces[0], RTTMs: nearRTT})
+	// The far member's peering-LAN interface: this hop must stay
+	// responsive for the crossing to be detectable; traIXroute-style
+	// pipelines simply never see the paths where it is not. Its RTT
+	// accumulates the near->far segment on top of the near hop.
+	farRTT := g.nextHopRTT(nearRTT, nearR, farR)
+	hops = append(hops, traix.Hop{IP: far.Iface, RTTMs: farRTT})
+	// Interior of the far AS.
+	hops = append(hops, g.star(traix.Hop{IP: dst, RTTMs: farRTT + 0.3}))
+
+	return &traix.Path{SrcASN: 0, Dst: dst, Hops: hops}
+}
+
+// leadInHop fabricates a transit hop owned by one of the member's
+// providers.
+func (g *pathGen) leadInHop(asn netsim.ASN) (netip.Addr, bool) {
+	as := g.w.AS(asn)
+	if as == nil || len(as.Providers) == 0 {
+		return netip.Addr{}, false
+	}
+	p := as.Providers[g.rng.Intn(len(as.Providers))]
+	return g.synthIP(p)
+}
+
+// privatePath builds probe -> A router -> B router over a private
+// cross-connect (or B -> A when reversed).
+func (g *pathGen) privatePath(pl *netsim.PrivateLink, reverse bool) *traix.Path {
+	w := g.w
+	ra, rb := w.Router(pl.A), w.Router(pl.B)
+	aIface, bIface := pl.AIface, pl.BIface
+	if reverse {
+		ra, rb = rb, ra
+		aIface, bIface = bIface, aIface
+	}
+	if ra == nil || rb == nil {
+		return nil
+	}
+	dst, ok := g.synthIP(rb.Owner)
+	if !ok {
+		return nil
+	}
+	src := g.probeLoc()
+	srcKey := uint64(g.rng.Int63()) | 1<<57
+
+	aRTT := g.hopRTT(src, srcKey, ra)
+	bRTT := g.nextHopRTT(aRTT, ra, rb)
+	hops := []traix.Hop{
+		// The near router replies with its side of the cross-connect.
+		{IP: aIface, RTTMs: aRTT},
+		{IP: bIface, RTTMs: bRTT},
+	}
+	hops = append(hops, g.star(traix.Hop{IP: dst, RTTMs: bRTT + 0.2}))
+	return &traix.Path{Dst: dst, Hops: hops}
+}
+
+// FromVP generates traceroute-style RTT observations from a fixed
+// vantage location towards every member interface of one IXP,
+// reproducing the Fig 12b comparison (traceroute-derived RTTs carry
+// more noise than the ping campaign minimums).
+func FromVP(w *netsim.World, ixp netsim.IXPID, vpLoc geo.Point, seed int64) map[netip.Addr]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[netip.Addr]float64)
+	vpKey := uint64(seed)<<32 | 1<<56
+	for _, m := range w.MembersOf(ixp) {
+		r := w.Router(m.Router)
+		if r == nil {
+			continue
+		}
+		base := w.Latency().PointToRouterRTT(vpLoc, vpKey, r)
+		// One-shot sample + traceroute artefacts (load balancing,
+		// reverse-path asymmetry).
+		rtt := w.Latency().Sample(rng, base) + rng.ExpFloat64()*0.8
+		out[m.Iface] = rtt
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package traix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// ParseTraceroute parses classic `traceroute`/`mtr --raw`-style text
+// output into a Path, so external measurement data can be fed to the
+// detector. Supported line shapes (one hop per line, leading hop
+// number):
+//
+//	1  192.0.2.1  0.431 ms  0.389 ms  0.402 ms
+//	2  203.0.113.9 (203.0.113.9)  1.2 ms
+//	3  * * *
+//	4  198.51.100.3  12 ms !X
+//
+// The first RTT of each hop is kept (the detector only needs one);
+// unresponsive hops become zero-value entries. Lines that do not start
+// with a hop number (e.g. the "traceroute to ..." banner) are skipped.
+func ParseTraceroute(r io.Reader) (*Path, error) {
+	p := &Path{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	lastHop := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		hopNum, err := strconv.Atoi(fields[0])
+		if err != nil {
+			// Banner or continuation line: try to extract the target
+			// from "traceroute to host (addr), ..." banners.
+			if p.Dst == (netip.Addr{}) {
+				if addr, ok := bannerTarget(line); ok {
+					p.Dst = addr
+				}
+			}
+			continue
+		}
+		if hopNum != lastHop+1 {
+			// Fill gaps with unresponsive hops so indices stay aligned.
+			for h := lastHop + 1; h < hopNum; h++ {
+				p.Hops = append(p.Hops, Hop{})
+			}
+		}
+		lastHop = hopNum
+		p.Hops = append(p.Hops, parseHopLine(fields[1:]))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traix: parse traceroute: %w", err)
+	}
+	if len(p.Hops) == 0 {
+		return nil, fmt.Errorf("traix: no hops found")
+	}
+	return p, nil
+}
+
+// bannerTarget extracts the target address from a traceroute banner.
+func bannerTarget(line string) (netip.Addr, bool) {
+	if !strings.HasPrefix(strings.ToLower(line), "traceroute to") {
+		return netip.Addr{}, false
+	}
+	// "traceroute to example.net (198.51.100.3), 30 hops max"
+	if open := strings.IndexByte(line, '('); open >= 0 {
+		if close := strings.IndexByte(line[open:], ')'); close > 0 {
+			if a, err := netip.ParseAddr(line[open+1 : open+close]); err == nil {
+				return a, true
+			}
+		}
+	}
+	// Or a bare address: "traceroute to 198.51.100.3, 30 hops max"
+	fields := strings.Fields(line)
+	if len(fields) >= 3 {
+		cand := strings.TrimSuffix(fields[2], ",")
+		if a, err := netip.ParseAddr(cand); err == nil {
+			return a, true
+		}
+	}
+	return netip.Addr{}, false
+}
+
+// parseHopLine parses the fields after the hop number.
+func parseHopLine(fields []string) Hop {
+	var h Hop
+	for i := 0; i < len(fields); i++ {
+		f := fields[i]
+		if f == "*" {
+			continue
+		}
+		// Parenthesised repeats of the address: "(203.0.113.9)".
+		f = strings.TrimPrefix(strings.TrimSuffix(f, ")"), "(")
+		if !h.IP.IsValid() {
+			if a, err := netip.ParseAddr(f); err == nil {
+				h.IP = a
+				continue
+			}
+		}
+		if h.RTTMs == 0 {
+			if v, err := strconv.ParseFloat(f, 64); err == nil &&
+				i+1 < len(fields) && strings.HasPrefix(fields[i+1], "ms") {
+				h.RTTMs = v
+				i++
+			}
+		}
+	}
+	return h
+}
+
+// FormatPath renders a Path in the classic traceroute text format; the
+// inverse of ParseTraceroute for logging and fixtures.
+func FormatPath(p *Path) string {
+	var b strings.Builder
+	if p.Dst.IsValid() {
+		fmt.Fprintf(&b, "traceroute to %s (%s), %d hops max\n", p.Dst, p.Dst, len(p.Hops))
+	}
+	for i, h := range p.Hops {
+		if !h.IP.IsValid() {
+			fmt.Fprintf(&b, "%2d  * * *\n", i+1)
+			continue
+		}
+		fmt.Fprintf(&b, "%2d  %s  %.3f ms\n", i+1, h.IP, h.RTTMs)
+	}
+	return b.String()
+}

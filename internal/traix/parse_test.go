@@ -1,0 +1,134 @@
+package traix
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+const sampleTraceroute = `traceroute to example.net (198.51.100.3), 30 hops max, 60 byte packets
+ 1  192.0.2.1  0.431 ms  0.389 ms  0.402 ms
+ 2  203.0.113.9 (203.0.113.9)  1.2 ms
+ 3  * * *
+ 4  198.51.100.3  12.750 ms !X
+`
+
+func TestParseTraceroute(t *testing.T) {
+	p, err := ParseTraceroute(strings.NewReader(sampleTraceroute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dst != netip.MustParseAddr("198.51.100.3") {
+		t.Errorf("dst = %v", p.Dst)
+	}
+	if len(p.Hops) != 4 {
+		t.Fatalf("hops = %d, want 4", len(p.Hops))
+	}
+	if p.Hops[0].IP != netip.MustParseAddr("192.0.2.1") || p.Hops[0].RTTMs != 0.431 {
+		t.Errorf("hop 1 = %+v", p.Hops[0])
+	}
+	if p.Hops[1].IP != netip.MustParseAddr("203.0.113.9") || p.Hops[1].RTTMs != 1.2 {
+		t.Errorf("hop 2 = %+v", p.Hops[1])
+	}
+	if p.Hops[2].IP.IsValid() {
+		t.Errorf("hop 3 should be unresponsive: %+v", p.Hops[2])
+	}
+	if p.Hops[3].RTTMs != 12.75 {
+		t.Errorf("hop 4 = %+v", p.Hops[3])
+	}
+}
+
+func TestParseTracerouteGaps(t *testing.T) {
+	in := ` 1  192.0.2.1  1 ms
+ 4  192.0.2.4  4 ms
+`
+	p, err := ParseTraceroute(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hops) != 4 {
+		t.Fatalf("hops = %d, want 4 (gap-filled)", len(p.Hops))
+	}
+	if p.Hops[1].IP.IsValid() || p.Hops[2].IP.IsValid() {
+		t.Error("gap hops should be unresponsive")
+	}
+	if p.Hops[3].IP != netip.MustParseAddr("192.0.2.4") {
+		t.Errorf("hop 4 = %+v", p.Hops[3])
+	}
+}
+
+func TestParseTracerouteEmpty(t *testing.T) {
+	if _, err := ParseTraceroute(strings.NewReader("")); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := ParseTraceroute(strings.NewReader("banner only\n")); err == nil {
+		t.Error("want error for hopless input")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	orig := &Path{
+		Dst: netip.MustParseAddr("198.51.100.3"),
+		Hops: []Hop{
+			{IP: netip.MustParseAddr("192.0.2.1"), RTTMs: 0.5},
+			{},
+			{IP: netip.MustParseAddr("198.51.100.3"), RTTMs: 11.25},
+		},
+	}
+	p, err := ParseTraceroute(strings.NewReader(FormatPath(orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dst != orig.Dst || len(p.Hops) != len(orig.Hops) {
+		t.Fatalf("round trip lost structure: %+v", p)
+	}
+	for i := range orig.Hops {
+		if p.Hops[i].IP != orig.Hops[i].IP {
+			t.Errorf("hop %d IP = %v, want %v", i, p.Hops[i].IP, orig.Hops[i].IP)
+		}
+		if orig.Hops[i].IP.IsValid() && p.Hops[i].RTTMs != orig.Hops[i].RTTMs {
+			t.Errorf("hop %d RTT = %v, want %v", i, p.Hops[i].RTTMs, orig.Hops[i].RTTMs)
+		}
+	}
+}
+
+func TestParsedPathFeedsDetector(t *testing.T) {
+	// End-to-end: format a synthetic crossing path as text, parse it
+	// back, and confirm the detector still finds the crossing.
+	w, ds, im := fixtures(t)
+	ix := w.LargestIXPs(1)[0]
+	near := knownMember(t, w, ds, ix, 0)
+	far := knownMember(t, w, ds, ix, 1)
+	orig := &Path{Hops: []Hop{
+		{IP: w.Router(near.Router).Ifaces[0], RTTMs: 3},
+		{IP: far.Iface, RTTMs: 4},
+		{IP: w.ASPrefixes(far.ASN)[0].Addr().Next(), RTTMs: 4.5},
+	}}
+	parsed, err := ParseTraceroute(strings.NewReader(FormatPath(orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDetector(ds, im)
+	if got := d.Detect(parsed); len(got) != 1 {
+		t.Fatalf("crossings after text round trip = %d, want 1", len(got))
+	}
+}
+
+func FuzzParseTraceroute(f *testing.F) {
+	f.Add(sampleTraceroute)
+	f.Add(" 1  10.0.0.1  1 ms\n")
+	f.Add("garbage\n 2 * * *\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParseTraceroute(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Parsed paths must be internally consistent and re-parseable.
+		if len(p.Hops) == 0 {
+			t.Fatal("nil-hop path without error")
+		}
+		if _, err := ParseTraceroute(strings.NewReader(FormatPath(p))); err != nil {
+			t.Fatalf("formatted output unparseable: %v", err)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+// Package traix reimplements the traIXroute methodology (Nomikos &
+// Dimitropoulos, PAM 2016; paper Section 3.3) for detecting IXP
+// crossings in traceroute paths.
+//
+// A crossing is detected on an IP triplet (IP1, IP2, IP3) when:
+//
+//  1. IP2 belongs to an IXP peering-LAN prefix and is assigned to the
+//     same AS as IP3 (the far member),
+//  2. the AS of IP1 differs from that AS (the near member), and
+//  3. both ASes are members of the IXP owning the prefix.
+package traix
+
+import (
+	"net/netip"
+
+	"rpeer/internal/netsim"
+	"rpeer/internal/registry"
+)
+
+// Hop is one traceroute hop. A zero IP marks a non-responding hop
+// ("*" in traceroute output).
+type Hop struct {
+	IP netip.Addr
+	// RTTMs is the RTT from the traceroute source to this hop.
+	RTTMs float64
+}
+
+// Path is one traceroute measurement.
+type Path struct {
+	// SrcASN is the AS hosting the probe (0 when unknown).
+	SrcASN netsim.ASN
+	Dst    netip.Addr
+	Hops   []Hop
+}
+
+// Crossing is one detected IXP crossing.
+type Crossing struct {
+	Path *Path
+	// Index of the IXP interface hop within Path.Hops.
+	Index int
+	// IXP is the merged-dataset name of the exchange.
+	IXP string
+	// NearIP precedes the IXP interface; it belongs to NearAS, the
+	// member entering the exchange.
+	NearIP netip.Addr
+	NearAS netsim.ASN
+	// IXPIP is the peering-LAN interface, owned by FarAS.
+	IXPIP netip.Addr
+	FarAS netsim.ASN
+}
+
+// Detector holds the datasets needed to interpret paths.
+type Detector struct {
+	ds    *registry.Dataset
+	ipmap *registry.IPMap
+	// members caches IXP name -> member AS set.
+	members map[string]map[netsim.ASN]bool
+}
+
+// NewDetector builds a Detector over the merged IXP dataset and the
+// IP-to-AS map.
+func NewDetector(ds *registry.Dataset, ipmap *registry.IPMap) *Detector {
+	d := &Detector{ds: ds, ipmap: ipmap, members: make(map[string]map[netsim.ASN]bool)}
+	for ip, name := range ds.IfaceIXP {
+		set, ok := d.members[name]
+		if !ok {
+			set = make(map[netsim.ASN]bool)
+			d.members[name] = set
+		}
+		set[ds.IfaceASN[ip]] = true
+	}
+	return d
+}
+
+// asOf resolves an address to an AS: member interfaces on peering LANs
+// resolve through the IXP dataset, everything else through the
+// prefix-to-AS map.
+func (d *Detector) asOf(ip netip.Addr) (netsim.ASN, bool) {
+	if asn, ok := d.ds.IfaceASN[ip]; ok {
+		return asn, true
+	}
+	return d.ipmap.ASOf(ip)
+}
+
+// Detect scans one path and returns its IXP crossings.
+func (d *Detector) Detect(p *Path) []Crossing {
+	var out []Crossing
+	for i := 1; i < len(p.Hops); i++ {
+		ixpIP := p.Hops[i].IP
+		if !ixpIP.IsValid() {
+			continue
+		}
+		ixpName, ok := d.ds.IfaceIXP[ixpIP]
+		if !ok {
+			continue // not a known IXP interface
+		}
+		farAS, ok := d.ds.IfaceASN[ixpIP]
+		if !ok {
+			continue
+		}
+		// Rule 1 second half: the hop after the IXP IP must belong to
+		// the same AS, when present and responsive.
+		if i+1 < len(p.Hops) && p.Hops[i+1].IP.IsValid() {
+			if asn, ok := d.asOf(p.Hops[i+1].IP); !ok || asn != farAS {
+				continue
+			}
+		} else if i+1 >= len(p.Hops) {
+			// IXP IP as last hop: cannot confirm the far side.
+			continue
+		} else {
+			continue // unresponsive far hop: cannot confirm
+		}
+		// Rule 2: the preceding hop belongs to a different AS.
+		nearIP := p.Hops[i-1].IP
+		if !nearIP.IsValid() {
+			continue
+		}
+		nearAS, ok := d.asOf(nearIP)
+		if !ok || nearAS == farAS {
+			continue
+		}
+		// Rule 3: both ASes are members of the exchange.
+		set := d.members[ixpName]
+		if !set[nearAS] || !set[farAS] {
+			continue
+		}
+		out = append(out, Crossing{
+			Path: p, Index: i, IXP: ixpName,
+			NearIP: nearIP, NearAS: nearAS,
+			IXPIP: ixpIP, FarAS: farAS,
+		})
+	}
+	return out
+}
+
+// DetectAll scans a corpus of paths.
+func (d *Detector) DetectAll(paths []*Path) []Crossing {
+	var out []Crossing
+	for _, p := range paths {
+		out = append(out, d.Detect(p)...)
+	}
+	return out
+}
+
+// PrivateHop is a consecutive-hop pair traversing a private (non-IXP)
+// interconnection between two different ASes (Step 5 input).
+type PrivateHop struct {
+	Path     *Path
+	Index    int // index of the second hop
+	AIP, BIP netip.Addr
+	AAS, BAS netsim.ASN
+}
+
+// DetectPrivate extracts private AS-level interconnections: pairs of
+// consecutive responsive hops in different ASes where neither address
+// is on an IXP peering LAN.
+func (d *Detector) DetectPrivate(p *Path) []PrivateHop {
+	var out []PrivateHop
+	for i := 1; i < len(p.Hops); i++ {
+		a, b := p.Hops[i-1].IP, p.Hops[i].IP
+		if !a.IsValid() || !b.IsValid() {
+			continue
+		}
+		if _, onIXP := d.ds.IfaceIXP[a]; onIXP {
+			continue
+		}
+		if _, onIXP := d.ds.IfaceIXP[b]; onIXP {
+			continue
+		}
+		aAS, okA := d.asOf(a)
+		bAS, okB := d.asOf(b)
+		if !okA || !okB || aAS == bAS {
+			continue
+		}
+		out = append(out, PrivateHop{Path: p, Index: i, AIP: a, BIP: b, AAS: aAS, BAS: bAS})
+	}
+	return out
+}
+
+// DetectPrivateAll extracts private interconnections from a corpus.
+func (d *Detector) DetectPrivateAll(paths []*Path) []PrivateHop {
+	var out []PrivateHop
+	for _, p := range paths {
+		out = append(out, d.DetectPrivate(p)...)
+	}
+	return out
+}
