@@ -1,0 +1,34 @@
+GO ?= go
+
+# Pipelines (bench-snapshot) must fail when any stage fails, not just
+# the last one, or a broken benchmark run would silently overwrite the
+# snapshot with a partial one.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: all build vet test bench bench-smoke bench-snapshot
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark sweep (slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem
+
+# One-iteration smoke of the headline pipeline benchmark (CI).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$' -benchmem -benchtime=1x
+
+# Snapshot the perf-critical benchmarks to BENCH_PR1.json so future
+# PRs have a trajectory to compare against.
+bench-snapshot:
+	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign' \
+		-benchmem -benchtime=3x | $(GO) run ./cmd/rpi-benchsnap -o BENCH_PR1.json

@@ -137,11 +137,43 @@ func BenchmarkFullPipeline(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		rep, err := e.Ctx.Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = rep
+	}
+}
+
+// BenchmarkFullPipelineCold measures the pre-Context path: every
+// iteration rebuilds the full inference substrate (RTT indexes, IP
+// map, traceroute detections, geo rings, alias clusters) from scratch.
+func BenchmarkFullPipelineCold(b *testing.B) {
+	e := benchEnv(b)
+	opt := core.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		rep, err := core.Run(e.Inputs, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
 		sink = rep
+	}
+}
+
+// BenchmarkContextBuild prices the one-off substrate construction the
+// shared runs amortise.
+func BenchmarkContextBuild(b *testing.B) {
+	e := benchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := core.NewContext(e.Inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = c
 	}
 }
 
@@ -156,7 +188,7 @@ func ablate(b *testing.B, opt core.Options) {
 	b.ResetTimer()
 	var m core.Metrics
 	for i := 0; i < b.N; i++ {
-		rep, err := core.Run(e.Inputs, opt)
+		rep, err := e.Ctx.Run(opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +238,7 @@ func BenchmarkAblationStepOrder(b *testing.B) {
 	b.ResetTimer()
 	var m core.Metrics
 	for i := 0; i < b.N; i++ {
-		rep, err := core.RunWithOrder(e.Inputs, core.DefaultOptions(), order)
+		rep, err := e.Ctx.RunWithOrder(core.DefaultOptions(), order)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,10 +258,14 @@ func BenchmarkAblationNoTTLFilters(b *testing.B) {
 	ping := pingsim.Run(e.World, e.VPs, cfg)
 	in := e.Inputs
 	in.Ping = ping
+	ctx, err := core.NewContext(in)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	var m core.Metrics
 	for i := 0; i < b.N; i++ {
-		rep, err := core.Run(in, core.DefaultOptions())
+		rep, err := ctx.Run(core.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -248,7 +284,7 @@ func BenchmarkAblationBaselineThreshold(b *testing.B) {
 		b.Run(thName(th), func(b *testing.B) {
 			var m core.Metrics
 			for i := 0; i < b.N; i++ {
-				rep, err := core.Baseline(e.Inputs, th)
+				rep, err := e.Ctx.Baseline(th)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -314,4 +350,25 @@ func BenchmarkParallelPingCampaign(b *testing.B) {
 
 func BenchmarkSec7Resilience(b *testing.B) {
 	run(b, exp.Sec7)
+}
+
+// ---------------------------------------------------------------------------
+// Whole-suite regeneration: all 26 artefacts, serial vs worker pool.
+
+func BenchmarkAllArtefactsSerial(b *testing.B) {
+	e := benchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = exp.AllSerial(e)
+	}
+}
+
+func BenchmarkAllArtefactsParallel(b *testing.B) {
+	e := benchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = exp.All(e)
+	}
 }

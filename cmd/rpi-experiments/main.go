@@ -22,13 +22,14 @@ func main() {
 	log.SetPrefix("rpi-experiments: ")
 	seed := flag.Int64("seed", 1, "world generation seed")
 	markdown := flag.Bool("markdown", false, "emit Markdown (EXPERIMENTS.md body)")
+	workers := flag.Int("workers", 0, "artefact workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	env, err := exp.NewEnv(*seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	results := exp.All(env)
+	results := exp.AllWorkers(env, *workers)
 
 	for _, r := range results {
 		if *markdown {

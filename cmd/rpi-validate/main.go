@@ -31,7 +31,7 @@ func main() {
 	}
 
 	if *threshold != core.DefaultBaselineThresholdMs {
-		base, err := core.Baseline(env.Inputs, *threshold)
+		base, err := env.Ctx.Baseline(*threshold)
 		if err != nil {
 			log.Fatal(err)
 		}

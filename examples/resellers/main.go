@@ -28,8 +28,9 @@ func main() {
 	}
 	world := env.World
 
-	// Step 1 standalone: the pipeline with only port-capacity enabled.
-	rep, err := core.RunStep(env.Inputs, core.DefaultOptions(), core.StepPortCapacity)
+	// Step 1 standalone: the pipeline with only port-capacity enabled,
+	// over the environment's shared inference context.
+	rep, err := env.Ctx.RunStep(core.DefaultOptions(), core.StepPortCapacity)
 	if err != nil {
 		log.Fatal(err)
 	}

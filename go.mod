@@ -1,0 +1,3 @@
+module rpeer
+
+go 1.24

@@ -15,7 +15,6 @@ package alias
 import (
 	"hash/fnv"
 	"math"
-	"math/rand"
 	"net/netip"
 	"sort"
 
@@ -45,6 +44,12 @@ func (m Mode) String() string {
 // Prober simulates probing an interface for its IP-ID value. A
 // fraction of routers use randomized or zero IP-IDs and are therefore
 // unresolvable — the real-world phenomenon that caps Step 4 coverage.
+//
+// Probing is a pure function of (seed, interface, probe time): per-probe
+// randomness (loss, counter jitter) is derived from a stable hash rather
+// than a shared RNG stream. This makes Resolve a pure function of its
+// input set, so callers (core.Context) can memoize resolution results
+// across pipeline runs without changing any outcome.
 type Prober struct {
 	w *netsim.World
 	// RandomIPIDFrac is the fraction of routers with unusable IP-ID
@@ -53,7 +58,6 @@ type Prober struct {
 	// NoReplyProb is the per-probe loss probability.
 	NoReplyProb float64
 	seed        int64
-	rng         *rand.Rand
 }
 
 // NewProber builds a prober over the world.
@@ -63,8 +67,26 @@ func NewProber(w *netsim.World, seed int64) *Prober {
 		RandomIPIDFrac: 0.15,
 		NoReplyProb:    0.05,
 		seed:           seed,
-		rng:            rand.New(rand.NewSource(seed)),
 	}
+}
+
+// noise derives a deterministic uniform [0,1) value for one probe event
+// from (seed, interface, time, salt).
+func (p *Prober) noise(iface netip.Addr, t float64, salt uint64) float64 {
+	h := fnv.New64a()
+	var buf [36]byte
+	b16 := iface.As16()
+	copy(buf[0:16], b16[:])
+	for i := 0; i < 8; i++ {
+		buf[16+i] = byte(uint64(p.seed) >> (8 * i))
+		buf[24+i] = byte(math.Float64bits(t) >> (8 * i))
+	}
+	buf[32] = byte(salt)
+	buf[33] = byte(salt >> 8)
+	buf[34] = byte(salt >> 16)
+	buf[35] = byte(salt >> 24)
+	_, _ = h.Write(buf[:])
+	return float64(h.Sum64()>>11) / (1 << 53)
 }
 
 // usableCounter reports whether the router exposes a shared monotonic
@@ -90,13 +112,13 @@ func (p *Prober) Probe(iface netip.Addr, t float64) (uint16, bool) {
 	r := p.w.Router(rid)
 	if !p.usableCounter(r) {
 		// Randomized IP-ID: reply arrives but carries no signal.
-		return uint16(p.rng.Intn(65536)), false
+		return uint16(p.noise(iface, t, 0xA5) * 65536), false
 	}
-	if p.rng.Float64() < p.NoReplyProb {
+	if p.noise(iface, t, 0x5A) < p.NoReplyProb {
 		return 0, false
 	}
 	// Shared counter: base progression plus cross-traffic increments.
-	v := float64(r.IPIDInit) + r.IPIDRate*t + p.rng.Float64()*3
+	v := float64(r.IPIDInit) + r.IPIDRate*t + p.noise(iface, t, 0x33)*3
 	return uint16(uint64(v) % 65536), true
 }
 

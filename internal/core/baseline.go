@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"sort"
 )
 
@@ -13,32 +12,15 @@ const DefaultBaselineThresholdMs = 10.0
 // Baseline runs the state-of-the-art RTT-threshold inference the paper
 // compares against (Section 4 / Table 4 first row). Only memberships
 // with a usable campaign minimum receive a verdict.
+//
+// Like Run, this builds a fresh Context per call; repeated callers
+// should use Context.Baseline.
 func Baseline(in Inputs, thresholdMs float64) (*Report, error) {
-	p := &pipeline{in: in, opt: DefaultOptions()}
-	p.init()
-
-	rep := &Report{Inferences: make(map[Key]*Inference)}
-	for _, ixpName := range ixpNames(in) {
-		for _, rec := range in.Dataset.MembersOf(ixpName) {
-			k := Key{IXP: ixpName, Iface: rec.IP}
-			inf := &Inference{
-				IXP: ixpName, Iface: rec.IP, ASN: rec.ASN,
-				RTTMinMs:              math.NaN(),
-				FeasibleIXPFacilities: -1,
-			}
-			if rtt, ok := p.rtt[rec.IP]; ok {
-				inf.RTTMinMs = rtt
-				inf.Step = StepBaseline
-				if rtt > thresholdMs {
-					inf.Class = ClassRemote
-				} else {
-					inf.Class = ClassLocal
-				}
-			}
-			rep.Inferences[k] = inf
-		}
+	c, err := NewContext(in)
+	if err != nil {
+		return nil, err
 	}
-	return rep, nil
+	return c.Baseline(thresholdMs)
 }
 
 // ixpNames lists the IXPs of the merged dataset, deterministically.

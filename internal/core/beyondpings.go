@@ -71,28 +71,11 @@ func DeriveTracerouteRTT(crossings []traix.Crossing) []TraceRTTEstimate {
 	return out
 }
 
-// augmentWithTracerouteRTT fills the pipeline's RTT table with
-// traceroute-derived estimates for interfaces the ping campaign did
-// not cover. The pseudo vantage point for the Step 3 geometry is the
-// IXP's primary facility: the estimate measures delay from the IXP
-// fabric outward, which is what the feasible-ring interpretation
-// expects.
-func (p *pipeline) augmentWithTracerouteRTT() {
-	ests := DeriveTracerouteRTT(p.crossings)
-	for _, e := range ests {
-		if _, ok := p.rtt[e.Iface]; ok {
-			continue // ping data always wins
-		}
-		vp := p.pseudoVP(e.IXP)
-		if vp == nil {
-			continue
-		}
-		p.rtt[e.Iface] = e.RTTMs
-		p.bestVP[e.Iface] = vp
-		p.rounds[e.Iface] = false
-		p.traceDerived[e.Iface] = true
-	}
-}
+// The augmentation itself lives on Context.traceAugmented: the
+// traceroute-derived RTT view (estimates for interfaces the ping
+// campaign did not cover, anchored at a pseudo vantage point in the
+// IXP's primary facility) is built once per context and shared by
+// every run with Options.UseTracerouteRTT.
 
 // TraceDerived reports how many interfaces of the last Run were
 // classified using traceroute-derived rather than ping RTTs.

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+
+	"rpeer/internal/alias"
+	"rpeer/internal/geo"
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+	"rpeer/internal/registry"
+	"rpeer/internal/traix"
+)
+
+// Context is the reusable inference substrate: everything a pipeline
+// run needs that depends only on the Inputs, not on the Options. Build
+// it once with NewContext and share it across Run / RunWithOrder /
+// RunStep / Baseline calls — the ablation suite and the experiment
+// harness run the pipeline dozens of times over one input set, and
+// rebuilding this state per run dominated their cost.
+//
+// The context owns:
+//
+//   - the per-interface RTT / best-VP / rounding indexes folded from
+//     the ping campaign (one pass, shared by every run);
+//   - the registry IP-to-AS map, the traIXroute detector, and the
+//     detected IXP crossings and private hops of the traceroute corpus;
+//   - the lazily-built traceroute-RTT augmentation ("Beyond Pings"),
+//     shared by every run with Options.UseTracerouteRTT;
+//   - the geo fast path: facility coordinates converted once to unit
+//     vectors (distance = dot product + arccos, see geo.Vec3) plus a
+//     memoized per-(VP location, facility set) sorted-distance index,
+//     so each feasible-ring query is a binary search instead of a
+//     Vincenty solve per facility;
+//   - memoized alias-resolution clusters (sound because alias probing
+//     is a pure function of seed, interface and probe time).
+//
+// All methods are safe for concurrent use; the caches are guarded.
+// Inputs must not be mutated after NewContext.
+type Context struct {
+	in Inputs
+
+	// Ping-only per-interface campaign indexes.
+	rtt    map[netip.Addr]float64
+	bestVP map[netip.Addr]*pingsim.VP
+	rounds map[netip.Addr]bool
+
+	ipmap     *registry.IPMap
+	det       *traix.Detector
+	crossings []traix.Crossing
+	privHops  []traix.PrivateHop
+
+	// byASPriv indexes private-hop neighbours per AS (Step 5 input).
+	byASPriv map[netsim.ASN][]privNeighbour
+
+	ixps []string
+
+	domOnce sync.Once
+	domain  []domEntry
+
+	// Traceroute-RTT augmentation, built once on first use.
+	traceOnce    sync.Once
+	traceRTT     map[netip.Addr]float64
+	traceBestVP  map[netip.Addr]*pingsim.VP
+	traceRounds  map[netip.Addr]bool
+	traceDerived map[netip.Addr]bool
+
+	pvMu      sync.Mutex
+	pseudoVPs map[string]*pingsim.VP
+
+	// Geo fast path: facility unit vectors indexed by FacilityID.
+	facVecs []geo.Vec3
+	facOK   []bool
+
+	ringMu sync.Mutex
+	rings  map[ringKey][]ringEntry
+
+	resolvers  map[alias.Mode]*alias.Resolver
+	aliasMu    sync.Mutex
+	aliasCache map[string][][]netip.Addr
+}
+
+// domEntry is one membership of the inference domain.
+type domEntry struct {
+	key Key
+	asn netsim.ASN
+}
+
+// privNeighbour is one private-interconnection neighbour observation.
+type privNeighbour struct {
+	iface netip.Addr
+	other netsim.ASN
+}
+
+// ringKey identifies one (VP location, facility set) distance index.
+// Facility sets are identified by their registry handle — the IXP name
+// or the member ASN — rather than by slice contents.
+type ringKey struct {
+	loc geo.Point
+	ixp string
+	asn netsim.ASN
+}
+
+// ringEntry is one facility at its precomputed distance from the key's
+// VP location, sorted ascending by (distance, id).
+type ringEntry struct {
+	d  float64
+	id netsim.FacilityID
+}
+
+// NewContext validates the inputs and builds the shared substrate.
+func NewContext(in Inputs) (*Context, error) {
+	if in.World == nil || in.Dataset == nil || in.Colo == nil {
+		return nil, fmt.Errorf("core: World, Dataset and Colo inputs are required")
+	}
+	return newContext(in), nil
+}
+
+// newContext builds the substrate without input validation (internal
+// callers validate at their public entry points).
+func newContext(in Inputs) *Context {
+	c := &Context{
+		in:         in,
+		rtt:        make(map[netip.Addr]float64),
+		bestVP:     make(map[netip.Addr]*pingsim.VP),
+		rounds:     make(map[netip.Addr]bool),
+		byASPriv:   make(map[netsim.ASN][]privNeighbour),
+		pseudoVPs:  make(map[string]*pingsim.VP),
+		rings:      make(map[ringKey][]ringEntry),
+		resolvers:  make(map[alias.Mode]*alias.Resolver),
+		aliasCache: make(map[string][][]netip.Addr),
+	}
+	if in.Ping != nil {
+		for ip, a := range in.Ping.IfaceIndex() {
+			c.rtt[ip] = a.RTTMinMs
+			c.bestVP[ip] = a.BestVP
+			c.rounds[ip] = a.BestRoundsUp
+		}
+	}
+	c.ipmap = registry.BuildIPMap(in.World)
+	c.det = traix.NewDetector(in.Dataset, c.ipmap)
+	if len(in.Paths) > 0 {
+		c.crossings = c.det.DetectAll(in.Paths)
+		c.privHops = c.det.DetectPrivateAll(in.Paths)
+	}
+	for _, h := range c.privHops {
+		c.byASPriv[h.AAS] = append(c.byASPriv[h.AAS], privNeighbour{h.AIP, h.BAS})
+		c.byASPriv[h.BAS] = append(c.byASPriv[h.BAS], privNeighbour{h.BIP, h.AAS})
+	}
+	c.ixps = ixpNames(in)
+
+	maxID := netsim.FacilityID(-1)
+	for _, f := range in.World.Facilities {
+		if f != nil && f.ID > maxID {
+			maxID = f.ID
+		}
+	}
+	c.facVecs = make([]geo.Vec3, maxID+1)
+	c.facOK = make([]bool, maxID+1)
+	for _, f := range in.World.Facilities {
+		if f == nil || f.ID < 0 {
+			continue
+		}
+		c.facVecs[f.ID] = geo.UnitVec(f.Loc)
+		c.facOK[f.ID] = true
+	}
+
+	return c
+}
+
+// resolverFor returns the memoized resolver for an alias mode,
+// creating it on first use (construction is cheap and pure).
+func (c *Context) resolverFor(mode alias.Mode) *alias.Resolver {
+	c.aliasMu.Lock()
+	defer c.aliasMu.Unlock()
+	r, ok := c.resolvers[mode]
+	if !ok {
+		r = alias.NewResolver(alias.NewProber(c.in.World, c.in.Seed), mode)
+		c.resolvers[mode] = r
+	}
+	return r
+}
+
+// Inputs returns the inputs the context was built from.
+func (c *Context) Inputs() Inputs { return c.in }
+
+// Run executes the methodology over all memberships known to the
+// merged dataset, reusing the shared substrate. Reports are identical
+// to the package-level Run for the same inputs and options.
+func (c *Context) Run(opt Options) (*Report, error) {
+	p := c.newPipeline(opt)
+	rep := p.newDomain()
+	if opt.EnablePortCapacity {
+		p.stepPortCapacity(rep)
+	}
+	if opt.EnableRTTColo {
+		p.stepRTTColo(rep)
+	}
+	if opt.EnableMultiIXP {
+		p.stepMultiIXP(rep, nil)
+	}
+	if opt.EnablePrivate {
+		p.stepPrivate(rep)
+	}
+	return rep, nil
+}
+
+// RunWithOrder executes the enabled steps in an explicit order (the
+// step-ordering ablation, DESIGN.md section 5). Steps absent from
+// order do not run.
+func (c *Context) RunWithOrder(opt Options, order []Step) (*Report, error) {
+	p := c.newPipeline(opt)
+	rep := p.newDomain()
+	for _, s := range order {
+		switch s {
+		case StepPortCapacity:
+			p.stepPortCapacity(rep)
+		case StepRTTColo:
+			p.stepRTTColo(rep)
+		case StepMultiIXP:
+			p.stepMultiIXP(rep, nil)
+		case StepPrivate:
+			p.stepPrivate(rep)
+		default:
+			return nil, fmt.Errorf("core: RunWithOrder does not support %v", s)
+		}
+	}
+	return rep, nil
+}
+
+// RunStep evaluates one step of the methodology in isolation over a
+// fresh all-unknown domain (the per-step rows of Table 4); see the
+// package-level RunStep for the seeding semantics of Step 4.
+func (c *Context) RunStep(opt Options, s Step) (*Report, error) {
+	p := c.newPipeline(opt)
+	overlay := p.newDomain()
+	switch s {
+	case StepPortCapacity:
+		p.stepPortCapacity(overlay)
+	case StepRTTColo:
+		p.stepRTTColo(overlay)
+	case StepMultiIXP:
+		base, err := c.Run(opt)
+		if err != nil {
+			return nil, err
+		}
+		type memKey struct {
+			asn netsim.ASN
+			ixp string
+		}
+		seedIdx := make(map[memKey]PeerClass)
+		for k, inf := range base.Inferences {
+			if (inf.Step == StepPortCapacity || inf.Step == StepRTTColo) && inf.Class != ClassUnknown {
+				mk := memKey{inf.ASN, k.IXP}
+				if _, ok := seedIdx[mk]; !ok {
+					seedIdx[mk] = inf.Class
+				}
+			}
+		}
+		seed := func(asn netsim.ASN, ixp string) PeerClass {
+			return seedIdx[memKey{asn, ixp}]
+		}
+		p.stepMultiIXP(overlay, seed)
+	case StepPrivate:
+		p.stepPrivate(overlay)
+	default:
+		return nil, fmt.Errorf("core: RunStep does not support %v", s)
+	}
+	return overlay, nil
+}
+
+// Baseline runs the Castro et al. RTT-threshold inference over the
+// shared substrate. Only memberships with a usable campaign minimum
+// receive a verdict.
+func (c *Context) Baseline(thresholdMs float64) (*Report, error) {
+	return c.domainReport(c.rtt, func(inf *Inference, rtt float64) {
+		inf.Step = StepBaseline
+		if rtt > thresholdMs {
+			inf.Class = ClassRemote
+		} else {
+			inf.Class = ClassLocal
+		}
+	}), nil
+}
+
+// domainReport materializes the all-unknown inference domain in one
+// allocation, fills in RTT minimums from the given view, and lets
+// measured finish each entry that has one. It backs both newDomain and
+// Baseline so domain construction has a single definition.
+func (c *Context) domainReport(rtt map[netip.Addr]float64, measured func(inf *Inference, rtt float64)) *Report {
+	entries := c.domainEntries()
+	infs := make([]Inference, len(entries))
+	rep := &Report{Inferences: make(map[Key]*Inference, len(entries))}
+	for i, e := range entries {
+		inf := &infs[i]
+		*inf = Inference{
+			IXP: e.key.IXP, Iface: e.key.Iface, ASN: e.asn,
+			RTTMinMs:              math.NaN(),
+			FeasibleIXPFacilities: -1,
+		}
+		if v, ok := rtt[e.key.Iface]; ok {
+			inf.RTTMinMs = v
+			measured(inf, v)
+		}
+		rep.Inferences[e.key] = inf
+	}
+	return rep
+}
+
+// domainEntries returns the inference domain — one entry per interface
+// record of the merged dataset, deduplicated, in deterministic order —
+// building it on first use.
+func (c *Context) domainEntries() []domEntry {
+	c.domOnce.Do(func() {
+		seen := make(map[Key]bool)
+		for _, ixpName := range c.ixps {
+			for _, rec := range c.in.Dataset.MembersOf(ixpName) {
+				k := Key{IXP: ixpName, Iface: rec.IP}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				c.domain = append(c.domain, domEntry{key: k, asn: rec.ASN})
+			}
+		}
+	})
+	return c.domain
+}
+
+// traceAugmented returns the RTT view extended with traceroute-derived
+// estimates ("Beyond Pings", Section 8), building it once.
+func (c *Context) traceAugmented() (rtt map[netip.Addr]float64, bestVP map[netip.Addr]*pingsim.VP, rounds map[netip.Addr]bool, derived map[netip.Addr]bool) {
+	c.traceOnce.Do(func() {
+		c.traceRTT = make(map[netip.Addr]float64, len(c.rtt))
+		c.traceBestVP = make(map[netip.Addr]*pingsim.VP, len(c.bestVP))
+		c.traceRounds = make(map[netip.Addr]bool, len(c.rounds))
+		c.traceDerived = make(map[netip.Addr]bool)
+		for ip, v := range c.rtt {
+			c.traceRTT[ip] = v
+		}
+		for ip, v := range c.bestVP {
+			c.traceBestVP[ip] = v
+		}
+		for ip, v := range c.rounds {
+			c.traceRounds[ip] = v
+		}
+		for _, e := range DeriveTracerouteRTT(c.crossings) {
+			if _, ok := c.traceRTT[e.Iface]; ok {
+				continue // ping data always wins
+			}
+			vp := c.pseudoVP(e.IXP)
+			if vp == nil {
+				continue
+			}
+			c.traceRTT[e.Iface] = e.RTTMs
+			c.traceBestVP[e.Iface] = vp
+			c.traceRounds[e.Iface] = false
+			c.traceDerived[e.Iface] = true
+		}
+	})
+	return c.traceRTT, c.traceBestVP, c.traceRounds, c.traceDerived
+}
+
+// pseudoVP returns (allocating lazily) a synthetic vantage point at the
+// IXP's primary recorded facility, used to anchor the Step 3 geometry
+// for traceroute-derived RTTs.
+func (c *Context) pseudoVP(ixp string) *pingsim.VP {
+	c.pvMu.Lock()
+	defer c.pvMu.Unlock()
+	if vp, ok := c.pseudoVPs[ixp]; ok {
+		return vp
+	}
+	facs := c.in.Colo.IXPFacilities[ixp]
+	if len(facs) == 0 {
+		c.pseudoVPs[ixp] = nil
+		return nil
+	}
+	fac := c.in.World.Facility(facs[0])
+	if fac == nil {
+		c.pseudoVPs[ixp] = nil
+		return nil
+	}
+	vp := &pingsim.VP{
+		ID: -1 - len(c.pseudoVPs), IXP: -1, Kind: pingsim.KindLG,
+		Facility: fac.ID, Loc: fac.Loc,
+	}
+	c.pseudoVPs[ixp] = vp
+	return vp
+}
+
+// facVec returns the precomputed unit vector of a facility.
+func (c *Context) facVec(id netsim.FacilityID) (geo.Vec3, bool) {
+	if id < 0 || int(id) >= len(c.facVecs) || !c.facOK[id] {
+		return geo.Vec3{}, false
+	}
+	return c.facVecs[id], true
+}
+
+// ringEntries returns the sorted facility-distance index for one
+// (VP location, facility set) pair, building and memoizing it on first
+// use. facs is resolved by the caller from the key's registry handle.
+func (c *Context) ringEntries(key ringKey, facs []netsim.FacilityID) []ringEntry {
+	c.ringMu.Lock()
+	if e, ok := c.rings[key]; ok {
+		c.ringMu.Unlock()
+		return e
+	}
+	c.ringMu.Unlock()
+
+	v := geo.UnitVec(key.loc)
+	entries := make([]ringEntry, 0, len(facs))
+	for _, f := range facs {
+		vec, ok := c.facVec(f)
+		if !ok {
+			continue
+		}
+		entries = append(entries, ringEntry{d: geo.ArcKm(v, vec), id: f})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].d != entries[j].d {
+			return entries[i].d < entries[j].d
+		}
+		return entries[i].id < entries[j].id
+	})
+	c.ringMu.Lock()
+	c.rings[key] = entries
+	c.ringMu.Unlock()
+	return entries
+}
+
+// ringQuery appends to buf the facilities of the keyed set whose
+// distance from the key's VP location falls inside [dMin, dMax], in
+// ascending distance order, and returns the extended buffer.
+func (c *Context) ringQuery(key ringKey, facs []netsim.FacilityID, dMin, dMax float64, buf []netsim.FacilityID) []netsim.FacilityID {
+	entries := c.ringEntries(key, facs)
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].d >= dMin })
+	for ; i < len(entries) && entries[i].d <= dMax; i++ {
+		buf = append(buf, entries[i].id)
+	}
+	return buf
+}
+
+// facDist computes min and max great-circle distance between two
+// facility sets using the precomputed unit vectors; ok is false when
+// either set contributes no locatable facility.
+func (c *Context) facDist(a, b []netsim.FacilityID) (minKm, maxKm float64, ok bool) {
+	minKm = math.Inf(1)
+	for _, fa := range a {
+		va, okA := c.facVec(fa)
+		if !okA {
+			continue
+		}
+		for _, fb := range b {
+			vb, okB := c.facVec(fb)
+			if !okB {
+				continue
+			}
+			d := geo.ArcKm(va, vb)
+			if d < minKm {
+				minKm = d
+			}
+			if d > maxKm {
+				maxKm = d
+			}
+			ok = true
+		}
+	}
+	return minKm, maxKm, ok
+}
+
+// resolve memoizes alias resolution per (mode, interface set). ifaces
+// must be sorted ascending (both call sites sort). The returned
+// clusters are shared across runs and must be treated as read-only.
+func (c *Context) resolve(mode alias.Mode, ifaces []netip.Addr) [][]netip.Addr {
+	var sb strings.Builder
+	sb.Grow(len(ifaces)*16 + 1)
+	sb.WriteByte(byte(mode))
+	for _, ip := range ifaces {
+		b := ip.As16()
+		sb.Write(b[:])
+	}
+	key := sb.String()
+
+	c.aliasMu.Lock()
+	if r, ok := c.aliasCache[key]; ok {
+		c.aliasMu.Unlock()
+		return r
+	}
+	c.aliasMu.Unlock()
+
+	// Resolution runs outside the lock: it is pure, so a concurrent
+	// duplicate computes the identical value.
+	res := c.resolverFor(mode).Resolve(ifaces)
+
+	c.aliasMu.Lock()
+	c.aliasCache[key] = res
+	c.aliasMu.Unlock()
+	return res
+}

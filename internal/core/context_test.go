@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"rpeer/internal/alias"
+)
+
+// reportsEqual compares two reports field by field (NaN-aware on RTT).
+func reportsEqual(t *testing.T, label string, a, b *Report) {
+	t.Helper()
+	if len(a.Inferences) != len(b.Inferences) {
+		t.Fatalf("%s: inference counts differ: %d vs %d", label, len(a.Inferences), len(b.Inferences))
+	}
+	for k, ia := range a.Inferences {
+		ib, ok := b.Inferences[k]
+		if !ok {
+			t.Fatalf("%s: %v missing from second report", label, k)
+		}
+		if ia.Class != ib.Class || ia.Step != ib.Step || ia.ASN != ib.ASN ||
+			ia.FeasibleIXPFacilities != ib.FeasibleIXPFacilities || ia.TraceRTT != ib.TraceRTT {
+			t.Fatalf("%s: %v differs: %+v vs %+v", label, k, ia, ib)
+		}
+		sameRTT := ia.RTTMinMs == ib.RTTMinMs || (math.IsNaN(ia.RTTMinMs) && math.IsNaN(ib.RTTMinMs))
+		if !sameRTT {
+			t.Fatalf("%s: %v RTT differs: %v vs %v", label, k, ia.RTTMinMs, ib.RTTMinMs)
+		}
+	}
+	if len(a.MultiRouters) != len(b.MultiRouters) {
+		t.Fatalf("%s: router counts differ: %d vs %d", label, len(a.MultiRouters), len(b.MultiRouters))
+	}
+	for i := range a.MultiRouters {
+		ra, rb := a.MultiRouters[i], b.MultiRouters[i]
+		if ra.ASN != rb.ASN || ra.Class != rb.Class ||
+			len(ra.Ifaces) != len(rb.Ifaces) || len(ra.IXPs) != len(rb.IXPs) {
+			t.Fatalf("%s: router %d differs: %+v vs %+v", label, i, ra, rb)
+		}
+		for j := range ra.Ifaces {
+			if ra.Ifaces[j] != rb.Ifaces[j] {
+				t.Fatalf("%s: router %d iface %d differs", label, i, j)
+			}
+		}
+		for j := range ra.IXPs {
+			if ra.IXPs[j] != rb.IXPs[j] {
+				t.Fatalf("%s: router %d IXP %d differs", label, i, j)
+			}
+		}
+	}
+}
+
+// optionVariants covers the knobs the ablation suite flips.
+func optionVariants() map[string]Options {
+	novmin := DefaultOptions()
+	novmin.DisableVminBound = true
+	coverage := DefaultOptions()
+	coverage.AliasMode = alias.ModeCoverage
+	trace := DefaultOptions()
+	trace.UseTracerouteRTT = true
+	noport := DefaultOptions()
+	noport.EnablePortCapacity = false
+	return map[string]Options{
+		"default":      DefaultOptions(),
+		"no-vmin":      novmin,
+		"coverage":     coverage,
+		"beyond-pings": trace,
+		"no-port":      noport,
+	}
+}
+
+// TestSharedContextMatchesColdRun is the determinism contract of the
+// shared-context API: a context reused across many runs (with warm
+// alias/ring caches) must produce reports identical to a cold
+// package-level Run for every option set, and repeated shared runs
+// must be self-identical.
+func TestSharedContextMatchesColdRun(t *testing.T) {
+	in, _, _ := fixtures(t)
+	ctx, err := NewContext(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opt := range optionVariants() {
+		cold, err := Run(in, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm1, err := ctx.Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm2, err := ctx.Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, name+"/cold-vs-shared", cold, warm1)
+		reportsEqual(t, name+"/shared-vs-shared", warm1, warm2)
+	}
+}
+
+func TestSharedContextRunStepMatchesCold(t *testing.T) {
+	in, _, _ := fixtures(t)
+	ctx, err := NewContext(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Step{StepPortCapacity, StepRTTColo, StepMultiIXP, StepPrivate} {
+		cold, err := RunStep(in, DefaultOptions(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := ctx.RunStep(DefaultOptions(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, "step "+s.String(), cold, warm)
+	}
+}
+
+func TestSharedContextRunWithOrderMatchesCold(t *testing.T) {
+	in, _, _ := fixtures(t)
+	ctx, err := NewContext(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []Step{StepRTTColo, StepPortCapacity, StepMultiIXP, StepPrivate}
+	cold, err := RunWithOrder(in, DefaultOptions(), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ctx.RunWithOrder(DefaultOptions(), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "ordered", cold, warm)
+}
+
+func TestSharedContextBaselineMatchesCold(t *testing.T) {
+	in, _, _ := fixtures(t)
+	ctx, err := NewContext(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range []float64{2, 10, 20} {
+		cold, err := Baseline(in, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := ctx.Baseline(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, "baseline", cold, warm)
+	}
+}
+
+// TestSharedContextConcurrentRuns exercises the context's concurrency
+// contract: parallel runs over one context (as exp.All does) must each
+// match the cold report.
+func TestSharedContextConcurrentRuns(t *testing.T) {
+	in, _, _ := fixtures(t)
+	ctx, err := NewContext(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(in, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	reports := make([]*Report, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = ctx.Run(DefaultOptions())
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		reportsEqual(t, "concurrent", cold, reports[i])
+	}
+}
+
+func TestNewContextRequiresInputs(t *testing.T) {
+	if _, err := NewContext(Inputs{}); err == nil {
+		t.Error("want error for empty inputs")
+	}
+}
+
+func BenchmarkContextBuild(b *testing.B) {
+	in, _, _ := fixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewContext(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = c
+	}
+}
+
+// BenchmarkSharedContextRun is the warm-path counterpart of
+// BenchmarkPipeline (which pays the cold context build every
+// iteration).
+func BenchmarkSharedContextRun(b *testing.B) {
+	in, _, _ := fixtures(b)
+	ctx, err := NewContext(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	if _, err := ctx.Run(opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ctx.Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = rep
+	}
+}
+
+var benchSink interface{}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"math"
 	"net/netip"
 
 	"rpeer/internal/alias"
@@ -60,54 +58,29 @@ func DefaultOptions() Options {
 
 // Run executes the methodology over all memberships known to the
 // merged dataset and returns a verdict for each.
+//
+// Run builds a fresh Context per call. Callers that run the pipeline
+// more than once over the same inputs (the ablation suite, the
+// experiment harness) should build one Context with NewContext and use
+// its Run method instead: the reports are identical and the shared
+// substrate amortises all input-dependent precomputation.
 func Run(in Inputs, opt Options) (*Report, error) {
-	if in.World == nil || in.Dataset == nil || in.Colo == nil {
-		return nil, fmt.Errorf("core: World, Dataset and Colo inputs are required")
+	c, err := NewContext(in)
+	if err != nil {
+		return nil, err
 	}
-	p := &pipeline{in: in, opt: opt}
-	p.init()
-
-	rep := p.newDomain()
-	if opt.EnablePortCapacity {
-		p.stepPortCapacity(rep)
-	}
-	if opt.EnableRTTColo {
-		p.stepRTTColo(rep)
-	}
-	if opt.EnableMultiIXP {
-		p.stepMultiIXP(rep, nil)
-	}
-	if opt.EnablePrivate {
-		p.stepPrivate(rep)
-	}
-	return rep, nil
+	return c.Run(opt)
 }
 
 // RunWithOrder executes the enabled steps in an explicit order instead
 // of the paper's 1,2+3,4,5 sequence — the step-ordering ablation
 // (DESIGN.md section 5). Steps absent from order do not run.
 func RunWithOrder(in Inputs, opt Options, order []Step) (*Report, error) {
-	if in.World == nil || in.Dataset == nil || in.Colo == nil {
-		return nil, fmt.Errorf("core: World, Dataset and Colo inputs are required")
+	c, err := NewContext(in)
+	if err != nil {
+		return nil, err
 	}
-	p := &pipeline{in: in, opt: opt}
-	p.init()
-	rep := p.newDomain()
-	for _, s := range order {
-		switch s {
-		case StepPortCapacity:
-			p.stepPortCapacity(rep)
-		case StepRTTColo:
-			p.stepRTTColo(rep)
-		case StepMultiIXP:
-			p.stepMultiIXP(rep, nil)
-		case StepPrivate:
-			p.stepPrivate(rep)
-		default:
-			return nil, fmt.Errorf("core: RunWithOrder does not support %v", s)
-		}
-	}
-	return rep, nil
+	return c.RunWithOrder(opt, order)
 }
 
 // RunStep evaluates one step of the methodology in isolation: the full
@@ -116,76 +89,31 @@ func RunWithOrder(in Inputs, opt Options, order []Step) (*Report, error) {
 // domain so that its own reach and error rates are visible (the
 // per-step rows of Table 4, whose coverages overlap across steps).
 func RunStep(in Inputs, opt Options, s Step) (*Report, error) {
-	p := &pipeline{in: in, opt: opt}
-	if in.World == nil || in.Dataset == nil || in.Colo == nil {
-		return nil, fmt.Errorf("core: World, Dataset and Colo inputs are required")
+	c, err := NewContext(in)
+	if err != nil {
+		return nil, err
 	}
-	p.init()
-	overlay := p.newDomain()
-	switch s {
-	case StepPortCapacity:
-		p.stepPortCapacity(overlay)
-	case StepRTTColo:
-		p.stepRTTColo(overlay)
-	case StepMultiIXP:
-		base, err := Run(in, opt)
-		if err != nil {
-			return nil, err
-		}
-		type memKey struct {
-			asn netsim.ASN
-			ixp string
-		}
-		seedIdx := make(map[memKey]PeerClass)
-		for k, inf := range base.Inferences {
-			if (inf.Step == StepPortCapacity || inf.Step == StepRTTColo) && inf.Class != ClassUnknown {
-				mk := memKey{inf.ASN, k.IXP}
-				if _, ok := seedIdx[mk]; !ok {
-					seedIdx[mk] = inf.Class
-				}
-			}
-		}
-		seed := func(asn netsim.ASN, ixp string) PeerClass {
-			return seedIdx[memKey{asn, ixp}]
-		}
-		p.stepMultiIXP(overlay, seed)
-	case StepPrivate:
-		p.stepPrivate(overlay)
-	default:
-		return nil, fmt.Errorf("core: RunStep does not support %v", s)
-	}
-	return overlay, nil
+	return c.RunStep(opt, s)
 }
 
 // newDomain instantiates the inference domain: one unknown-classified
-// entry per interface record of the merged dataset.
+// entry per interface record of the merged dataset. The entry list is
+// precomputed on the shared context; the per-run cost is one Inference
+// array and its index map.
 func (p *pipeline) newDomain() *Report {
-	rep := &Report{Inferences: make(map[Key]*Inference)}
-	for _, ixpName := range ixpNames(p.in) {
-		for _, rec := range p.in.Dataset.MembersOf(ixpName) {
-			k := Key{IXP: ixpName, Iface: rec.IP}
-			if _, dup := rep.Inferences[k]; dup {
-				continue
-			}
-			inf := &Inference{
-				IXP: ixpName, Iface: rec.IP, ASN: rec.ASN,
-				RTTMinMs:              math.NaN(),
-				FeasibleIXPFacilities: -1,
-			}
-			if rtt, ok := p.rtt[rec.IP]; ok {
-				inf.RTTMinMs = rtt
-				inf.TraceRTT = p.traceDerived[rec.IP]
-			}
-			rep.Inferences[k] = inf
-		}
-	}
-	return rep
+	return p.ctx.domainReport(p.rtt, func(inf *Inference, _ float64) {
+		inf.TraceRTT = p.traceDerived[inf.Iface]
+	})
 }
 
-// pipeline holds the precomputed state shared by the steps.
+// pipeline is one run's view over the shared Context: the RTT table
+// matching Options.UseTracerouteRTT, the option knobs, and reusable
+// scratch buffers. It is cheap to build and must not outlive its
+// context.
 type pipeline struct {
 	in  Inputs
 	opt Options
+	ctx *Context
 
 	// rtt is the per-interface campaign minimum across usable VPs.
 	rtt map[netip.Addr]float64
@@ -193,72 +121,50 @@ type pipeline struct {
 	bestVP map[netip.Addr]*pingsim.VP
 	// rounds marks interfaces whose minimum came from a rounding LG.
 	rounds map[netip.Addr]bool
+	// traceDerived marks interfaces whose RTT came from traceroutes
+	// (nil unless Options.UseTracerouteRTT).
+	traceDerived map[netip.Addr]bool
 
-	det       *traix.Detector
 	crossings []traix.Crossing
 	privHops  []traix.PrivateHop
-	resolver  *alias.Resolver
 
-	// traceDerived marks interfaces whose RTT came from traceroutes.
-	traceDerived map[netip.Addr]bool
-	pseudoVPs    map[string]*pingsim.VP
+	// ringA and ringB are reusable feasible-ring result buffers.
+	ringA, ringB []netsim.FacilityID
 }
 
-// pseudoVP returns (allocating lazily) a synthetic vantage point at the
-// IXP's primary recorded facility, used to anchor the Step 3 geometry
-// for traceroute-derived RTTs.
-func (p *pipeline) pseudoVP(ixp string) *pingsim.VP {
-	if vp, ok := p.pseudoVPs[ixp]; ok {
-		return vp
-	}
-	facs := p.in.Colo.IXPFacilities[ixp]
-	if len(facs) == 0 {
-		p.pseudoVPs[ixp] = nil
-		return nil
-	}
-	fac := p.in.World.Facility(facs[0])
-	if fac == nil {
-		p.pseudoVPs[ixp] = nil
-		return nil
-	}
-	vp := &pingsim.VP{
-		ID: -1 - len(p.pseudoVPs), IXP: -1, Kind: pingsim.KindLG,
-		Facility: fac.ID, Loc: fac.Loc,
-	}
-	p.pseudoVPs[ixp] = vp
-	return vp
+// newPipeline binds a run view to the context.
+func (c *Context) newPipeline(opt Options) *pipeline {
+	p := &pipeline{in: c.in, opt: opt, ctx: c}
+	p.bind()
+	return p
 }
 
+// init builds a private context and binds to it; it exists for the
+// cold path and for tests that assemble a pipeline literal directly.
 func (p *pipeline) init() {
-	p.rtt = make(map[netip.Addr]float64)
-	p.bestVP = make(map[netip.Addr]*pingsim.VP)
-	p.rounds = make(map[netip.Addr]bool)
-	if p.in.Ping != nil {
-		for _, vp := range p.in.Ping.UsableVPs {
-			for _, m := range p.in.Ping.ByVP[vp.ID] {
-				if !m.Usable() {
-					continue
-				}
-				if cur, ok := p.rtt[m.Iface]; !ok || m.RTTMinMs < cur {
-					p.rtt[m.Iface] = m.RTTMinMs
-					p.bestVP[m.Iface] = vp
-					p.rounds[m.Iface] = vp.RoundsUp
-				}
-			}
-		}
+	if p.ctx == nil {
+		p.ctx = newContext(p.in)
 	}
-	p.traceDerived = make(map[netip.Addr]bool)
-	p.pseudoVPs = make(map[string]*pingsim.VP)
-	ipmap := registry.BuildIPMap(p.in.World)
-	p.det = traix.NewDetector(p.in.Dataset, ipmap)
-	if len(p.in.Paths) > 0 {
-		p.crossings = p.det.DetectAll(p.in.Paths)
-		p.privHops = p.det.DetectPrivateAll(p.in.Paths)
-	}
+	p.bind()
+}
+
+// bind selects the context state matching the pipeline options.
+func (p *pipeline) bind() {
+	c := p.ctx
 	if p.opt.UseTracerouteRTT {
-		p.augmentWithTracerouteRTT()
+		p.rtt, p.bestVP, p.rounds, p.traceDerived = c.traceAugmented()
+	} else {
+		p.rtt, p.bestVP, p.rounds, p.traceDerived = c.rtt, c.bestVP, c.rounds, nil
 	}
-	p.resolver = alias.NewResolver(alias.NewProber(p.in.World, p.in.Seed), p.opt.AliasMode)
+	p.crossings = c.crossings
+	p.privHops = c.privHops
+}
+
+// resolve alias-resolves a sorted interface list through the context's
+// memoized resolver for the run's alias mode. The returned clusters
+// are shared and read-only.
+func (p *pipeline) resolve(ifaces []netip.Addr) [][]netip.Addr {
+	return p.ctx.resolve(p.opt.AliasMode, ifaces)
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +214,18 @@ func (p *pipeline) feasibleRing(iface netip.Addr, rtt float64) (dMin, dMax float
 	return p.in.Speed.DMin(low), dMax
 }
 
+// ixpRing filters the IXP's facilities to those inside [dMin, dMax]
+// from the VP, through the context's memoized distance index, reusing
+// buf.
+func (p *pipeline) ixpRing(ixp string, vp *pingsim.VP, dMin, dMax float64, buf []netsim.FacilityID) []netsim.FacilityID {
+	return p.ctx.ringQuery(ringKey{loc: vp.Loc, ixp: ixp}, p.in.Colo.IXPFacilities[ixp], dMin, dMax, buf[:0])
+}
+
+// asRing is ixpRing for a member AS's colocation facilities.
+func (p *pipeline) asRing(asn netsim.ASN, facs []netsim.FacilityID, vp *pingsim.VP, dMin, dMax float64, buf []netsim.FacilityID) []netsim.FacilityID {
+	return p.ctx.ringQuery(ringKey{loc: vp.Loc, asn: asn}, facs, dMin, dMax, buf[:0])
+}
+
 // stepRTTColo applies the Step 3 rules to every membership with a
 // usable RTT minimum.
 func (p *pipeline) stepRTTColo(rep *Report) {
@@ -322,12 +240,13 @@ func (p *pipeline) stepRTTColo(rep *Report) {
 		vp := p.bestVP[k.Iface]
 		dMin, dMax := p.feasibleRing(k.Iface, rtt)
 
-		ixpFacs := p.in.Colo.IXPFacilities[k.IXP]
-		feasIXP := p.facilitiesInRing(ixpFacs, vp.Loc, dMin, dMax)
+		feasIXP := p.ixpRing(k.IXP, vp, dMin, dMax, p.ringA)
+		p.ringA = feasIXP[:0]
 		inf.FeasibleIXPFacilities = len(feasIXP)
 
 		asFacs, hasData := p.in.Colo.Facilities(inf.ASN)
-		feasAS := p.facilitiesInRing(asFacs, vp.Loc, dMin, dMax)
+		feasAS := p.asRing(inf.ASN, asFacs, vp, dMin, dMax, p.ringB)
+		p.ringB = feasAS[:0]
 
 		switch {
 		case len(feasIXP) == 0:
@@ -350,59 +269,20 @@ func (p *pipeline) stepRTTColo(rep *Report) {
 	}
 }
 
-// facilitiesInRing filters facility ids whose distance from the VP
-// falls inside [dMin, dMax].
-func (p *pipeline) facilitiesInRing(facs []netsim.FacilityID, vp geo.Point, dMin, dMax float64) []netsim.FacilityID {
-	var out []netsim.FacilityID
-	for _, f := range facs {
-		fac := p.in.World.Facility(f)
-		if fac == nil {
-			continue
-		}
-		d := geo.DistanceKm(vp, fac.Loc)
-		if d >= dMin && d <= dMax {
-			out = append(out, f)
-		}
-	}
-	return out
-}
-
 func intersects(a, b []netsim.FacilityID) bool {
-	set := make(map[netsim.FacilityID]bool, len(a))
-	for _, f := range a {
-		set[f] = true
-	}
-	for _, f := range b {
-		if set[f] {
-			return true
+	for _, fa := range a {
+		for _, fb := range b {
+			if fa == fb {
+				return true
+			}
 		}
 	}
 	return false
 }
 
-// facDist computes min and max geodesic distance between two facility
-// sets; ok is false when either set is empty.
+// facDist computes min and max distance between two facility sets via
+// the context's precomputed unit vectors; ok is false when either set
+// is empty.
 func (p *pipeline) facDist(a, b []netsim.FacilityID) (minKm, maxKm float64, ok bool) {
-	minKm = math.Inf(1)
-	for _, fa := range a {
-		la := p.in.World.Facility(fa)
-		if la == nil {
-			continue
-		}
-		for _, fb := range b {
-			lb := p.in.World.Facility(fb)
-			if lb == nil {
-				continue
-			}
-			d := geo.DistanceKm(la.Loc, lb.Loc)
-			if d < minKm {
-				minKm = d
-			}
-			if d > maxKm {
-				maxKm = d
-			}
-			ok = true
-		}
-	}
-	return minKm, maxKm, ok
+	return p.ctx.facDist(a, b)
 }

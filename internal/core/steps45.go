@@ -86,7 +86,7 @@ func (p *pipeline) multiIXPClusters(obs map[netsim.ASN]*asObservations) []*Multi
 			ifaces = append(ifaces, ip)
 		}
 		sort.Slice(ifaces, func(i, j int) bool { return ifaces[i].Less(ifaces[j]) })
-		for _, cluster := range p.resolver.Resolve(ifaces) {
+		for _, cluster := range p.resolve(ifaces) {
 			ixps := make(map[string]bool)
 			for _, ip := range cluster {
 				for x := range o.nearIXPs[ip] {
@@ -104,7 +104,11 @@ func (p *pipeline) multiIXPClusters(obs map[netsim.ASN]*asObservations) []*Multi
 				names = append(names, x)
 			}
 			sort.Strings(names)
-			routers = append(routers, &MultiIXPRouter{ASN: asn, Ifaces: cluster, IXPs: names})
+			// Copy the cluster out of the context's shared alias cache so
+			// the public Report owns its slices.
+			routers = append(routers, &MultiIXPRouter{
+				ASN: asn, Ifaces: append([]netip.Addr(nil), cluster...), IXPs: names,
+			})
 		}
 	}
 	return routers
@@ -129,6 +133,14 @@ func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerC
 	for k, inf := range rep.Inferences {
 		mk := memKey{inf.ASN, k.IXP}
 		idx[mk] = append(idx[mk], inf)
+	}
+	// The map iteration above is randomised; order the per-membership
+	// slices so classOf (which picks the first decided entry) cannot
+	// depend on it.
+	for _, infs := range idx {
+		if len(infs) > 1 {
+			sort.Slice(infs, func(i, j int) bool { return infs[i].Iface.Less(infs[j].Iface) })
+		}
 	}
 	classOf := func(asn netsim.ASN, ixp string) PeerClass {
 		if seed != nil {
@@ -315,16 +327,8 @@ func (p *pipeline) stepPrivate(rep *Report) {
 	if len(p.privHops) == 0 {
 		return
 	}
-	// Index private neighbours by observed interface.
-	type neighbour struct {
-		iface netip.Addr
-		other netsim.ASN
-	}
-	byAS := make(map[netsim.ASN][]neighbour)
-	for _, h := range p.privHops {
-		byAS[h.AAS] = append(byAS[h.AAS], neighbour{h.AIP, h.BAS})
-		byAS[h.BAS] = append(byAS[h.BAS], neighbour{h.BIP, h.AAS})
-	}
+	// Private neighbours per AS come precomputed from the context.
+	byAS := p.ctx.byASPriv
 
 	for k, inf := range rep.Inferences {
 		if inf.Class != ClassUnknown {
@@ -348,7 +352,7 @@ func (p *pipeline) stepPrivate(rep *Report) {
 		sort.Slice(ifaces, func(i, j int) bool { return ifaces[i].Less(ifaces[j]) })
 
 		var cluster []netip.Addr
-		for _, c := range p.resolver.Resolve(ifaces) {
+		for _, c := range p.resolve(ifaces) {
 			for _, ip := range c {
 				if ip == k.Iface {
 					cluster = c
@@ -414,7 +418,8 @@ func (p *pipeline) stepPrivate(rep *Report) {
 		if rtt, ok := p.rtt[k.Iface]; ok {
 			vp := p.bestVP[k.Iface]
 			dMin, dMax := p.feasibleRing(k.Iface, rtt)
-			fIXP = p.facilitiesInRing(fIXP, vp.Loc, dMin, dMax)
+			fIXP = p.ixpRing(k.IXP, vp, dMin, dMax, p.ringA)
+			p.ringA = fIXP[:0]
 		}
 		// The paper requires |FIXP ∩ Fcommon| = 1 for a local verdict;
 		// with top-count voting Fcommon is nearly always a single

@@ -7,7 +7,10 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rpeer/internal/core"
 	"rpeer/internal/geo"
@@ -20,8 +23,16 @@ import (
 )
 
 // Env is the assembled experimental environment: one world, its
-// datasets, one measurement campaign, one pipeline run and the
-// validation split. Build it once and feed it to every experiment.
+// datasets, one measurement campaign, one shared inference context,
+// one pipeline run and the validation split. Build it once and feed it
+// to every experiment.
+//
+// Ctx is the shared core.Context over Inputs: constructors that re-run
+// the pipeline under modified options (Table 4's per-step rows, the
+// Section 8 extension) go through it so the RTT indexes, traceroute
+// detections, geo rings and alias clusters are computed once per
+// environment rather than once per artefact. The context is safe for
+// the concurrent use All makes of it.
 type Env struct {
 	World      *netsim.World
 	Dataset    *registry.Dataset
@@ -30,6 +41,7 @@ type Env struct {
 	Ping       *pingsim.Result
 	Paths      []*traix.Path
 	Inputs     core.Inputs
+	Ctx        *core.Context
 	Report     *core.Report
 	BaseReport *core.Report
 	Validation *core.Validation
@@ -59,11 +71,15 @@ func NewEnv(seed int64) (*Env, error) {
 		World: w, Dataset: ds, Colo: colo, Ping: ping, Paths: paths,
 		Speed: geo.DefaultSpeedModel(), Seed: seed + 6,
 	}
-	rep, err := core.Run(in, core.DefaultOptions())
+	ctx, err := core.NewContext(in)
+	if err != nil {
+		return nil, fmt.Errorf("exp: context: %w", err)
+	}
+	rep, err := ctx.Run(core.DefaultOptions())
 	if err != nil {
 		return nil, fmt.Errorf("exp: pipeline: %w", err)
 	}
-	base, err := core.Baseline(in, core.DefaultBaselineThresholdMs)
+	base, err := ctx.Baseline(core.DefaultBaselineThresholdMs)
 	if err != nil {
 		return nil, fmt.Errorf("exp: baseline: %w", err)
 	}
@@ -73,7 +89,7 @@ func NewEnv(seed int64) (*Env, error) {
 
 	env := &Env{
 		World: w, Dataset: ds, Colo: colo, VPs: vps, Ping: ping,
-		Paths: paths, Inputs: in, Report: rep, BaseReport: base,
+		Paths: paths, Inputs: in, Ctx: ctx, Report: rep, BaseReport: base,
 		Validation: val,
 		ixpByName:  make(map[string]*netsim.IXP, len(w.IXPs)),
 	}
@@ -127,36 +143,85 @@ type Result struct {
 	Notes      []string
 }
 
-// All regenerates every artefact in paper order.
+// constructors lists every artefact in paper order.
+var constructors = []func(*Env) Result{
+	Table1,
+	Table2,
+	Fig1a,
+	Fig1b,
+	Fig2a,
+	Fig2b,
+	Fig4,
+	Fig5,
+	Fig6,
+	Table4,
+	Fig8,
+	Table5,
+	Fig9a,
+	Fig9b,
+	Fig9c,
+	Fig9d,
+	Fig10a,
+	Fig10b,
+	Fig11a,
+	Fig11b,
+	Fig12a,
+	Fig12b,
+	Sec64,
+	Sec7,
+	Sec8,
+	Sec8Longitudinal,
+}
+
+// All regenerates every artefact in paper order, fanning the
+// independent constructors out across one worker per CPU. Results are
+// returned in the same deterministic order as the serial path and are
+// value-identical to it (see AllSerial and the determinism test).
 func All(env *Env) []Result {
-	return []Result{
-		Table1(env),
-		Table2(env),
-		Fig1a(env),
-		Fig1b(env),
-		Fig2a(env),
-		Fig2b(env),
-		Fig4(env),
-		Fig5(env),
-		Fig6(env),
-		Table4(env),
-		Fig8(env),
-		Table5(env),
-		Fig9a(env),
-		Fig9b(env),
-		Fig9c(env),
-		Fig9d(env),
-		Fig10a(env),
-		Fig10b(env),
-		Fig11a(env),
-		Fig11b(env),
-		Fig12a(env),
-		Fig12b(env),
-		Sec64(env),
-		Sec7(env),
-		Sec8(env),
-		Sec8Longitudinal(env),
+	return AllWorkers(env, 0)
+}
+
+// AllSerial regenerates every artefact on the calling goroutine, for
+// callers that need single-threaded execution (or a reference output
+// to compare the parallel path against).
+func AllSerial(env *Env) []Result {
+	return AllWorkers(env, 1)
+}
+
+// AllWorkers is All with an explicit worker count; workers <= 0 uses
+// GOMAXPROCS. Each artefact is independent: constructors only read the
+// environment and share the thread-safe core.Context.
+func AllWorkers(env *Env, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(constructors) {
+		workers = len(constructors)
+	}
+	out := make([]Result, len(constructors))
+	if workers <= 1 {
+		for i, f := range constructors {
+			out[i] = f(env)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(constructors) {
+					return
+				}
+				out[i] = constructors[i](env)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // controlCampaign runs the "one-time access" LG-style measurements the

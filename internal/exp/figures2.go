@@ -435,7 +435,7 @@ func Sec8(env *Env) Result {
 	test := env.TestSubset()
 	opt := core.DefaultOptions()
 	opt.UseTracerouteRTT = true
-	ext, err := core.Run(env.Inputs, opt)
+	ext, err := env.Ctx.Run(opt)
 	t := report.NewTable("Section 8: traceroute-derived RTTs (Beyond Pings)",
 		"Variant", "COV", "ACC", "PRE", "FPR", "trace-derived ifaces")
 	if err == nil {

@@ -1,0 +1,31 @@
+package exp
+
+import "testing"
+
+// TestAllParallelMatchesSerial pins the determinism contract of the
+// parallel artefact fan-out: every table rendered by the worker pool
+// must be byte-identical to the serial path, in the same order. The
+// parallel pass runs first, on a freshly built environment, so the
+// workers exercise concurrent first-touch construction of the
+// context's lazy caches rather than a pre-warmed fast path.
+func TestAllParallelMatchesSerial(t *testing.T) {
+	e, err := NewEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := AllWorkers(e, 8)
+	serial := AllSerial(e)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].ID != parallel[i].ID {
+			t.Fatalf("order differs at %d: %q vs %q", i, serial[i].ID, parallel[i].ID)
+		}
+		ss, ps := serial[i].Table.String(), parallel[i].Table.String()
+		if ss != ps {
+			t.Errorf("%s differs between serial and parallel runs:\nserial:\n%s\nparallel:\n%s",
+				serial[i].ID, ss, ps)
+		}
+	}
+}

@@ -95,7 +95,7 @@ func Table4(env *Env) Result {
 	// Per-step rows evaluate each step standalone over the full domain
 	// (their coverages overlap, exactly as in the paper's Table 4).
 	stepRow := func(name string, s core.Step, remoteOnly bool) {
-		rep, err := core.RunStep(env.Inputs, core.DefaultOptions(), s)
+		rep, err := env.Ctx.RunStep(core.DefaultOptions(), s)
 		if err != nil {
 			t.AddRow(name, "error", err.Error(), "-", "-", "-")
 			return

@@ -1,0 +1,52 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+var vecPairs = []struct {
+	a, b Point
+}{
+	{Point{52.3, 4.9}, Point{50.1, 8.7}},    // Amsterdam - Frankfurt
+	{Point{51.5, -0.1}, Point{40.7, -74.0}}, // London - New York
+	{Point{1.3, 103.8}, Point{35.7, 139.7}}, // Singapore - Tokyo
+	{Point{0, 0}, Point{0, 0}},              // coincident
+	{Point{10, 20}, Point{10.001, 20.001}},  // sub-km
+	{Point{45, 0}, Point{-45, 180}},         // near-antipodal
+}
+
+func TestArcKmMatchesHaversine(t *testing.T) {
+	for _, p := range vecPairs {
+		want := HaversineKm(p.a, p.b)
+		got := ArcKm(UnitVec(p.a), UnitVec(p.b))
+		if math.Abs(got-want) > 1e-6*(want+1) {
+			t.Errorf("ArcKm(%v,%v) = %v, haversine = %v", p.a, p.b, got, want)
+		}
+	}
+}
+
+func TestArcKmCloseToGeodesic(t *testing.T) {
+	for _, p := range vecPairs {
+		geod := DistanceKm(p.a, p.b)
+		arc := ArcKm(UnitVec(p.a), UnitVec(p.b))
+		if geod == 0 {
+			if arc > 1e-6 {
+				t.Errorf("coincident points: arc = %v", arc)
+			}
+			continue
+		}
+		if rel := math.Abs(arc-geod) / geod; rel > 0.006 {
+			t.Errorf("spherical error %v for %v-%v exceeds flattening bound", rel, p.a, p.b)
+		}
+	}
+}
+
+func BenchmarkArcKm(b *testing.B) {
+	v1, v2 := UnitVec(Point{52.3, 4.9}), UnitVec(Point{50.1, 8.7})
+	for i := 0; i < b.N; i++ {
+		sinkF = ArcKm(v1, v2)
+	}
+}
+
+var sinkF float64

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"rpeer/internal/geo"
 	"rpeer/internal/netsim"
@@ -192,6 +193,59 @@ type Result struct {
 	// UsableVPs lists VPs that survive the route-server filter
 	// (RTTmin < 1 ms) and answered at all.
 	UsableVPs []*VP
+
+	idxOnce sync.Once
+	idx     map[netip.Addr]*IfaceAgg
+}
+
+// IfaceAgg is the campaign aggregate for one member interface across
+// all usable VPs: the minimum RTT, the VP achieving it, and the
+// rounding flags Step 3 consumes. It is built once per Result (see
+// IfaceIndex) so per-interface queries stop re-scanning the full
+// measurement set.
+type IfaceAgg struct {
+	// RTTMinMs is the campaign minimum across usable VPs.
+	RTTMinMs float64
+	// BestVP is the usable VP that measured RTTMinMs (ties resolve to
+	// the earlier VP in UsableVPs order).
+	BestVP *VP
+	// BestRoundsUp reports whether BestVP rounds RTTs up.
+	BestRoundsUp bool
+	// AnyRounding reports whether any usable rounding VP measured the
+	// interface at all (the VPRounding predicate).
+	AnyRounding bool
+}
+
+// IfaceIndex returns the per-interface campaign aggregates, building
+// them on first use (one pass over all usable-VP measurements). The
+// returned map is shared and must be treated as read-only; concurrent
+// callers are safe.
+func (r *Result) IfaceIndex() map[netip.Addr]*IfaceAgg {
+	r.idxOnce.Do(func() {
+		idx := make(map[netip.Addr]*IfaceAgg)
+		for _, vp := range r.UsableVPs {
+			for _, m := range r.ByVP[vp.ID] {
+				if !m.Usable() {
+					continue
+				}
+				a := idx[m.Iface]
+				if a == nil {
+					a = &IfaceAgg{RTTMinMs: math.Inf(1)}
+					idx[m.Iface] = a
+				}
+				if m.RTTMinMs < a.RTTMinMs {
+					a.RTTMinMs = m.RTTMinMs
+					a.BestVP = vp
+					a.BestRoundsUp = vp.RoundsUp
+				}
+				if vp.RoundsUp {
+					a.AnyRounding = true
+				}
+			}
+		}
+		r.idx = idx
+	})
+	return r.idx
 }
 
 // Run executes a ping campaign from every VP towards all member
@@ -324,23 +378,10 @@ func pingTarget(w *netsim.World, vp *VP, mem *netsim.Member, cfg CampaignConfig,
 // LG rounding correction downstream consumers need the raw value for:
 // the minimum over VPs of each VP's RTTmin.
 func (r *Result) MinRTTByIface() map[netip.Addr]float64 {
-	out := make(map[netip.Addr]float64)
-	usable := make(map[int]bool, len(r.UsableVPs))
-	for _, vp := range r.UsableVPs {
-		usable[vp.ID] = true
-	}
-	for id, ms := range r.ByVP {
-		if !usable[id] {
-			continue
-		}
-		for _, m := range ms {
-			if !m.Usable() {
-				continue
-			}
-			if cur, ok := out[m.Iface]; !ok || m.RTTMinMs < cur {
-				out[m.Iface] = m.RTTMinMs
-			}
-		}
+	idx := r.IfaceIndex()
+	out := make(map[netip.Addr]float64, len(idx))
+	for ip, a := range idx {
+		out[ip] = a.RTTMinMs
 	}
 	return out
 }
@@ -348,15 +389,6 @@ func (r *Result) MinRTTByIface() map[netip.Addr]float64 {
 // VPRounding reports whether any usable VP that measured iface rounds
 // RTTs up; Step 3 widens the lower distance bound for such targets.
 func (r *Result) VPRounding(iface netip.Addr) bool {
-	for _, vp := range r.UsableVPs {
-		if !vp.RoundsUp {
-			continue
-		}
-		for _, m := range r.ByVP[vp.ID] {
-			if m.Iface == iface && m.Usable() {
-				return true
-			}
-		}
-	}
-	return false
+	a := r.IfaceIndex()[iface]
+	return a != nil && a.AnyRounding
 }
