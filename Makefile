@@ -1,4 +1,8 @@
 GO ?= go
+# PR number stamped into the benchmark snapshot file name; bump (or
+# override: `make bench-snapshot PR=3`) each PR so trajectories of all
+# PRs stay side by side.
+PR ?= 2
 
 # Pipelines (bench-snapshot) must fail when any stage fails, not just
 # the last one, or a broken benchmark run would silently overwrite the
@@ -6,7 +10,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet test bench bench-smoke bench-snapshot
+.PHONY: all build vet test test-race bench bench-smoke bench-snapshot
 
 all: vet build test
 
@@ -19,6 +23,12 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-detector pass over the concurrency-heavy packages (the sharded
+# pipeline, parallel substrate build and artefact fan-out all have
+# dedicated concurrent tests).
+test-race:
+	$(GO) test -race ./...
+
 # Full benchmark sweep (slow).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem
@@ -27,8 +37,16 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$' -benchmem -benchtime=1x
 
-# Snapshot the perf-critical benchmarks to BENCH_PR1.json so future
-# PRs have a trajectory to compare against.
+# Snapshot the perf-critical benchmarks to BENCH_PR$(PR).json so
+# future PRs have a trajectory to compare against. The scaling suite
+# runs at one iteration (the 16x world alone costs tens of seconds).
+# Both stages land in a temp file first and the snapshot is written
+# only if every stage succeeded — a mid-run failure must not leave a
+# plausible-looking partial snapshot behind.
 bench-snapshot:
-	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign' \
-		-benchmem -benchtime=3x | $(GO) run ./cmd/rpi-benchsnap -o BENCH_PR1.json
+	tmp=$$(mktemp); \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign' \
+		-benchmem -benchtime=3x > $$tmp && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkScaleWorld' -benchmem -benchtime=1x >> $$tmp && \
+	  $(GO) run ./cmd/rpi-benchsnap -o BENCH_PR$(PR).json < $$tmp; }; \
+	st=$$?; rm -f $$tmp; exit $$st

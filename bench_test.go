@@ -2,7 +2,7 @@
 // benchmark per table and figure of the paper's evaluation (each
 // regenerates the artefact from the shared experiment environment and
 // reports the headline metric), plus the design-choice ablations
-// called out in DESIGN.md section 5.
+// called out in DESIGN.md section 6.
 //
 // Run with:
 //
@@ -11,6 +11,8 @@ package rpeer
 
 import (
 	"bytes"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -178,7 +180,7 @@ func BenchmarkContextBuild(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Ablations (DESIGN.md section 5)
+// Ablations (DESIGN.md section 6)
 
 // ablate runs the pipeline under modified options and reports accuracy
 // and coverage against the test subset.
@@ -370,5 +372,103 @@ func BenchmarkAllArtefactsParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sink = exp.All(e)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scaling suite: the same measurements at growing world sizes
+// (netsim.ScaledConfig presets), so BENCH_*.json tracks how the system
+// scales with the world — not just how fast the default world runs.
+// Every sub-benchmark reports the domain size (inferences/op), making
+// the growth curve visible next to the timings.
+
+var (
+	scaleMu   sync.Mutex
+	scaleEnvs = map[int]*exp.Env{}
+)
+
+func benchScaledEnv(b *testing.B, factor int) *exp.Env {
+	b.Helper()
+	scaleMu.Lock()
+	defer scaleMu.Unlock()
+	e, ok := scaleEnvs[factor]
+	if !ok {
+		var err error
+		e, err = exp.NewEnvWithConfig(netsim.ScaledConfig(factor), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scaleEnvs[factor] = e
+	}
+	return e
+}
+
+func BenchmarkScaleWorld(b *testing.B) {
+	for _, factor := range []int{1, 4, 16} {
+		factor := factor
+		b.Run(fmt.Sprintf("%dx", factor), func(b *testing.B) {
+			b.Run("env-build", func(b *testing.B) {
+				b.ReportAllocs()
+				var last *exp.Env
+				for i := 0; i < b.N; i++ {
+					e, err := exp.NewEnvWithConfig(netsim.ScaledConfig(factor), 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = e
+					sink = e
+				}
+				// Domain size comes from the env built in the loop: a
+				// benchScaledEnv call here would run inside the timed
+				// window and double the recorded cost at -benchtime=1x.
+				b.ReportMetric(float64(len(last.Report.Inferences)), "inferences/op")
+				// Seed the cache so the sibling sub-benchmarks reuse
+				// this env instead of rebuilding the same world.
+				scaleMu.Lock()
+				if _, ok := scaleEnvs[factor]; !ok {
+					scaleEnvs[factor] = last
+				}
+				scaleMu.Unlock()
+			})
+			b.Run("context-build", func(b *testing.B) {
+				e := benchScaledEnv(b, factor)
+				b.ReportAllocs()
+				runtime.GC() // don't bill env-build garbage to this phase
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c, err := core.NewContext(e.Inputs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink = c
+				}
+				b.ReportMetric(float64(len(e.Report.Inferences)), "inferences/op")
+			})
+			b.Run("pipeline", func(b *testing.B) {
+				e := benchScaledEnv(b, factor)
+				opt := core.DefaultOptions()
+				b.ReportAllocs()
+				runtime.GC()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := e.Ctx.Run(opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink = rep
+				}
+				b.ReportMetric(float64(len(e.Report.Inferences)), "inferences/op")
+			})
+			b.Run("suite", func(b *testing.B) {
+				e := benchScaledEnv(b, factor)
+				b.ReportAllocs()
+				runtime.GC()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sink = exp.All(e)
+				}
+				b.ReportMetric(float64(len(e.Report.Inferences)), "inferences/op")
+			})
+		})
 	}
 }

@@ -1,10 +1,15 @@
-// Command rpi-benchsnap converts `go test -bench` output on stdin
-// into a JSON snapshot, so benchmark trajectories can be compared
-// across PRs without parsing text logs.
+// Command rpi-benchsnap converts `go test -bench` output into a JSON
+// snapshot, so benchmark trajectories can be compared across PRs
+// without parsing text logs.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem | rpi-benchsnap -o BENCH.json
+//
+// or, letting rpi-benchsnap drive `go test` itself (which also unlocks
+// profiling for hot-path hunts):
+//
+//	rpi-benchsnap -bench 'BenchmarkFullPipeline$' -cpuprofile cpu.prof -o BENCH.json
 //
 // Each benchmark line becomes one record with its ns/op, B/op,
 // allocs/op and any custom metrics (ACC%, COV%, ...).
@@ -15,8 +20,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -44,10 +52,43 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rpi-benchsnap: ")
 	out := flag.String("o", "", "output file (default stdout)")
+	bench := flag.String("bench", "", "run `go test -bench` with this pattern instead of reading stdin")
+	benchtime := flag.String("benchtime", "", "passed through to go test -benchtime (requires -bench)")
+	pkg := flag.String("pkg", ".", "package to benchmark (requires -bench)")
+	cpuprofile := flag.String("cpuprofile", "", "passed through to go test -cpuprofile: write a CPU profile of the benchmark run for hot-path hunts (requires -bench)")
 	flag.Parse()
 
+	var src io.Reader = os.Stdin
+	if *bench == "" {
+		if *benchtime != "" || *cpuprofile != "" {
+			log.Fatal("-benchtime and -cpuprofile require -bench (they are flags of the go test run)")
+		}
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		if *cpuprofile != "" {
+			// Profiling makes `go test` keep the test binary; point it
+			// at the temp dir instead of littering the repository.
+			args = append(args, "-cpuprofile", *cpuprofile,
+				"-o", filepath.Join(os.TempDir(), "rpi-benchsnap.test"))
+		}
+		args = append(args, *pkg)
+		var sb strings.Builder
+		cmd := exec.Command("go", args...)
+		// Mirror the raw bench lines to stderr so the usual progress
+		// stays visible while the snapshot parses the copy.
+		cmd.Stdout = io.MultiWriter(&sb, os.Stderr)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			log.Fatalf("go %s: %v", strings.Join(args, " "), err)
+		}
+		src = strings.NewReader(sb.String())
+	}
+
 	snap := Snapshot{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(src)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())

@@ -76,11 +76,14 @@ type Context struct {
 	facVecs []geo.Vec3
 	facOK   []bool
 
-	ringMu sync.Mutex
+	// ringMu is an RWMutex because ring queries are read-dominated once
+	// the per-(VP, facility-set) indexes are warm: parallel shards take
+	// the read lock on the fast path and only contend on first touch.
+	ringMu sync.RWMutex
 	rings  map[ringKey][]ringEntry
 
 	resolvers  map[alias.Mode]*alias.Resolver
-	aliasMu    sync.Mutex
+	aliasMu    sync.RWMutex
 	aliasCache map[string][][]netip.Addr
 }
 
@@ -134,40 +137,65 @@ func newContext(in Inputs) *Context {
 		resolvers:  make(map[alias.Mode]*alias.Resolver),
 		aliasCache: make(map[string][][]netip.Addr),
 	}
-	if in.Ping != nil {
-		for ip, a := range in.Ping.IfaceIndex() {
-			c.rtt[ip] = a.RTTMinMs
-			c.bestVP[ip] = a.BestVP
-			c.rounds[ip] = a.BestRoundsUp
+	// The substrate indexes depend only on the (immutable) inputs and
+	// not on each other, so they build concurrently: the ping-campaign
+	// fold, the traceroute plane (IP map -> detector -> crossings /
+	// private hops), and the geo unit vectors each get a goroutine.
+	// Each goroutine writes disjoint context fields; wg.Wait is the
+	// publication barrier.
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		if in.Ping != nil {
+			for ip, a := range in.Ping.IfaceIndex() {
+				c.rtt[ip] = a.RTTMinMs
+				c.bestVP[ip] = a.BestVP
+				c.rounds[ip] = a.BestRoundsUp
+			}
 		}
-	}
-	c.ipmap = registry.BuildIPMap(in.World)
-	c.det = traix.NewDetector(in.Dataset, c.ipmap)
-	if len(in.Paths) > 0 {
-		c.crossings = c.det.DetectAll(in.Paths)
-		c.privHops = c.det.DetectPrivateAll(in.Paths)
-	}
-	for _, h := range c.privHops {
-		c.byASPriv[h.AAS] = append(c.byASPriv[h.AAS], privNeighbour{h.AIP, h.BAS})
-		c.byASPriv[h.BAS] = append(c.byASPriv[h.BAS], privNeighbour{h.BIP, h.AAS})
-	}
+	}()
+	go func() {
+		defer wg.Done()
+		c.ipmap = registry.BuildIPMap(in.World)
+		c.det = traix.NewDetector(in.Dataset, c.ipmap)
+		if len(in.Paths) > 0 {
+			// Crossing and private-hop detection are two independent
+			// read-only passes over the corpus.
+			var dwg sync.WaitGroup
+			dwg.Add(1)
+			go func() {
+				defer dwg.Done()
+				c.privHops = c.det.DetectPrivateAll(in.Paths)
+			}()
+			c.crossings = c.det.DetectAll(in.Paths)
+			dwg.Wait()
+		}
+		for _, h := range c.privHops {
+			c.byASPriv[h.AAS] = append(c.byASPriv[h.AAS], privNeighbour{h.AIP, h.BAS})
+			c.byASPriv[h.BAS] = append(c.byASPriv[h.BAS], privNeighbour{h.BIP, h.AAS})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		maxID := netsim.FacilityID(-1)
+		for _, f := range in.World.Facilities {
+			if f != nil && f.ID > maxID {
+				maxID = f.ID
+			}
+		}
+		c.facVecs = make([]geo.Vec3, maxID+1)
+		c.facOK = make([]bool, maxID+1)
+		for _, f := range in.World.Facilities {
+			if f == nil || f.ID < 0 {
+				continue
+			}
+			c.facVecs[f.ID] = geo.UnitVec(f.Loc)
+			c.facOK[f.ID] = true
+		}
+	}()
 	c.ixps = ixpNames(in)
-
-	maxID := netsim.FacilityID(-1)
-	for _, f := range in.World.Facilities {
-		if f != nil && f.ID > maxID {
-			maxID = f.ID
-		}
-	}
-	c.facVecs = make([]geo.Vec3, maxID+1)
-	c.facOK = make([]bool, maxID+1)
-	for _, f := range in.World.Facilities {
-		if f == nil || f.ID < 0 {
-			continue
-		}
-		c.facVecs[f.ID] = geo.UnitVec(f.Loc)
-		c.facOK[f.ID] = true
-	}
+	wg.Wait()
 
 	return c
 }
@@ -210,7 +238,7 @@ func (c *Context) Run(opt Options) (*Report, error) {
 }
 
 // RunWithOrder executes the enabled steps in an explicit order (the
-// step-ordering ablation, DESIGN.md section 5). Steps absent from
+// step-ordering ablation, DESIGN.md section 6). Steps absent from
 // order do not run.
 func (c *Context) RunWithOrder(opt Options, order []Step) (*Report, error) {
 	p := c.newPipeline(opt)
@@ -404,12 +432,12 @@ func (c *Context) facVec(id netsim.FacilityID) (geo.Vec3, bool) {
 // (VP location, facility set) pair, building and memoizing it on first
 // use. facs is resolved by the caller from the key's registry handle.
 func (c *Context) ringEntries(key ringKey, facs []netsim.FacilityID) []ringEntry {
-	c.ringMu.Lock()
+	c.ringMu.RLock()
 	if e, ok := c.rings[key]; ok {
-		c.ringMu.Unlock()
+		c.ringMu.RUnlock()
 		return e
 	}
-	c.ringMu.Unlock()
+	c.ringMu.RUnlock()
 
 	v := geo.UnitVec(key.loc)
 	entries := make([]ringEntry, 0, len(facs))
@@ -485,12 +513,12 @@ func (c *Context) resolve(mode alias.Mode, ifaces []netip.Addr) [][]netip.Addr {
 	}
 	key := sb.String()
 
-	c.aliasMu.Lock()
+	c.aliasMu.RLock()
 	if r, ok := c.aliasCache[key]; ok {
-		c.aliasMu.Unlock()
+		c.aliasMu.RUnlock()
 		return r
 	}
-	c.aliasMu.Unlock()
+	c.aliasMu.RUnlock()
 
 	// Resolution runs outside the lock: it is pure, so a concurrent
 	// duplicate computes the identical value.

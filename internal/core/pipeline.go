@@ -2,6 +2,9 @@ package core
 
 import (
 	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"rpeer/internal/alias"
 	"rpeer/internal/geo"
@@ -34,6 +37,12 @@ type Options struct {
 	EnableRTTColo      bool // Steps 2+3
 	EnableMultiIXP     bool // Step 4
 	EnablePrivate      bool // Step 5
+	// Workers bounds the shard pool the per-membership classification
+	// of Steps 1, 2+3 and 5 fans out over (0 = GOMAXPROCS, 1 = serial).
+	// Every entry is classified independently from shared read-only
+	// state, so the report is bit-identical for every worker count; the
+	// cross-membership propagation of Step 4 always runs serially.
+	Workers int
 	// DisableVminBound zeroes the lower distance bound (ablation: how
 	// much does the fitted vmin curve matter?).
 	DisableVminBound bool
@@ -74,7 +83,7 @@ func Run(in Inputs, opt Options) (*Report, error) {
 
 // RunWithOrder executes the enabled steps in an explicit order instead
 // of the paper's 1,2+3,4,5 sequence — the step-ordering ablation
-// (DESIGN.md section 5). Steps absent from order do not run.
+// (DESIGN.md section 6). Steps absent from order do not run.
 func RunWithOrder(in Inputs, opt Options, order []Step) (*Report, error) {
 	c, err := NewContext(in)
 	if err != nil {
@@ -128,6 +137,27 @@ type pipeline struct {
 	crossings []traix.Crossing
 	privHops  []traix.PrivateHop
 
+	// sc is the scratch used on the serial path; parallel shards each
+	// own a private one (see forEachInference).
+	sc scratch
+
+	// entries caches the shard snapshot of entriesFor's inference map:
+	// all steps of one run classify the same domain, so the snapshot is
+	// built once per report, not once per step.
+	entriesFor *Report
+	entries    []shardEntry
+}
+
+// shardEntry is one (key, inference) pair of the shard snapshot.
+type shardEntry struct {
+	k   Key
+	inf *Inference
+}
+
+// scratch holds the per-shard reusable buffers of the classification
+// hot path. Shards never share a scratch, so the feasible-ring result
+// buffers can be reused across entries without synchronisation.
+type scratch struct {
 	// ringA and ringB are reusable feasible-ring result buffers.
 	ringA, ringB []netsim.FacilityID
 }
@@ -168,28 +198,109 @@ func (p *pipeline) resolve(ifaces []netip.Addr) [][]netip.Addr {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded per-membership execution
+
+// shardChunk is the number of entries a shard claims per grab: large
+// enough to amortise the atomic increment, small enough to keep the
+// tail balanced.
+const shardChunk = 256
+
+// parallelMinEntries is the domain size below which the fan-out
+// overhead outweighs the shard parallelism.
+const parallelMinEntries = 2 * shardChunk
+
+// workers resolves the effective shard-pool size for n entries.
+func (p *pipeline) workers(n int) int {
+	w := p.opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if max := (n + shardChunk - 1) / shardChunk; w > max {
+		w = max
+	}
+	return w
+}
+
+// forEachInference applies fn to every inference of the report,
+// fanning entries out across a shard pool when both the options and
+// the domain size warrant it. fn must classify its entry from shared
+// read-only state and write only through inf (plus its private
+// scratch); because no entry reads another entry's verdict, the shard
+// schedule cannot leak into the report and the output is bit-identical
+// for every worker count — the merge is the writes themselves.
+func (p *pipeline) forEachInference(rep *Report, fn func(*scratch, Key, *Inference)) {
+	n := len(rep.Inferences)
+	workers := p.workers(n)
+	if workers <= 1 || n < parallelMinEntries {
+		for k, inf := range rep.Inferences {
+			fn(&p.sc, k, inf)
+		}
+		return
+	}
+	entries := p.shardEntries(rep)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s scratch
+			for {
+				start := int(next.Add(shardChunk)) - shardChunk
+				if start >= len(entries) {
+					return
+				}
+				end := start + shardChunk
+				if end > len(entries) {
+					end = len(entries)
+				}
+				for _, e := range entries[start:end] {
+					fn(&s, e.k, e.inf)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// shardEntries snapshots rep's inference map into a slice the shards
+// can index, reusing the snapshot across the steps of one run.
+func (p *pipeline) shardEntries(rep *Report) []shardEntry {
+	if p.entriesFor != rep {
+		entries := make([]shardEntry, 0, len(rep.Inferences))
+		for k, inf := range rep.Inferences {
+			entries = append(entries, shardEntry{k, inf})
+		}
+		p.entries, p.entriesFor = entries, rep
+	}
+	return p.entries
+}
+
+// ---------------------------------------------------------------------------
 // Step 1: port capacities (Section 5.2, Step 1)
 
 // stepPortCapacity flags reseller customers: a member whose reported
 // port capacity is below the IXP's minimum physical capacity can only
 // be buying a virtual port through a reseller, hence is remote.
 func (p *pipeline) stepPortCapacity(rep *Report) {
-	for k, inf := range rep.Inferences {
-		if inf.Class != ClassUnknown {
-			continue
-		}
-		cmin, ok := p.in.Dataset.MinPort[k.IXP]
-		if !ok {
-			continue // no pricing data for this IXP
-		}
-		port, ok := p.in.Dataset.Ports[registry.PortKey{IXP: k.IXP, ASN: inf.ASN}]
-		if !ok {
-			continue
-		}
-		if port < cmin {
-			inf.Class = ClassRemote
-			inf.Step = StepPortCapacity
-		}
+	p.forEachInference(rep, p.classifyPortCapacity)
+}
+
+func (p *pipeline) classifyPortCapacity(_ *scratch, k Key, inf *Inference) {
+	if inf.Class != ClassUnknown {
+		return
+	}
+	cmin, ok := p.in.Dataset.MinPort[k.IXP]
+	if !ok {
+		return // no pricing data for this IXP
+	}
+	port, ok := p.in.Dataset.Ports[registry.PortKey{IXP: k.IXP, ASN: inf.ASN}]
+	if !ok {
+		return
+	}
+	if port < cmin {
+		inf.Class = ClassRemote
+		inf.Step = StepPortCapacity
 	}
 }
 
@@ -229,43 +340,45 @@ func (p *pipeline) asRing(asn netsim.ASN, facs []netsim.FacilityID, vp *pingsim.
 // stepRTTColo applies the Step 3 rules to every membership with a
 // usable RTT minimum.
 func (p *pipeline) stepRTTColo(rep *Report) {
-	for k, inf := range rep.Inferences {
-		if inf.Class != ClassUnknown {
-			continue
-		}
-		rtt, ok := p.rtt[k.Iface]
-		if !ok {
-			continue
-		}
-		vp := p.bestVP[k.Iface]
-		dMin, dMax := p.feasibleRing(k.Iface, rtt)
+	p.forEachInference(rep, p.classifyRTTColo)
+}
 
-		feasIXP := p.ixpRing(k.IXP, vp, dMin, dMax, p.ringA)
-		p.ringA = feasIXP[:0]
-		inf.FeasibleIXPFacilities = len(feasIXP)
+func (p *pipeline) classifyRTTColo(s *scratch, k Key, inf *Inference) {
+	if inf.Class != ClassUnknown {
+		return
+	}
+	rtt, ok := p.rtt[k.Iface]
+	if !ok {
+		return
+	}
+	vp := p.bestVP[k.Iface]
+	dMin, dMax := p.feasibleRing(k.Iface, rtt)
 
-		asFacs, hasData := p.in.Colo.Facilities(inf.ASN)
-		feasAS := p.asRing(inf.ASN, asFacs, vp, dMin, dMax, p.ringB)
-		p.ringB = feasAS[:0]
+	feasIXP := p.ixpRing(k.IXP, vp, dMin, dMax, s.ringA)
+	s.ringA = feasIXP[:0]
+	inf.FeasibleIXPFacilities = len(feasIXP)
 
-		switch {
-		case len(feasIXP) == 0:
-			// Rule 1(i): no IXP facility can explain the RTT.
-			inf.Class = ClassRemote
-			inf.Step = StepRTTColo
-		case hasData && intersects(feasAS, feasIXP):
-			// Rule 2: member colocated in a feasible IXP facility.
-			inf.Class = ClassLocal
-			inf.Step = StepRTTColo
-		case hasData && len(feasAS) > 0:
-			// Rule 1(ii): member sits in a feasible facility where the
-			// IXP has no presence.
-			inf.Class = ClassRemote
-			inf.Step = StepRTTColo
-		default:
-			// Rule 3: colocation data likely incomplete; defer to the
-			// following steps.
-		}
+	asFacs, hasData := p.in.Colo.Facilities(inf.ASN)
+	feasAS := p.asRing(inf.ASN, asFacs, vp, dMin, dMax, s.ringB)
+	s.ringB = feasAS[:0]
+
+	switch {
+	case len(feasIXP) == 0:
+		// Rule 1(i): no IXP facility can explain the RTT.
+		inf.Class = ClassRemote
+		inf.Step = StepRTTColo
+	case hasData && intersects(feasAS, feasIXP):
+		// Rule 2: member colocated in a feasible IXP facility.
+		inf.Class = ClassLocal
+		inf.Step = StepRTTColo
+	case hasData && len(feasAS) > 0:
+		// Rule 1(ii): member sits in a feasible facility where the
+		// IXP has no presence.
+		inf.Class = ClassRemote
+		inf.Step = StepRTTColo
+	default:
+		// Rule 3: colocation data likely incomplete; defer to the
+		// following steps.
 	}
 }
 

@@ -327,116 +327,116 @@ func (p *pipeline) stepPrivate(rep *Report) {
 	if len(p.privHops) == 0 {
 		return
 	}
-	// Private neighbours per AS come precomputed from the context.
-	byAS := p.ctx.byASPriv
+	p.forEachInference(rep, p.classifyPrivate)
+}
 
-	for k, inf := range rep.Inferences {
-		if inf.Class != ClassUnknown {
-			continue
-		}
-		ns := byAS[inf.ASN]
-		if len(ns) == 0 {
-			continue
-		}
-		// Alias-resolve the member interface together with the AS's
-		// private-link interfaces; keep the cluster holding the member
-		// interface (the router actually facing the IXP).
-		ifaceSet := map[netip.Addr]bool{k.Iface: true}
-		for _, n := range ns {
-			ifaceSet[n.iface] = true
-		}
-		ifaces := make([]netip.Addr, 0, len(ifaceSet))
-		for ip := range ifaceSet {
-			ifaces = append(ifaces, ip)
-		}
-		sort.Slice(ifaces, func(i, j int) bool { return ifaces[i].Less(ifaces[j]) })
-
-		var cluster []netip.Addr
-		for _, c := range p.resolve(ifaces) {
-			for _, ip := range c {
-				if ip == k.Iface {
-					cluster = c
-					break
-				}
-			}
-		}
-		clusterSet := make(map[netip.Addr]bool, len(cluster))
-		for _, ip := range cluster {
-			clusterSet[ip] = true
-		}
-		// Private AS neighbours of this router.
-		var neighbours []netsim.ASN
-		seen := make(map[netsim.ASN]bool)
-		for _, n := range ns {
-			if clusterSet[n.iface] && !seen[n.other] {
-				seen[n.other] = true
-				neighbours = append(neighbours, n.other)
-			}
-		}
-		if len(neighbours) == 0 {
-			continue
-		}
-
-		// Vote: the facilities most common among the neighbours, which
-		// must also clear a majority of the voters (private
-		// interconnects overwhelmingly live inside one facility, so the
-		// top-voted facility is where this router most plausibly sits).
-		counts := make(map[netsim.FacilityID]int)
-		voters := 0
-		for _, n := range neighbours {
-			facs, ok := p.in.Colo.Facilities(n)
-			if !ok {
-				continue
-			}
-			voters++
-			for _, f := range facs {
-				counts[f]++
-			}
-		}
-		if voters < 2 {
-			continue // a single voter cannot corroborate a facility
-		}
-		maxCount := 0
-		for _, c := range counts {
-			if c > maxCount {
-				maxCount = c
-			}
-		}
-		need := (voters + 1) / 2
-		if maxCount < need {
-			continue // no facility is common to a neighbour majority
-		}
-		var fCommon []netsim.FacilityID
-		for f, c := range counts {
-			if c == maxCount {
-				fCommon = append(fCommon, f)
-			}
-		}
-		// FIXP: feasible IXP facilities when an RTT ring exists,
-		// otherwise the IXP's full facility list.
-		fIXP := p.in.Colo.IXPFacilities[k.IXP]
-		if rtt, ok := p.rtt[k.Iface]; ok {
-			vp := p.bestVP[k.Iface]
-			dMin, dMax := p.feasibleRing(k.Iface, rtt)
-			fIXP = p.ixpRing(k.IXP, vp, dMin, dMax, p.ringA)
-			p.ringA = fIXP[:0]
-		}
-		// The paper requires |FIXP ∩ Fcommon| = 1 for a local verdict;
-		// with top-count voting Fcommon is nearly always a single
-		// facility, and restricting the intersection to the top-voted
-		// facilities keeps the condition sharp even on vote ties inside
-		// one exchange.
-		// Local when the voting pins the router to exactly one feasible
-		// IXP facility (the paper's |FIXP ∩ Fcommon| = 1 condition), or
-		// when every top-voted candidate is an IXP facility — then the
-		// member is colocated with the exchange whichever of them hosts
-		// the router.
-		common := netsim.CommonFacilities(fIXP, fCommon)
-		if len(common) == 1 || (len(common) > 1 && len(common) == len(fCommon)) {
-			inf.Class = ClassLocal
-		} else {
-			inf.Class = ClassRemote
-		}
-		inf.Step = StepPrivate
+func (p *pipeline) classifyPrivate(s *scratch, k Key, inf *Inference) {
+	if inf.Class != ClassUnknown {
+		return
 	}
+	// Private neighbours per AS come precomputed from the context.
+	ns := p.ctx.byASPriv[inf.ASN]
+	if len(ns) == 0 {
+		return
+	}
+	// Alias-resolve the member interface together with the AS's
+	// private-link interfaces; keep the cluster holding the member
+	// interface (the router actually facing the IXP).
+	ifaceSet := map[netip.Addr]bool{k.Iface: true}
+	for _, n := range ns {
+		ifaceSet[n.iface] = true
+	}
+	ifaces := make([]netip.Addr, 0, len(ifaceSet))
+	for ip := range ifaceSet {
+		ifaces = append(ifaces, ip)
+	}
+	sort.Slice(ifaces, func(i, j int) bool { return ifaces[i].Less(ifaces[j]) })
+
+	var cluster []netip.Addr
+	for _, c := range p.resolve(ifaces) {
+		for _, ip := range c {
+			if ip == k.Iface {
+				cluster = c
+				break
+			}
+		}
+	}
+	clusterSet := make(map[netip.Addr]bool, len(cluster))
+	for _, ip := range cluster {
+		clusterSet[ip] = true
+	}
+	// Private AS neighbours of this router.
+	var neighbours []netsim.ASN
+	seen := make(map[netsim.ASN]bool)
+	for _, n := range ns {
+		if clusterSet[n.iface] && !seen[n.other] {
+			seen[n.other] = true
+			neighbours = append(neighbours, n.other)
+		}
+	}
+	if len(neighbours) == 0 {
+		return
+	}
+
+	// Vote: the facilities most common among the neighbours, which
+	// must also clear a majority of the voters (private
+	// interconnects overwhelmingly live inside one facility, so the
+	// top-voted facility is where this router most plausibly sits).
+	counts := make(map[netsim.FacilityID]int)
+	voters := 0
+	for _, n := range neighbours {
+		facs, ok := p.in.Colo.Facilities(n)
+		if !ok {
+			continue
+		}
+		voters++
+		for _, f := range facs {
+			counts[f]++
+		}
+	}
+	if voters < 2 {
+		return // a single voter cannot corroborate a facility
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	need := (voters + 1) / 2
+	if maxCount < need {
+		return // no facility is common to a neighbour majority
+	}
+	var fCommon []netsim.FacilityID
+	for f, c := range counts {
+		if c == maxCount {
+			fCommon = append(fCommon, f)
+		}
+	}
+	// FIXP: feasible IXP facilities when an RTT ring exists,
+	// otherwise the IXP's full facility list.
+	fIXP := p.in.Colo.IXPFacilities[k.IXP]
+	if rtt, ok := p.rtt[k.Iface]; ok {
+		vp := p.bestVP[k.Iface]
+		dMin, dMax := p.feasibleRing(k.Iface, rtt)
+		fIXP = p.ixpRing(k.IXP, vp, dMin, dMax, s.ringA)
+		s.ringA = fIXP[:0]
+	}
+	// The paper requires |FIXP ∩ Fcommon| = 1 for a local verdict;
+	// with top-count voting Fcommon is nearly always a single
+	// facility, and restricting the intersection to the top-voted
+	// facilities keeps the condition sharp even on vote ties inside
+	// one exchange.
+	// Local when the voting pins the router to exactly one feasible
+	// IXP facility (the paper's |FIXP ∩ Fcommon| = 1 condition), or
+	// when every top-voted candidate is an IXP facility — then the
+	// member is colocated with the exchange whichever of them hosts
+	// the router.
+	common := netsim.CommonFacilities(fIXP, fCommon)
+	if len(common) == 1 || (len(common) > 1 && len(common) == len(fCommon)) {
+		inf.Class = ClassLocal
+	} else {
+		inf.Class = ClassRemote
+	}
+	inf.Step = StepPrivate
 }

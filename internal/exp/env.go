@@ -51,21 +51,64 @@ type Env struct {
 
 // NewEnv builds the environment with the default configuration.
 func NewEnv(seed int64) (*Env, error) {
-	cfg := netsim.DefaultConfig()
+	return NewEnvWithConfig(netsim.DefaultConfig(), seed)
+}
+
+// NewEnvWithConfig builds the environment over an explicit world
+// configuration (the scaling suite feeds it netsim.ScaledConfig
+// presets); cfg.Seed is overridden by seed. Independent build stages
+// overlap: once the world is generated, the registry, colocation DB,
+// ping campaign (hashed-RNG parallel path), traceroute corpus and
+// validation split are produced concurrently; the shared context then
+// builds its indexes in parallel, and the pipeline and baseline runs
+// overlap as well. The result is identical to a fully sequential build
+// — every stage is seeded independently and no stage reads another's
+// output.
+func NewEnvWithConfig(cfg netsim.Config, seed int64) (*Env, error) {
 	cfg.Seed = seed
 	w, err := netsim.Generate(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("exp: generate world: %w", err)
 	}
-	ds := registry.Build(w, registry.DefaultNoise(), seed+1)
-	colo := registry.BuildColo(w, registry.DefaultColoNoise(), seed+2)
-	vps := pingsim.DeriveVPs(w, seed+3)
-	pcfg := pingsim.DefaultCampaign()
-	pcfg.Seed = seed + 4
-	ping := pingsim.Run(w, vps, pcfg)
-	tcfg := tracesim.DefaultConfig()
-	tcfg.Seed = seed + 5
-	paths := tracesim.Generate(w, tcfg)
+
+	var (
+		wg    sync.WaitGroup
+		ds    *registry.Dataset
+		colo  *registry.ColoDB
+		vps   []*pingsim.VP
+		ping  *pingsim.Result
+		paths []*traix.Path
+		val   *core.Validation
+	)
+	wg.Add(5)
+	go func() {
+		defer wg.Done()
+		ds = registry.Build(w, registry.DefaultNoise(), seed+1)
+	}()
+	go func() {
+		defer wg.Done()
+		colo = registry.BuildColo(w, registry.DefaultColoNoise(), seed+2)
+	}()
+	go func() {
+		defer wg.Done()
+		vps = pingsim.DeriveVPs(w, seed+3)
+		pcfg := pingsim.DefaultCampaign()
+		pcfg.Seed = seed + 4
+		ping = pingsim.RunParallel(w, vps, pcfg, 0)
+	}()
+	go func() {
+		defer wg.Done()
+		tcfg := tracesim.DefaultConfig()
+		tcfg.Seed = seed + 5
+		paths = tracesim.Generate(w, tcfg)
+	}()
+	go func() {
+		defer wg.Done()
+		vcfg := core.DefaultValidationConfig()
+		vcfg.Seed = seed + 7
+		val = core.BuildValidation(w, vcfg)
+	}()
+	wg.Wait()
 
 	in := core.Inputs{
 		World: w, Dataset: ds, Colo: colo, Ping: ping, Paths: paths,
@@ -75,17 +118,23 @@ func NewEnv(seed int64) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: context: %w", err)
 	}
-	rep, err := ctx.Run(core.DefaultOptions())
-	if err != nil {
-		return nil, fmt.Errorf("exp: pipeline: %w", err)
+	var (
+		rep, base       *core.Report
+		repErr, baseErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base, baseErr = ctx.Baseline(core.DefaultBaselineThresholdMs)
+	}()
+	rep, repErr = ctx.Run(core.DefaultOptions())
+	wg.Wait()
+	if repErr != nil {
+		return nil, fmt.Errorf("exp: pipeline: %w", repErr)
 	}
-	base, err := ctx.Baseline(core.DefaultBaselineThresholdMs)
-	if err != nil {
-		return nil, fmt.Errorf("exp: baseline: %w", err)
+	if baseErr != nil {
+		return nil, fmt.Errorf("exp: baseline: %w", baseErr)
 	}
-	vcfg := core.DefaultValidationConfig()
-	vcfg.Seed = seed + 7
-	val := core.BuildValidation(w, vcfg)
 
 	env := &Env{
 		World: w, Dataset: ds, Colo: colo, VPs: vps, Ping: ping,
@@ -143,40 +192,65 @@ type Result struct {
 	Notes      []string
 }
 
-// constructors lists every artefact in paper order.
-var constructors = []func(*Env) Result{
-	Table1,
-	Table2,
-	Fig1a,
-	Fig1b,
-	Fig2a,
-	Fig2b,
-	Fig4,
-	Fig5,
-	Fig6,
-	Table4,
-	Fig8,
-	Table5,
-	Fig9a,
-	Fig9b,
-	Fig9c,
-	Fig9d,
-	Fig10a,
-	Fig10b,
-	Fig11a,
-	Fig11b,
-	Fig12a,
-	Fig12b,
-	Sec64,
-	Sec7,
-	Sec8,
-	Sec8Longitudinal,
+// artefact couples one constructor with its measured serial cost on
+// the default world (rough microseconds, first touch of the shared
+// caches; see DESIGN.md section 7). Only the relative order matters:
+// AllWorkers hands expensive artefacts out first, so a straggler like
+// Table 4 (which re-runs the pipeline once per step) starts immediately
+// instead of gating the suite from the tail of the queue.
+type artefact struct {
+	fn     func(*Env) Result
+	costUs int
 }
 
-// All regenerates every artefact in paper order, fanning the
-// independent constructors out across one worker per CPU. Results are
-// returned in the same deterministic order as the serial path and are
-// value-identical to it (see AllSerial and the determinism test).
+// artefacts lists every artefact in paper order (the output order of
+// All and friends, regardless of the execution schedule).
+var artefacts = []artefact{
+	{Table1, 20},
+	{Table2, 1250},
+	{Fig1a, 160},
+	{Fig1b, 3800},
+	{Fig2a, 180},
+	{Fig2b, 280},
+	{Fig4, 1270},
+	{Fig5, 1140},
+	{Fig6, 550},
+	{Table4, 2626000},
+	{Fig8, 850},
+	{Table5, 2300},
+	{Fig9a, 150},
+	{Fig9b, 920},
+	{Fig9c, 490},
+	{Fig9d, 20},
+	{Fig10a, 1090},
+	{Fig10b, 3160},
+	{Fig11a, 2520},
+	{Fig11b, 1270},
+	{Fig12a, 210},
+	{Fig12b, 1120},
+	{Sec64, 608000},
+	{Sec7, 5470},
+	{Sec8, 70000},
+	{Sec8Longitudinal, 430},
+}
+
+// schedule is the execution order of the worker pool: artefact indexes
+// sorted by descending cost (longest-first), ties in paper order.
+var schedule = func() []int {
+	idx := make([]int, len(artefacts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return artefacts[idx[a]].costUs > artefacts[idx[b]].costUs
+	})
+	return idx
+}()
+
+// All regenerates every artefact, fanning the independent constructors
+// out across one worker per CPU with a longest-first schedule. Results
+// are returned in paper order and are value-identical to the serial
+// path (see AllSerial and the determinism test).
 func All(env *Env) []Result {
 	return AllWorkers(env, 0)
 }
@@ -189,19 +263,24 @@ func AllSerial(env *Env) []Result {
 }
 
 // AllWorkers is All with an explicit worker count; workers <= 0 uses
-// GOMAXPROCS. Each artefact is independent: constructors only read the
-// environment and share the thread-safe core.Context.
+// GOMAXPROCS, and the pool never exceeds the number of artefacts (a
+// worker with no work to claim would be a leaked-goroutine hazard for
+// nothing). Each artefact is independent: constructors only read the
+// environment and share the thread-safe core.Context. Workers claim
+// artefacts in schedule order (longest-first) and write results back
+// by paper-order index, so the output is deterministic regardless of
+// completion order.
 func AllWorkers(env *Env, workers int) []Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(constructors) {
-		workers = len(constructors)
+	if workers > len(artefacts) {
+		workers = len(artefacts)
 	}
-	out := make([]Result, len(constructors))
+	out := make([]Result, len(artefacts))
 	if workers <= 1 {
-		for i, f := range constructors {
-			out[i] = f(env)
+		for i, a := range artefacts {
+			out[i] = a.fn(env)
 		}
 		return out
 	}
@@ -212,11 +291,12 @@ func AllWorkers(env *Env, workers int) []Result {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(constructors) {
+				n := int(next.Add(1)) - 1
+				if n >= len(schedule) {
 					return
 				}
-				out[i] = constructors[i](env)
+				i := schedule[n]
+				out[i] = artefacts[i].fn(env)
 			}
 		}()
 	}

@@ -1,6 +1,10 @@
 package exp
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+	"time"
+)
 
 // TestAllParallelMatchesSerial pins the determinism contract of the
 // parallel artefact fan-out: every table rendered by the worker pool
@@ -27,5 +31,60 @@ func TestAllParallelMatchesSerial(t *testing.T) {
 			t.Errorf("%s differs between serial and parallel runs:\nserial:\n%s\nparallel:\n%s",
 				serial[i].ID, ss, ps)
 		}
+	}
+}
+
+// TestAllWorkersMoreWorkersThanItems is the regression test for the
+// worker-pool bound: asking for far more workers than there are
+// artefacts must neither deadlock, nor drop or reorder results, nor
+// leak goroutines after the call returns.
+func TestAllWorkersMoreWorkersThanItems(t *testing.T) {
+	e := env(t)
+	before := runtime.NumGoroutine()
+	ref := AllSerial(e)
+	got := AllWorkers(e, 50*len(artefacts))
+	if len(got) != len(ref) {
+		t.Fatalf("result counts differ: %d vs %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if ref[i].ID != got[i].ID {
+			t.Fatalf("order differs at %d: %q vs %q", i, ref[i].ID, got[i].ID)
+		}
+		if ref[i].Table.String() != got[i].Table.String() {
+			t.Errorf("%s differs under oversubscribed worker pool", ref[i].ID)
+		}
+	}
+	// The pool must wind down: allow the runtime a moment to retire
+	// worker goroutines, then require the count back near the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestScheduleCoversAllArtefactsLongestFirst pins the straggler-aware
+// schedule: it must be a permutation of all artefact indexes, ordered
+// by non-increasing cost.
+func TestScheduleCoversAllArtefactsLongestFirst(t *testing.T) {
+	if len(schedule) != len(artefacts) {
+		t.Fatalf("schedule covers %d of %d artefacts", len(schedule), len(artefacts))
+	}
+	seen := make(map[int]bool, len(schedule))
+	for pos, i := range schedule {
+		if i < 0 || i >= len(artefacts) || seen[i] {
+			t.Fatalf("schedule position %d holds invalid or duplicate index %d", pos, i)
+		}
+		seen[i] = true
+		if pos > 0 && artefacts[schedule[pos-1]].costUs < artefacts[i].costUs {
+			t.Fatalf("schedule not longest-first at position %d", pos)
+		}
+	}
+	// Table 4 is the measured straggler; it must lead the schedule.
+	if artefacts[schedule[0]].costUs < 1_000_000 {
+		t.Errorf("heaviest artefact scheduled first costs only %dus", artefacts[schedule[0]].costUs)
 	}
 }

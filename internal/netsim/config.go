@@ -1,5 +1,7 @@
 package netsim
 
+import "math"
+
 // Config controls world generation. The zero value is not useful;
 // start from DefaultConfig.
 type Config struct {
@@ -103,6 +105,48 @@ func DefaultConfig() Config {
 		LGFrac:                   0.62,
 		AtlasPerIXP:              2.2,
 	}
+}
+
+// ScaledConfig returns the default configuration grown by the given
+// world-size factor: total memberships (the pipeline's inference
+// domain) scale roughly linearly with factor, split between more IXPs
+// and larger IXPs (each grows ~sqrt(factor), mirroring how the real
+// IXP ecosystem adds exchanges and members at once). The paper studies
+// the 30 largest IXPs; ScaledConfig(16) models a world an order of
+// magnitude beyond that, for the scaling benchmarks
+// (BenchmarkScaleWorld) that keep every PR honest about more than the
+// toy world. factor <= 1 returns DefaultConfig unchanged.
+func ScaledConfig(factor int) Config {
+	c := DefaultConfig()
+	if factor <= 1 {
+		return c
+	}
+	root := math.Sqrt(float64(factor))
+	scale := func(n int, by float64) int {
+		v := int(math.Round(float64(n) * by))
+		if v < n {
+			v = n
+		}
+		return v
+	}
+	// The IXP count is capped by the city roster (one exchange per
+	// metro); growth the cap absorbs is redirected into per-IXP
+	// membership, so total memberships — the pipeline's inference
+	// domain — keep scaling roughly linearly with factor.
+	ixpBy := root
+	if max := len(DefaultCities()); float64(c.NIXPs)*ixpBy > float64(max) {
+		ixpBy = float64(max) / float64(c.NIXPs)
+	}
+	memberBy := float64(factor) / ixpBy
+	c.NASes = scale(c.NASes, float64(factor))
+	c.NIXPs = scale(c.NIXPs, ixpBy)
+	c.NResellers = scale(c.NResellers, root)
+	c.LargestIXPMembers = scale(c.LargestIXPMembers, memberBy)
+	c.MinIXPMembers = scale(c.MinIXPMembers, memberBy)
+	c.WideAreaIXPs = scale(c.WideAreaIXPs, root)
+	c.FederationPairs = scale(c.FederationPairs, root)
+	c.NoResellerIXPs = scale(c.NoResellerIXPs, root)
+	return c
 }
 
 // TinyConfig returns a small world for fast unit tests: ~8 IXPs and

@@ -30,6 +30,16 @@ func Generate(cfg Config) (*World, error) {
 	g.w.lat = newLatency(g.w, cfg.Seed)
 	g.w.asPrefixes = make(map[ASN][]netip.Prefix)
 
+	// Per-AS infrastructure prefixes default to /20 but shrink for
+	// scaled worlds so the /6 pool holds ~4 prefixes per AS (ASes that
+	// outgrow one prefix allocate more on demand in asAddr). The
+	// default configuration stays at /20, keeping default worlds
+	// byte-identical across scales of this knob.
+	g.infraBits = 20
+	for g.infraBits < 26 && (1<<(g.infraBits-6)) < 4*cfg.NASes {
+		g.infraBits++
+	}
+
 	g.buildFacilities()
 	if err := g.buildIXPs(); err != nil {
 		return nil, err
@@ -63,6 +73,9 @@ type gen struct {
 	nextRtr  RouterID
 	cityFacs map[string][]FacilityID // city name -> facilities
 	homeFac  map[ASN]FacilityID      // chosen home facility per AS (-1 = off-net)
+	// infraBits is the per-AS infrastructure prefix length (see
+	// Generate; config-derived so scaled worlds fit the address pool).
+	infraBits int
 }
 
 // homeFacility decides, once per AS, whether the AS's home router sits
@@ -150,7 +163,17 @@ func (g *gen) buildIXPs() error {
 
 	for i := 0; i < n; i++ {
 		city := g.w.Cities[order[i]]
-		lan, err := g.peering.AllocPrefix(22)
+		target := g.sizeTarget(i)
+		// Size the peering LAN to the membership target (scaled worlds
+		// outgrow a fixed /22): at least /22, widened until the target
+		// plus a 12.5% slack (route server, federation joiners) fits.
+		// The default world stays within /22, so default-scale worlds
+		// are byte-identical to the fixed-size era.
+		bits := 22
+		for bits > 10 && (1<<(32-bits))-2 < target+target/8+16 {
+			bits--
+		}
+		lan, err := g.peering.AllocPrefix(bits)
 		if err != nil {
 			return fmt.Errorf("netsim: peering LAN for IXP %d: %w", i, err)
 		}
@@ -162,7 +185,6 @@ func (g *gen) buildIXPs() error {
 		if err != nil {
 			return err
 		}
-		target := g.sizeTarget(i)
 		nfac := 1 + target/70
 		cityFacs := g.cityFacs[city.Name]
 		if nfac > len(cityFacs) {
@@ -551,7 +573,7 @@ func (g *gen) asAddr(asn ASN) (netip.Addr, error) {
 			return ip, nil
 		}
 	}
-	p, err := g.infra.AllocPrefix(20)
+	p, err := g.infra.AllocPrefix(g.infraBits)
 	if err != nil {
 		return netip.Addr{}, fmt.Errorf("netsim: infra prefix for AS%d: %w", asn, err)
 	}

@@ -397,3 +397,39 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Error("want error for unknown version")
 	}
 }
+
+func TestScaledConfigGrowsTheWorld(t *testing.T) {
+	if ScaledConfig(1) != DefaultConfig() {
+		t.Fatal("ScaledConfig(1) must be the default configuration")
+	}
+	if ScaledConfig(0) != DefaultConfig() {
+		t.Fatal("ScaledConfig(0) must fall back to the default configuration")
+	}
+	c4 := ScaledConfig(4)
+	d := DefaultConfig()
+	if c4.NASes != 4*d.NASes {
+		t.Fatalf("NASes = %d, want %d", c4.NASes, 4*d.NASes)
+	}
+	if c4.NIXPs <= d.NIXPs || c4.LargestIXPMembers <= d.LargestIXPMembers {
+		t.Fatal("IXP count and size must both grow")
+	}
+	// Noise and share knobs must not drift with scale.
+	if c4.RemoteShareLargest != d.RemoteShareLargest || c4.ResellerFrac != d.ResellerFrac {
+		t.Fatal("behavioural fractions must be scale-invariant")
+	}
+
+	// Memberships (the inference domain) grow roughly linearly with
+	// the factor: 4x should at least double and at most 8x the domain.
+	small, err := Generate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Generate(ScaledConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, nb := len(small.Members), len(big.Members)
+	if nb < 2*ns || nb > 8*ns {
+		t.Fatalf("4x world has %d memberships vs %d at 1x; want roughly 4x", nb, ns)
+	}
+}

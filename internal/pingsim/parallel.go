@@ -11,15 +11,14 @@ import (
 	"rpeer/internal/netsim"
 )
 
-// RunParallel executes the same campaign as Run across a worker pool,
-// one VP per task. Results are bit-identical to RunParallel with any
-// other worker count (but not to the sequential Run, which threads a
-// single RNG through all VPs): every (VP, target) pair derives its own
-// RNG from a stable hash of (seed, VP id, interface), so scheduling
-// order cannot leak into the measurements.
+// RunParallel executes the campaign across a worker pool, one VP per
+// task. Every (VP, target) pair derives its own RNG from a stable hash
+// of (seed, VP id, interface), so scheduling order cannot leak into
+// the measurements: results are bit-identical for every worker count,
+// including the single-worker path Run delegates to.
 //
-// Use this for large worlds; the default world campaign is ~3x faster
-// on 8 cores.
+// Use workers > 1 (or 0 = GOMAXPROCS) for large worlds; the default
+// world campaign is ~3x faster on 8 cores.
 func RunParallel(w *netsim.World, vps []*VP, cfg CampaignConfig, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

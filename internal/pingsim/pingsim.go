@@ -11,7 +11,6 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
-	"sort"
 	"sync"
 
 	"rpeer/internal/geo"
@@ -251,31 +250,13 @@ func (r *Result) IfaceIndex() map[netip.Addr]*IfaceAgg {
 // Run executes a ping campaign from every VP towards all member
 // peering interfaces of the VP's IXP, applying the TTL filters and the
 // route-server VP-usability filter, and aggregating minimum RTTs.
+//
+// Run is RunParallel with a single worker: every (VP, target) pair
+// derives its own RNG from a stable hash of (seed, VP id, interface),
+// so campaign results are bit-identical across all worker counts and
+// callers can switch freely between Run and RunParallel.
 func Run(w *netsim.World, vps []*VP, cfg CampaignConfig) *Result {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := &Result{
-		VPs:            vps,
-		ByVP:           make(map[int][]*Measurement, len(vps)),
-		RouteServerRTT: make(map[int]float64, len(vps)),
-	}
-	for _, vp := range vps {
-		// Sanity ping to the route server.
-		rsRTT := routeServerRTT(w, vp, rng)
-		res.RouteServerRTT[vp.ID] = rsRTT
-		usable := !vp.dead && !math.IsNaN(rsRTT) && rsRTT < 1.0
-		if usable {
-			res.UsableVPs = append(res.UsableVPs, vp)
-		}
-
-		members := w.MembersOf(vp.IXP)
-		ms := make([]*Measurement, 0, len(members))
-		for _, mem := range members {
-			ms = append(ms, pingTarget(w, vp, mem, cfg, rng))
-		}
-		sort.Slice(ms, func(i, j int) bool { return ms[i].Iface.Less(ms[j].Iface) })
-		res.ByVP[vp.ID] = ms
-	}
-	return res
+	return RunParallel(w, vps, cfg, 1)
 }
 
 // routeServerRTT simulates the VP's ping to the IXP route server.

@@ -2,8 +2,6 @@ package pingsim
 
 import (
 	"math"
-	"net/netip"
-	"sort"
 	"testing"
 
 	"rpeer/internal/netsim"
@@ -292,29 +290,35 @@ func TestRunParallelDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
-func TestRunParallelStatisticallyConsistentWithRun(t *testing.T) {
-	// Parallel and sequential campaigns use different RNG threading, so
-	// individual samples differ; distribution-level properties must
-	// agree.
+func TestRunIdenticalToRunParallel(t *testing.T) {
+	// Run delegates to the hashed-RNG path, so the sequential campaign
+	// must be bit-identical to any parallel worker count, per
+	// measurement, not just in distribution.
 	w := world(t)
 	vps := DeriveVPs(w, 11)
 	cfg := DefaultCampaign()
-	seq := Run(w, vps, cfg).MinRTTByIface()
-	par := RunParallel(w, vps, cfg, 0).MinRTTByIface()
-	nd := float64(len(par)) / float64(len(seq))
-	if nd < 0.9 || nd > 1.1 {
-		t.Errorf("coverage ratio parallel/sequential = %.2f", nd)
+	seq := Run(w, vps, cfg)
+	par := RunParallel(w, vps, cfg, 0)
+	if len(seq.UsableVPs) != len(par.UsableVPs) {
+		t.Fatalf("usable VPs differ: %d vs %d", len(seq.UsableVPs), len(par.UsableVPs))
 	}
-	med := func(m map[netip.Addr]float64) float64 {
-		var v []float64
-		for _, x := range m {
-			v = append(v, x)
+	for vpID, sms := range seq.ByVP {
+		pms := par.ByVP[vpID]
+		if len(sms) != len(pms) {
+			t.Fatalf("VP %d: measurement counts differ: %d vs %d", vpID, len(sms), len(pms))
 		}
-		sort.Float64s(v)
-		return v[len(v)/2]
-	}
-	ms, mp := med(seq), med(par)
-	if ms <= 0 || mp <= 0 || ms/mp > 1.5 || mp/ms > 1.5 {
-		t.Errorf("median RTTs diverge: sequential %.2f vs parallel %.2f", ms, mp)
+		for i := range sms {
+			s, p := sms[i], pms[i]
+			sameRTT := s.RTTMinMs == p.RTTMinMs ||
+				(math.IsNaN(s.RTTMinMs) && math.IsNaN(p.RTTMinMs))
+			if s.Iface != p.Iface || !sameRTT || s.Replies != p.Replies ||
+				s.FilteredTTL != p.FilteredTTL {
+				t.Fatalf("VP %d measurement %d differs: %+v vs %+v", vpID, i, s, p)
+			}
+		}
+		if seq.RouteServerRTT[vpID] != par.RouteServerRTT[vpID] &&
+			!(math.IsNaN(seq.RouteServerRTT[vpID]) && math.IsNaN(par.RouteServerRTT[vpID])) {
+			t.Fatalf("VP %d route-server RTT differs", vpID)
+		}
 	}
 }
