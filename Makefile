@@ -1,8 +1,8 @@
 GO ?= go
 # PR number stamped into the benchmark snapshot file name; bump (or
-# override: `make bench-snapshot PR=3`) each PR so trajectories of all
+# override: `make bench-snapshot PR=4`) each PR so trajectories of all
 # PRs stay side by side.
-PR ?= 2
+PR ?= 3
 
 # Pipelines (bench-snapshot) must fail when any stage fails, not just
 # the last one, or a broken benchmark run would silently overwrite the
@@ -10,7 +10,7 @@ PR ?= 2
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet test test-race bench bench-smoke bench-snapshot
+.PHONY: all build vet test test-race bench bench-smoke bench-snapshot examples-smoke
 
 all: vet build test
 
@@ -37,16 +37,22 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$' -benchmem -benchtime=1x
 
+# Build and run every example binary once (the public-API canaries;
+# CI runs this alongside the test jobs).
+examples-smoke:
+	$(GO) build ./examples/...
+	set -e; for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d" > /dev/null; done
+
 # Snapshot the perf-critical benchmarks to BENCH_PR$(PR).json so
 # future PRs have a trajectory to compare against. The scaling suite
 # runs at one iteration (the 16x world alone costs tens of seconds).
 # Both stages land in a temp file first and the snapshot is written
 # only if every stage succeeded — a mid-run failure must not leave a
-# plausible-looking partial snapshot behind.
+# plausible-looking partial snapshot behind (the -e shell aborts on
+# the failing stage; the EXIT trap cleans the temp file up).
 bench-snapshot:
-	tmp=$$(mktemp); \
-	{ $(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign' \
-		-benchmem -benchtime=3x > $$tmp && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkScaleWorld' -benchmem -benchtime=1x >> $$tmp && \
-	  $(GO) run ./cmd/rpi-benchsnap -o BENCH_PR$(PR).json < $$tmp; }; \
-	st=$$?; rm -f $$tmp; exit $$st
+	tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign|BenchmarkEngineApply|BenchmarkServeHTTP' \
+		-benchmem -benchtime=3x > $$tmp; \
+	$(GO) test -run '^$$' -bench 'BenchmarkScaleWorld' -benchmem -benchtime=1x >> $$tmp; \
+	$(GO) run ./cmd/rpi-benchsnap -o BENCH_PR$(PR).json < $$tmp

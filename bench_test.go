@@ -11,7 +11,11 @@ package rpeer
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
@@ -22,6 +26,8 @@ import (
 	"rpeer/internal/netsim"
 	"rpeer/internal/pingsim"
 	"rpeer/internal/tracesim"
+	"rpeer/pkg/rpi"
+	"rpeer/pkg/rpi/serve"
 )
 
 var (
@@ -401,6 +407,152 @@ func benchScaledEnv(b *testing.B, factor int) *exp.Env {
 		scaleEnvs[factor] = e
 	}
 	return e
+}
+
+// ---------------------------------------------------------------------------
+// Engine: incremental re-inference vs full rebuild, and the HTTP front
+// end (PR 3). The incremental/rebuild pair is the headline claim of
+// the engine API: absorbing a 1% membership churn through
+// Engine.Apply must beat building a cold engine over the post-delta
+// inputs by a wide margin, because only the membership-dependent
+// substrate is re-derived.
+
+func BenchmarkEngineApply(b *testing.B) {
+	for _, factor := range []int{1, 4} {
+		factor := factor
+		b.Run(fmt.Sprintf("%dx", factor), func(b *testing.B) {
+			e := benchScaledEnv(b, factor)
+			b.Run("incremental", func(b *testing.B) {
+				eng, err := rpi.New(e.Inputs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fwd := rpi.ChurnDelta(eng.Inputs(), 0.01, 97)
+				rev := rpi.InvertDelta(eng.Inputs(), fwd)
+				b.ReportAllocs()
+				runtime.GC()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d := fwd
+					if i%2 == 1 {
+						d = rev
+					}
+					up, err := eng.Apply(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink = up
+				}
+				b.ReportMetric(float64(len(eng.Snapshot().Inferences)), "inferences/op")
+				b.ReportMetric(float64(len(fwd.Joins)+len(fwd.Leaves)), "churn/op")
+			})
+			b.Run("rebuild", func(b *testing.B) {
+				eng, err := rpi.New(e.Inputs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Apply(rpi.ChurnDelta(eng.Inputs(), 0.01, 97)); err != nil {
+					b.Fatal(err)
+				}
+				post := eng.Inputs() // the post-delta world a cold engine must ingest
+				b.ReportAllocs()
+				runtime.GC()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cold, err := rpi.New(post)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink = cold.Snapshot()
+				}
+				b.ReportMetric(float64(len(eng.Snapshot().Inferences)), "inferences/op")
+			})
+		})
+	}
+}
+
+// BenchmarkServeHTTP drives the rpi-serve handler through a real HTTP
+// stack (httptest): snapshot serving, per-IXP reports, and applies.
+func BenchmarkServeHTTP(b *testing.B) {
+	e := benchEnv(b)
+	eng, err := rpi.New(e.Inputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.New(eng))
+	defer srv.Close()
+	client := srv.Client()
+
+	get := func(b *testing.B, url string) int {
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("GET %s: %d", url, resp.StatusCode)
+		}
+		return int(n)
+	}
+
+	b.Run("infer", func(b *testing.B) {
+		b.ReportAllocs()
+		n := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n = get(b, srv.URL+"/v1/infer")
+		}
+		b.SetBytes(int64(n))
+	})
+	b.Run("report-ixp", func(b *testing.B) {
+		ixp := e.StudiedIXPs(1)[0].Name
+		b.ReportAllocs()
+		n := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n = get(b, srv.URL+"/v1/report/"+ixp)
+		}
+		b.SetBytes(int64(n))
+	})
+	b.Run("apply", func(b *testing.B) {
+		fwd := rpi.ChurnDelta(eng.Inputs(), 0.01, 53)
+		rev := rpi.InvertDelta(eng.Inputs(), fwd)
+		bodies := [2][]byte{wireDeltaBody(b, fwd), wireDeltaBody(b, rev)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Post(srv.URL+"/v1/apply", "application/json",
+				bytes.NewReader(bodies[i%2]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("apply: %d", resp.StatusCode)
+			}
+		}
+	})
+}
+
+// wireDeltaBody renders a churn delta as a /v1/apply request body.
+func wireDeltaBody(b *testing.B, d rpi.Delta) []byte {
+	b.Helper()
+	var wd serve.WireDelta
+	for _, j := range d.Joins {
+		wd.Joins = append(wd.Joins, serve.WireJoin{
+			IXP: j.IXP, Iface: j.Iface.String(), ASN: uint32(j.ASN), PortMbps: j.PortMbps,
+		})
+	}
+	for _, l := range d.Leaves {
+		wd.Leaves = append(wd.Leaves, serve.WireKey{IXP: l.IXP, Iface: l.Iface.String()})
+	}
+	body, err := json.Marshal(wd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
 }
 
 func BenchmarkScaleWorld(b *testing.B) {

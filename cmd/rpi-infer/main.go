@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rpi-infer [-seed N] [-top N] [-v]
+//	rpi-infer [-seed N] [-top N] [-workers N] [-v]
 package main
 
 import (
@@ -15,9 +15,9 @@ import (
 	"os"
 	"sort"
 
-	"rpeer/internal/core"
 	"rpeer/internal/exp"
 	"rpeer/internal/report"
+	"rpeer/pkg/rpi"
 )
 
 func main() {
@@ -25,10 +25,11 @@ func main() {
 	log.SetPrefix("rpi-infer: ")
 	seed := flag.Int64("seed", 1, "world generation seed")
 	top := flag.Int("top", 30, "number of largest IXPs to report")
+	workers := flag.Int("workers", 0, "inference shard workers (0 = one per CPU, 1 = serial)")
 	verbose := flag.Bool("v", false, "also list per-interface verdicts of the largest IXP")
 	flag.Parse()
 
-	env, err := exp.NewEnv(*seed)
+	env, err := exp.NewEnv(*seed, rpi.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,9 +46,9 @@ func main() {
 				continue
 			}
 			switch inf.Class {
-			case core.ClassLocal:
+			case rpi.ClassLocal:
 				local++
-			case core.ClassRemote:
+			case rpi.ClassRemote:
 				remote++
 			default:
 				unknown++
@@ -63,8 +64,8 @@ func main() {
 		}
 		s := shares[ix.Name]
 		t.AddRow(ix.Name, dec+unknown, local, remote, unknown, report.Pct(share),
-			report.Pct(s[core.StepPortCapacity]), report.Pct(s[core.StepRTTColo]),
-			report.Pct(s[core.StepMultiIXP]), report.Pct(s[core.StepPrivate]))
+			report.Pct(s[rpi.StepPortCapacity]), report.Pct(s[rpi.StepRTTColo]),
+			report.Pct(s[rpi.StepMultiIXP]), report.Pct(s[rpi.StepPrivate]))
 	}
 	t.AddRow("TOTAL", totLocal+totRemote+totUnknown, totLocal, totRemote, totUnknown,
 		report.Pct(float64(totRemote)/float64(totLocal+totRemote)), "-", "-", "-", "-")
@@ -75,7 +76,7 @@ func main() {
 	if *verbose {
 		ix := env.StudiedIXPs(1)[0]
 		fmt.Printf("\nPer-interface verdicts at %s:\n", ix.Name)
-		var infs []*core.Inference
+		var infs []*rpi.Inference
 		for _, inf := range env.Report.Inferences {
 			if inf.IXP == ix.Name {
 				infs = append(infs, inf)

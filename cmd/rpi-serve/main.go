@@ -1,0 +1,71 @@
+// Command rpi-serve runs the remote peering inference service: one
+// long-lived rpi.Engine over a generated world, exposed over HTTP/JSON
+// (the /v1 wire schema of pkg/rpi).
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness + applied-delta sequence
+//	GET  /v1/infer         full inference report
+//	GET  /v1/report/{ixp}  one IXP's report
+//	POST /v1/apply         membership joins/leaves + RTT refreshes
+//
+// Usage:
+//
+//	rpi-serve [-seed N] [-scale N] [-addr :8090] [-workers N]
+//
+// Example session:
+//
+//	curl localhost:8090/v1/report/Frankfurt-IX
+//	curl -X POST localhost:8090/v1/apply -d '{"leaves":[{"ixp":"Frankfurt-IX","iface":"185.0.0.9"}]}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"rpeer/pkg/rpi"
+	"rpeer/pkg/rpi/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rpi-serve: ")
+	seed := flag.Int64("seed", 1, "world generation seed")
+	scale := flag.Int("scale", 1, "world scale factor (1 = paper-sized)")
+	addr := flag.String("addr", ":8090", "listen address")
+	workers := flag.Int("workers", 0, "inference shard workers (0 = one per CPU)")
+	flag.Parse()
+
+	log.Printf("assembling inputs (seed %d, scale %dx)...", *seed, *scale)
+	in, err := rpi.SyntheticInputs(*seed, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("building engine over %d memberships...", len(in.Dataset.IfaceIXP))
+	eng, err := rpi.New(in, rpi.WithWorkers(*workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := eng.Snapshot()
+	var local, remote int
+	for _, inf := range rep.Inferences {
+		switch inf.Class {
+		case rpi.ClassLocal:
+			local++
+		case rpi.ClassRemote:
+			remote++
+		}
+	}
+	log.Printf("engine ready: %d memberships (%d local, %d remote), %d multi-IXP routers",
+		len(rep.Inferences), local, remote, len(rep.MultiRouters))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving /v1 on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

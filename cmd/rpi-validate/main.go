@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rpi-validate [-seed N] [-threshold ms]
+//	rpi-validate [-seed N] [-threshold ms] [-workers N]
 package main
 
 import (
@@ -13,29 +13,23 @@ import (
 	"log"
 	"os"
 
-	"rpeer/internal/core"
 	"rpeer/internal/exp"
+	"rpeer/pkg/rpi"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rpi-validate: ")
 	seed := flag.Int64("seed", 1, "world generation seed")
-	threshold := flag.Float64("threshold", core.DefaultBaselineThresholdMs,
+	threshold := flag.Float64("threshold", rpi.DefaultBaselineThresholdMs,
 		"baseline remoteness RTT threshold in ms")
+	workers := flag.Int("workers", 0, "inference shard workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
-	env, err := exp.NewEnv(*seed)
+	env, err := exp.NewEnv(*seed,
+		rpi.WithWorkers(*workers), rpi.WithThreshold(*threshold))
 	if err != nil {
 		log.Fatal(err)
-	}
-
-	if *threshold != core.DefaultBaselineThresholdMs {
-		base, err := env.Ctx.Baseline(*threshold)
-		if err != nil {
-			log.Fatal(err)
-		}
-		env.BaseReport = base
 	}
 
 	r := exp.Table4(env)

@@ -1,55 +1,42 @@
-// Quickstart: generate a synthetic IXP ecosystem, run the five-step
-// remote peering inference methodology end to end, and print the
-// headline numbers — the shortest possible tour of the public API.
+// Quickstart: generate a synthetic IXP ecosystem, stand up a
+// long-lived inference engine from the public SDK (pkg/rpi), read the
+// headline verdicts, absorb a membership-churn delta incrementally,
+// and score the result against ground truth — the shortest possible
+// tour of the public API.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"rpeer/internal/core"
-	"rpeer/internal/geo"
-	"rpeer/internal/netsim"
-	"rpeer/internal/pingsim"
-	"rpeer/internal/registry"
-	"rpeer/internal/tracesim"
+	"rpeer/pkg/rpi"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	// 1. A seeded world: cities, facilities, IXPs, ASes, ground truth.
-	world, err := netsim.Generate(netsim.DefaultConfig())
+	// 1. A complete synthetic input world: seeded topology, merged
+	//    registry dataset, colocation DB, ping campaign, traceroutes.
+	inputs, err := rpi.SyntheticInputs(1, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. The observable inputs: merged registry data, colocation DB,
-	//    a ping campaign from the IXP-hosted vantage points, and a
-	//    traceroute corpus.
-	dataset := registry.Build(world, registry.DefaultNoise(), 42)
-	colo := registry.BuildColo(world, registry.DefaultColoNoise(), 43)
-	vps := pingsim.DeriveVPs(world, 44)
-	ping := pingsim.Run(world, vps, pingsim.DefaultCampaign())
-	paths := tracesim.Generate(world, tracesim.DefaultConfig())
-
-	// 3. Run the methodology.
-	rep, err := core.Run(core.Inputs{
-		World: world, Dataset: dataset, Colo: colo,
-		Ping: ping, Paths: paths,
-		Speed: geo.DefaultSpeedModel(), Seed: 45,
-	}, core.DefaultOptions())
+	// 2. The engine: builds the shared inference substrate once and
+	//    runs the five-step methodology over it.
+	eng, err := rpi.New(inputs, rpi.WithWorkers(0))
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep := eng.Snapshot()
 
-	// 4. Headline numbers.
+	// 3. Headline numbers.
 	var local, remote, unknown int
 	for _, inf := range rep.Inferences {
 		switch inf.Class {
-		case core.ClassLocal:
+		case rpi.ClassLocal:
 			local++
-		case core.ClassRemote:
+		case rpi.ClassRemote:
 			remote++
 		default:
 			unknown++
@@ -62,9 +49,18 @@ func main() {
 	fmt.Printf("  unknown: %d\n", unknown)
 	fmt.Printf("multi-IXP routers observed: %d\n", len(rep.MultiRouters))
 
+	// 4. The world churns: absorb a 1% membership delta incrementally
+	//    (no context rebuild) and see which verdicts moved.
+	update, err := eng.Apply(rpi.ChurnDelta(eng.Inputs(), 0.01, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied delta #%d: %d joins, %d leaves -> %d verdict changes\n",
+		update.Seq, update.Joined, update.Left, len(update.Changes))
+
 	// 5. Score against ground truth.
-	val := core.BuildValidation(world, core.DefaultValidationConfig())
-	m := core.Evaluate(rep, val.InIXPs(val.TestIXPs))
+	val := rpi.BuildValidation(inputs.World, rpi.DefaultValidationConfig())
+	m := rpi.Evaluate(eng.Snapshot(), val.InIXPs(val.TestIXPs))
 	fmt.Printf("validation (test subset): ACC=%.1f%% PRE=%.1f%% COV=%.1f%%\n",
 		100*m.ACC, 100*m.PRE, 100*m.COV)
 }

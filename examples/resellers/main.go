@@ -13,10 +13,10 @@ import (
 	"log"
 	"sort"
 
-	"rpeer/internal/core"
 	"rpeer/internal/exp"
 	"rpeer/internal/netsim"
 	"rpeer/internal/report"
+	"rpeer/pkg/rpi"
 )
 
 func main() {
@@ -28,9 +28,9 @@ func main() {
 	}
 	world := env.World
 
-	// Step 1 standalone: the pipeline with only port-capacity enabled,
-	// over the environment's shared inference context.
-	rep, err := env.Ctx.RunStep(core.DefaultOptions(), core.StepPortCapacity)
+	// Step 1 standalone: the port-capacity rule in isolation, over the
+	// environment's shared inference engine.
+	rep, err := env.Engine.RunStep(rpi.StepPortCapacity)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func main() {
 		truth[m.Iface.String()] = m
 	}
 	for k, inf := range rep.Inferences {
-		if inf.Class != core.ClassRemote {
+		if inf.Class != rpi.ClassRemote {
 			continue
 		}
 		flagged++

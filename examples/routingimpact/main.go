@@ -12,11 +12,11 @@ import (
 	"log"
 	"sort"
 
-	"rpeer/internal/core"
 	"rpeer/internal/exp"
 	"rpeer/internal/netsim"
 	"rpeer/internal/report"
 	"rpeer/internal/routing"
+	"rpeer/pkg/rpi"
 )
 
 func main() {
@@ -32,7 +32,7 @@ func main() {
 	var remotes []netsim.ASN
 	seen := make(map[netsim.ASN]bool)
 	for _, inf := range env.Report.Inferences {
-		if inf.IXP == flagship.Name && inf.Class == core.ClassRemote && !seen[inf.ASN] {
+		if inf.IXP == flagship.Name && inf.Class == rpi.ClassRemote && !seen[inf.ASN] {
 			seen[inf.ASN] = true
 			remotes = append(remotes, inf.ASN)
 		}

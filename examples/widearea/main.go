@@ -11,11 +11,11 @@ import (
 	"log"
 	"sort"
 
-	"rpeer/internal/core"
 	"rpeer/internal/exp"
 	"rpeer/internal/geo"
 	"rpeer/internal/netsim"
 	"rpeer/internal/report"
+	"rpeer/pkg/rpi"
 )
 
 func main() {
@@ -70,11 +70,11 @@ func main() {
 			continue
 		}
 		locals++
-		if rtt, ok := rtts[m.Iface]; ok && rtt > core.DefaultBaselineThresholdMs {
+		if rtt, ok := rtts[m.Iface]; ok && rtt > rpi.DefaultBaselineThresholdMs {
 			naiveWrong++
 		}
-		k := core.Key{IXP: wide.Name, Iface: m.Iface}
-		if inf, ok := env.Report.Inferences[k]; ok && inf.Class == core.ClassRemote {
+		k := rpi.Key{IXP: wide.Name, Iface: m.Iface}
+		if inf, ok := env.Report.Inferences[k]; ok && inf.Class == rpi.ClassRemote {
 			methodWrong++
 		}
 	}

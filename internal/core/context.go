@@ -51,19 +51,28 @@ type Context struct {
 
 	ipmap     *registry.IPMap
 	det       *traix.Detector
+	corpus    *traix.Corpus
+	lans      *traix.LANSet
 	crossings []traix.Crossing
 	privHops  []traix.PrivateHop
 
 	// byASPriv indexes private-hop neighbours per AS (Step 5 input).
 	byASPriv map[netsim.ASN][]privNeighbour
 
-	ixps []string
+	ixps   []string
+	ixpSet map[string]bool
 
-	domOnce sync.Once
-	domain  []domEntry
+	// domain is built lazily under domMu and patched in place by Apply
+	// (a sync.Once would survive deltas it must not survive).
+	domMu    sync.Mutex
+	domBuilt bool
+	domain   []domEntry
 
-	// Traceroute-RTT augmentation, built once on first use.
-	traceOnce    sync.Once
+	// Traceroute-RTT augmentation, built lazily under traceMu and
+	// dropped by Apply (any delta can shift the crossings or the RTT
+	// view it folds).
+	traceMu      sync.Mutex
+	traceBuilt   bool
 	traceRTT     map[netip.Addr]float64
 	traceBestVP  map[netip.Addr]*pingsim.VP
 	traceRounds  map[netip.Addr]bool
@@ -131,7 +140,6 @@ func newContext(in Inputs) *Context {
 		rtt:        make(map[netip.Addr]float64),
 		bestVP:     make(map[netip.Addr]*pingsim.VP),
 		rounds:     make(map[netip.Addr]bool),
-		byASPriv:   make(map[netsim.ASN][]privNeighbour),
 		pseudoVPs:  make(map[string]*pingsim.VP),
 		rings:      make(map[ringKey][]ringEntry),
 		resolvers:  make(map[alias.Mode]*alias.Resolver),
@@ -159,22 +167,16 @@ func newContext(in Inputs) *Context {
 		defer wg.Done()
 		c.ipmap = registry.BuildIPMap(in.World)
 		c.det = traix.NewDetector(in.Dataset, c.ipmap)
+		c.lans = traix.NewLANSet(traix.LANPrefixes(in.World))
 		if len(in.Paths) > 0 {
-			// Crossing and private-hop detection are two independent
-			// read-only passes over the corpus.
-			var dwg sync.WaitGroup
-			dwg.Add(1)
-			go func() {
-				defer dwg.Done()
-				c.privHops = c.det.DetectPrivateAll(in.Paths)
-			}()
-			c.crossings = c.det.DetectAll(in.Paths)
-			dwg.Wait()
+			// The corpus splits the paths into membership-independent
+			// detections (settled here, once) and peering-LAN candidates
+			// that Detect re-evaluates against the current dataset —
+			// both now and after every membership delta (see Apply).
+			c.corpus = traix.NewCorpus(in.Paths, c.lans, c.ipmap)
+			c.crossings, c.privHops = c.corpus.Detect(c.det)
 		}
-		for _, h := range c.privHops {
-			c.byASPriv[h.AAS] = append(c.byASPriv[h.AAS], privNeighbour{h.AIP, h.BAS})
-			c.byASPriv[h.BAS] = append(c.byASPriv[h.BAS], privNeighbour{h.BIP, h.AAS})
-		}
+		c.rebuildByASPriv()
 	}()
 	go func() {
 		defer wg.Done()
@@ -195,9 +197,27 @@ func newContext(in Inputs) *Context {
 		}
 	}()
 	c.ixps = ixpNames(in)
+	c.ixpSet = make(map[string]bool, len(c.ixps))
+	for _, name := range c.ixps {
+		c.ixpSet[name] = true
+	}
 	wg.Wait()
 
 	return c
+}
+
+// HasIXP reports whether the merged dataset knows the named IXP. The
+// set is fixed at construction: membership deltas never touch the
+// prefix plane.
+func (c *Context) HasIXP(name string) bool { return c.ixpSet[name] }
+
+// BestVP returns the vantage point behind an interface's current
+// campaign minimum, reflecting all applied deltas. Callers must not
+// run concurrently with Apply (the rpi engine resolves under its
+// apply lock).
+func (c *Context) BestVP(ip netip.Addr) (*pingsim.VP, bool) {
+	vp, ok := c.bestVP[ip]
+	return vp, ok
 }
 
 // resolverFor returns the memoized resolver for an alias mode,
@@ -340,10 +360,13 @@ func (c *Context) domainReport(rtt map[netip.Addr]float64, measured func(inf *In
 }
 
 // domainEntries returns the inference domain — one entry per interface
-// record of the merged dataset, deduplicated, in deterministic order —
-// building it on first use.
+// record of the merged dataset, deduplicated, in deterministic order
+// (IXPs sorted by name, interfaces ascending within each) — building
+// it on first use.
 func (c *Context) domainEntries() []domEntry {
-	c.domOnce.Do(func() {
+	c.domMu.Lock()
+	defer c.domMu.Unlock()
+	if !c.domBuilt {
 		seen := make(map[Key]bool)
 		for _, ixpName := range c.ixps {
 			for _, rec := range c.in.Dataset.MembersOf(ixpName) {
@@ -355,14 +378,28 @@ func (c *Context) domainEntries() []domEntry {
 				c.domain = append(c.domain, domEntry{key: k, asn: rec.ASN})
 			}
 		}
-	})
+		c.domBuilt = true
+	}
 	return c.domain
 }
 
+// rebuildByASPriv reindexes the private-hop neighbours per AS.
+func (c *Context) rebuildByASPriv() {
+	c.byASPriv = make(map[netsim.ASN][]privNeighbour)
+	for _, h := range c.privHops {
+		c.byASPriv[h.AAS] = append(c.byASPriv[h.AAS], privNeighbour{h.AIP, h.BAS})
+		c.byASPriv[h.BAS] = append(c.byASPriv[h.BAS], privNeighbour{h.BIP, h.AAS})
+	}
+}
+
 // traceAugmented returns the RTT view extended with traceroute-derived
-// estimates ("Beyond Pings", Section 8), building it once.
+// estimates ("Beyond Pings", Section 8), building it lazily. Apply
+// drops the built view, so it always reflects the current crossings
+// and campaign state.
 func (c *Context) traceAugmented() (rtt map[netip.Addr]float64, bestVP map[netip.Addr]*pingsim.VP, rounds map[netip.Addr]bool, derived map[netip.Addr]bool) {
-	c.traceOnce.Do(func() {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	if !c.traceBuilt {
 		c.traceRTT = make(map[netip.Addr]float64, len(c.rtt))
 		c.traceBestVP = make(map[netip.Addr]*pingsim.VP, len(c.bestVP))
 		c.traceRounds = make(map[netip.Addr]bool, len(c.rounds))
@@ -389,7 +426,8 @@ func (c *Context) traceAugmented() (rtt map[netip.Addr]float64, bestVP map[netip
 			c.traceRounds[e.Iface] = false
 			c.traceDerived[e.Iface] = true
 		}
-	})
+		c.traceBuilt = true
+	}
 	return c.traceRTT, c.traceBestVP, c.traceRounds, c.traceDerived
 }
 

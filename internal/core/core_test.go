@@ -290,8 +290,7 @@ func TestBeyondPingsIncreasesCoverage(t *testing.T) {
 
 func TestDeriveTracerouteRTTPositive(t *testing.T) {
 	in, _, _ := fixtures(t)
-	p := &pipeline{in: in, opt: DefaultOptions()}
-	p.init()
+	p := newContext(in).newPipeline(DefaultOptions())
 	ests := DeriveTracerouteRTT(p.crossings)
 	if len(ests) < 1000 {
 		t.Fatalf("only %d traceroute RTT estimates", len(ests))
@@ -311,8 +310,7 @@ func TestTracerouteRTTAgreesWithPing(t *testing.T) {
 	// should track the ping minimum (Fig 12b's premise): compare
 	// medians of the two distributions over common interfaces.
 	in, _, _ := fixtures(t)
-	p := &pipeline{in: in, opt: DefaultOptions()}
-	p.init()
+	p := newContext(in).newPipeline(DefaultOptions())
 	var pings, traces []float64
 	for _, e := range DeriveTracerouteRTT(p.crossings) {
 		if ping, ok := p.rtt[e.Iface]; ok {

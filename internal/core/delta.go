@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+	"rpeer/internal/registry"
+	"rpeer/internal/traix"
+)
+
+// Join is one membership appearing in the registry dataset: a member
+// interface surfacing on an IXP peering LAN, as the merged data
+// sources would eventually report it.
+type Join struct {
+	IXP   string
+	Iface netip.Addr
+	ASN   netsim.ASN
+	// PortMbps, when positive, records (or refreshes) the member's
+	// reported port capacity at the IXP.
+	PortMbps int
+}
+
+// Delta is one batch of world changes for Context.Apply: membership
+// churn (the joins and leaves internal/evolve models) plus refreshed
+// per-interface campaign aggregates from a ping re-campaign.
+type Delta struct {
+	Joins  []Join
+	Leaves []Key
+	// Ping layers refreshed campaign aggregates over the current ping
+	// result (see pingsim.Overrides); a NaN RTTMinMs removes the
+	// interface's measurement.
+	Ping map[netip.Addr]pingsim.Override
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *Delta) Empty() bool {
+	return len(d.Joins) == 0 && len(d.Leaves) == 0 && len(d.Ping) == 0
+}
+
+// Apply absorbs a delta into the context, invalidating only the
+// substrate the delta can reach. A context that has applied a delta is
+// indistinguishable from one built cold over the post-delta inputs —
+// the reports are identical (see the equivalence tests) — but the
+// update costs a fraction of a rebuild:
+//
+//   - the RTT indexes are patched per overridden interface; the full
+//     campaign fold is not repeated;
+//   - membership churn re-evaluates only the traceroute corpus's
+//     peering-LAN candidates (the membership-dependent sliver of the
+//     detection work) and rebuilds the cheap member-set and domain
+//     indexes; the hop-by-hop corpus scan and the IP-to-AS map are
+//     never repeated;
+//   - the facility geometry, ring memos and alias clusters survive
+//     untouched: they are keyed by location, facility set and
+//     interface-set content, none of which a delta invalidates.
+//
+// The traceroute-RTT augmentation is dropped and rebuilt lazily.
+//
+// Apply validates the whole delta before mutating anything: joins must
+// introduce new peering-LAN interfaces on IXPs the dataset knows,
+// leaves must name existing memberships, and measured overrides must
+// carry a vantage point. On error the context is unchanged.
+//
+// Apply must not run concurrently with pipeline runs or other Apply
+// calls; the rpi engine serializes them behind its lock.
+func (c *Context) Apply(d Delta) error {
+	ds := c.in.Dataset
+
+	// ---- validate (no mutation before this block completes) ----
+	leaving := make(map[netip.Addr]bool, len(d.Leaves))
+	for _, k := range d.Leaves {
+		if !k.Iface.IsValid() {
+			return fmt.Errorf("core: leave of invalid interface")
+		}
+		if leaving[k.Iface] {
+			return fmt.Errorf("core: duplicate leave of %s", k.Iface)
+		}
+		if ixp, ok := ds.IfaceIXP[k.Iface]; !ok || ixp != k.IXP {
+			return fmt.Errorf("core: leave of unknown membership %s/%s", k.IXP, k.Iface)
+		}
+		leaving[k.Iface] = true
+	}
+	joining := make(map[netip.Addr]bool, len(d.Joins))
+	for _, j := range d.Joins {
+		if !j.Iface.IsValid() || j.ASN == 0 {
+			return fmt.Errorf("core: join needs a valid interface and ASN")
+		}
+		if !c.ixpSet[j.IXP] {
+			return fmt.Errorf("core: join at unknown IXP %q", j.IXP)
+		}
+		if joining[j.Iface] {
+			return fmt.Errorf("core: duplicate join of %s", j.Iface)
+		}
+		if _, exists := ds.IfaceIXP[j.Iface]; exists && !leaving[j.Iface] {
+			return fmt.Errorf("core: join of already-known interface %s", j.Iface)
+		}
+		// The interface must sit on the peering LAN of the IXP it
+		// claims to join: a foreign-LAN join would leave IfaceIXP and
+		// the prefix plane permanently disagreeing, and an off-LAN
+		// join would break the invariant the incremental detection
+		// split (traix.Corpus) relies on.
+		if name, ok := ds.IXPOf(j.Iface); !ok || name != j.IXP {
+			return fmt.Errorf("core: join of %s: interface is not on the peering LAN of %q", j.Iface, j.IXP)
+		}
+		joining[j.Iface] = true
+	}
+	if len(d.Ping) > 0 && c.in.Ping == nil {
+		return fmt.Errorf("core: ping overrides without a campaign")
+	}
+	for ip, ov := range d.Ping {
+		if !ip.IsValid() {
+			return fmt.Errorf("core: ping override for invalid interface")
+		}
+		if math.IsNaN(ov.RTTMinMs) {
+			continue // measurement revocation
+		}
+		if ov.RTTMinMs <= 0 || math.IsInf(ov.RTTMinMs, 0) {
+			return fmt.Errorf("core: ping override for %s has non-positive RTT %v", ip, ov.RTTMinMs)
+		}
+		if ov.BestVP == nil {
+			return fmt.Errorf("core: measured ping override for %s needs a vantage point", ip)
+		}
+	}
+
+	// ---- registry dataset ----
+	for _, k := range d.Leaves {
+		delete(ds.IfaceASN, k.Iface)
+		delete(ds.IfaceIXP, k.Iface)
+	}
+	for _, j := range d.Joins {
+		ds.IfaceASN[j.Iface] = j.ASN
+		ds.IfaceIXP[j.Iface] = j.IXP
+		if j.PortMbps > 0 {
+			ds.Ports[registry.PortKey{IXP: j.IXP, ASN: j.ASN}] = j.PortMbps
+		}
+	}
+
+	// ---- ping campaign ----
+	if len(d.Ping) > 0 {
+		c.in.Ping = c.in.Ping.WithOverrides(d.Ping)
+		for ip, ov := range d.Ping {
+			if math.IsNaN(ov.RTTMinMs) {
+				delete(c.rtt, ip)
+				delete(c.bestVP, ip)
+				delete(c.rounds, ip)
+				continue
+			}
+			c.rtt[ip] = ov.RTTMinMs
+			c.bestVP[ip] = ov.BestVP
+			c.rounds[ip] = ov.BestRoundsUp
+		}
+	}
+
+	// ---- membership-dependent substrate ----
+	if len(d.Joins)+len(d.Leaves) > 0 {
+		// The detector's member-set cache is one cheap scan; the
+		// expensive part — walking every traceroute hop — stays inside
+		// the corpus and is not repeated.
+		c.det = traix.NewDetector(ds, c.ipmap)
+		if c.corpus != nil {
+			c.crossings, c.privHops = c.corpus.Detect(c.det)
+		}
+		c.rebuildByASPriv()
+		c.patchDomain(d, leaving)
+	}
+
+	// ---- lazily rebuilt views ----
+	c.traceMu.Lock()
+	c.traceBuilt = false
+	c.traceRTT, c.traceBestVP, c.traceRounds, c.traceDerived = nil, nil, nil, nil
+	c.traceMu.Unlock()
+
+	return nil
+}
+
+// patchDomain applies membership churn to the built domain, keeping
+// the deterministic (IXP name, interface) order a cold build would
+// produce. An unbuilt domain needs no patching — it will be built from
+// the post-delta dataset on first use.
+func (c *Context) patchDomain(d Delta, leaving map[netip.Addr]bool) {
+	c.domMu.Lock()
+	defer c.domMu.Unlock()
+	if !c.domBuilt {
+		return
+	}
+	rank := make(map[string]int, len(c.ixps))
+	for i, name := range c.ixps {
+		rank[name] = i
+	}
+	out := make([]domEntry, 0, len(c.domain)+len(d.Joins)-len(d.Leaves))
+	for _, e := range c.domain {
+		if !leaving[e.key.Iface] {
+			out = append(out, e)
+		}
+	}
+	for _, j := range d.Joins {
+		out = append(out, domEntry{key: Key{IXP: j.IXP, Iface: j.Iface}, asn: j.ASN})
+	}
+	sort.Slice(out, func(i, k int) bool {
+		ri, rk := rank[out[i].key.IXP], rank[out[k].key.IXP]
+		if ri != rk {
+			return ri < rk
+		}
+		return out[i].key.Iface.Less(out[k].key.Iface)
+	})
+	c.domain = out
+}

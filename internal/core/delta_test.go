@@ -1,0 +1,292 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+	"testing"
+
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+)
+
+// deltaInputs returns the shared fixture inputs with a private dataset
+// clone, so Apply's mutations cannot leak into other tests.
+func deltaInputs(t testing.TB) Inputs {
+	in, _, _ := fixtures(t)
+	in.Dataset = in.Dataset.Clone()
+	return in
+}
+
+// churnDelta assembles a realistic membership delta from the fixture
+// world: leaves sampled from the dataset, joins sampled from the
+// ground-truth members the registry noise had hidden.
+func churnDelta(t testing.TB, in Inputs, nJoin, nLeave int) Delta {
+	t.Helper()
+	ds := in.Dataset
+	known := make([]netip.Addr, 0, len(ds.IfaceIXP))
+	for ip := range ds.IfaceIXP {
+		known = append(known, ip)
+	}
+	sort.Slice(known, func(i, j int) bool { return known[i].Less(known[j]) })
+
+	ixpSet := make(map[string]bool)
+	for _, name := range ds.PrefixIXP {
+		ixpSet[name] = true
+	}
+	var hidden []*netsim.Member
+	for _, m := range in.World.Members {
+		if _, ok := ds.IfaceIXP[m.Iface]; ok {
+			continue
+		}
+		if !ixpSet[in.World.IXP(m.IXP).Name] {
+			continue
+		}
+		hidden = append(hidden, m)
+	}
+	sort.Slice(hidden, func(i, j int) bool { return hidden[i].Iface.Less(hidden[j].Iface) })
+	if len(known) < nLeave {
+		t.Fatalf("fixture too small for churn: %d known", len(known))
+	}
+
+	var d Delta
+	for i := 0; i < nLeave; i++ {
+		ip := known[(i*37)%len(known)]
+		d.Leaves = append(d.Leaves, Key{IXP: ds.IfaceIXP[ip], Iface: ip})
+	}
+	seen := make(map[netip.Addr]bool)
+	for _, k := range d.Leaves {
+		seen[k.Iface] = true
+	}
+	d.Leaves = dedupLeaves(d.Leaves)
+	// Join the members the registry noise had hidden first...
+	for i := 0; len(d.Joins) < nJoin && i < len(hidden); i++ {
+		m := hidden[i]
+		if seen[m.Iface] {
+			continue
+		}
+		seen[m.Iface] = true
+		j := Join{IXP: in.World.IXP(m.IXP).Name, Iface: m.Iface, ASN: m.ASN}
+		if i%3 == 0 {
+			j.PortMbps = m.PortMbps
+		}
+		d.Joins = append(d.Joins, j)
+	}
+	// ... then mint brand-new members on free peering-LAN addresses.
+	d.Joins = append(d.Joins, mintJoins(in, nJoin-len(d.Joins), seen)...)
+	return d
+}
+
+// mintJoins fabricates n new memberships on unused peering-LAN
+// addresses, walking each LAN from its top end (world members are
+// allocated from the bottom).
+func mintJoins(in Inputs, n int, seen map[netip.Addr]bool) []Join {
+	if n <= 0 {
+		return nil
+	}
+	ds := in.Dataset
+	taken := make(map[netip.Addr]bool, len(in.World.Members))
+	for _, m := range in.World.Members {
+		taken[m.Iface] = true
+	}
+	var prefixes []netip.Prefix
+	for p := range ds.PrefixIXP {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Addr().Less(prefixes[j].Addr()) })
+
+	var out []Join
+	asn := netsim.ASN(900001)
+	for _, p := range prefixes {
+		ip := lastAddrIn(p)
+		for i := 0; i < 8 && len(out) < n; i++ {
+			if _, known := ds.IfaceIXP[ip]; !known && !taken[ip] && !seen[ip] {
+				seen[ip] = true
+				out = append(out, Join{IXP: ds.PrefixIXP[p], Iface: ip, ASN: asn, PortMbps: 1000})
+				asn++
+			}
+			ip = ip.Prev()
+			if !p.Contains(ip) {
+				break
+			}
+		}
+		if len(out) >= n {
+			break
+		}
+	}
+	return out
+}
+
+// lastAddrIn returns the highest address of a prefix.
+func lastAddrIn(p netip.Prefix) netip.Addr {
+	b := p.Addr().As4()
+	bits := p.Bits()
+	for i := 0; i < 32-bits; i++ {
+		b[3-(i/8)] |= 1 << (i % 8)
+	}
+	return netip.AddrFrom4(b)
+}
+
+func dedupLeaves(ls []Key) []Key {
+	seen := make(map[Key]bool, len(ls))
+	out := ls[:0]
+	for _, k := range ls {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestApplyMatchesColdRebuild is the incremental-update contract: a
+// context that absorbed a churn delta must be report-identical to a
+// context built cold over the post-delta inputs, for every option
+// variant, including a second stacked delta.
+func TestApplyMatchesColdRebuild(t *testing.T) {
+	in := deltaInputs(t)
+	ctx, err := NewContext(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every memoized view first, so the test catches stale-cache
+	// bugs, not just cold-path agreement.
+	warmOpts := DefaultOptions()
+	warmOpts.UseTracerouteRTT = true
+	if _, err := ctx.Run(warmOpts); err != nil {
+		t.Fatal(err)
+	}
+
+	d := churnDelta(t, in, 40, 40)
+	// Fold in a partial re-campaign as well.
+	pcfg := pingsim.DefaultCampaign()
+	pcfg.Seed = 1234
+	refresh := pingsim.Run(in.World, in.Ping.VPs, pcfg)
+	d.Ping = pingsim.Overrides(refresh)
+
+	if err := ctx.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, opt := range optionVariants() {
+		warm, err := ctx.Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Run(ctx.Inputs(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, "post-delta/"+name, cold, warm)
+	}
+	warmBase, err := ctx.Baseline(DefaultBaselineThresholdMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBase, err := Baseline(ctx.Inputs(), DefaultBaselineThresholdMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "post-delta/baseline", coldBase, warmBase)
+
+	// A second, stacked delta over the already-patched context.
+	d2 := churnDelta(t, ctx.Inputs(), 15, 15)
+	if err := ctx.Apply(d2); err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := ctx.Run(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold2, err := Run(ctx.Inputs(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "stacked-delta", cold2, warm2)
+}
+
+// TestApplyChangesDomain sanity-checks that joins and leaves actually
+// land in the report domain.
+func TestApplyChangesDomain(t *testing.T) {
+	in := deltaInputs(t)
+	ctx, err := NewContext(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := ctx.Run(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := churnDelta(t, in, 10, 10)
+	if err := ctx.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ctx.Run(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Inferences) != len(before.Inferences)+len(d.Joins)-len(d.Leaves) {
+		t.Fatalf("domain size %d, want %d", len(after.Inferences),
+			len(before.Inferences)+len(d.Joins)-len(d.Leaves))
+	}
+	for _, j := range d.Joins {
+		if _, ok := after.Inferences[Key{IXP: j.IXP, Iface: j.Iface}]; !ok {
+			t.Fatalf("joined membership %s/%s missing from report", j.IXP, j.Iface)
+		}
+	}
+	for _, k := range d.Leaves {
+		if _, ok := after.Inferences[k]; ok {
+			t.Fatalf("departed membership %v still in report", k)
+		}
+	}
+}
+
+// TestApplyValidation pins the all-or-nothing error contract.
+func TestApplyValidation(t *testing.T) {
+	in := deltaInputs(t)
+	ctx, err := NewContext(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := ctx.Run(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var knownIface netip.Addr
+	var knownIXP string
+	for ip, name := range in.Dataset.IfaceIXP {
+		knownIface, knownIXP = ip, name
+		break
+	}
+	offLAN := netip.MustParseAddr("203.0.113.200")
+	// An address on some OTHER IXP's peering LAN, for the foreign-LAN
+	// join case.
+	var foreignLAN netip.Addr
+	for p, name := range in.Dataset.PrefixIXP {
+		if name != knownIXP && p.Addr().Is4() {
+			foreignLAN = lastAddrIn(p)
+			break
+		}
+	}
+
+	bad := []Delta{
+		{Joins: []Join{{IXP: knownIXP, Iface: knownIface, ASN: 4242}}},
+		{Joins: []Join{{IXP: "no-such-ixp", Iface: knownIface, ASN: 4242}}},
+		{Joins: []Join{{IXP: knownIXP, Iface: offLAN, ASN: 4242}}},
+		{Joins: []Join{{IXP: knownIXP, Iface: foreignLAN, ASN: 4242}}},
+		{Leaves: []Key{{IXP: knownIXP, Iface: offLAN}}},
+		{Leaves: []Key{{IXP: "wrong-ixp", Iface: knownIface}}},
+		{Ping: map[netip.Addr]pingsim.Override{knownIface: {RTTMinMs: 5}}},  // no VP
+		{Ping: map[netip.Addr]pingsim.Override{knownIface: {RTTMinMs: -5}}}, // non-positive RTT
+		{Ping: map[netip.Addr]pingsim.Override{knownIface: {RTTMinMs: 0}}},
+	}
+	for i, d := range bad {
+		if err := ctx.Apply(d); err == nil {
+			t.Fatalf("bad delta %d accepted", i)
+		}
+	}
+	after, err := ctx.Run(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "rejected deltas must not mutate", before, after)
+}

@@ -162,20 +162,13 @@ type scratch struct {
 	ringA, ringB []netsim.FacilityID
 }
 
-// newPipeline binds a run view to the context.
+// newPipeline binds a run view to the context. Every pipeline — cold
+// package-level entry points included — runs over a Context; there is
+// no separate context-free code path.
 func (c *Context) newPipeline(opt Options) *pipeline {
 	p := &pipeline{in: c.in, opt: opt, ctx: c}
 	p.bind()
 	return p
-}
-
-// init builds a private context and binds to it; it exists for the
-// cold path and for tests that assemble a pipeline literal directly.
-func (p *pipeline) init() {
-	if p.ctx == nil {
-		p.ctx = newContext(p.in)
-	}
-	p.bind()
 }
 
 // bind selects the context state matching the pipeline options.

@@ -89,8 +89,7 @@ func (f *tinyFixture) addIface(asn netsim.ASN) netip.Addr {
 // pipelineWithRTT builds the pipeline and injects a single RTT
 // measurement per interface.
 func (f *tinyFixture) pipelineWithRTT(rtts map[netip.Addr]float64) (*pipeline, *Report) {
-	p := &pipeline{in: f.in, opt: DefaultOptions()}
-	p.init()
+	p := newContext(f.in).newPipeline(DefaultOptions())
 	for ip, rtt := range rtts {
 		p.rtt[ip] = rtt
 		p.bestVP[ip] = f.vp
@@ -256,8 +255,7 @@ func TestStep3RoundingLGWidensRing(t *testing.T) {
 
 func TestAllShareFacility(t *testing.T) {
 	f := newTinyFixture(t)
-	p := &pipeline{in: f.in, opt: DefaultOptions()}
-	p.init()
+	p := newContext(f.in).newPipeline(DefaultOptions())
 	f.in.Colo.IXPFacilities["A"] = []netsim.FacilityID{1, 2}
 	f.in.Colo.IXPFacilities["B"] = []netsim.FacilityID{2, 3}
 	f.in.Colo.IXPFacilities["C"] = []netsim.FacilityID{3, 4}
@@ -274,8 +272,7 @@ func TestAllShareFacility(t *testing.T) {
 
 func TestFacDist(t *testing.T) {
 	f := newTinyFixture(t)
-	p := &pipeline{in: f.in, opt: DefaultOptions()}
-	p.init()
+	p := newContext(f.in).newPipeline(DefaultOptions())
 	f0 := f.ix.Facilities[0]
 	minD, maxD, ok := p.facDist([]netsim.FacilityID{f0}, []netsim.FacilityID{f0})
 	if !ok || minD != 0 || maxD != 0 {

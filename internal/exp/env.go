@@ -20,19 +20,25 @@ import (
 	"rpeer/internal/report"
 	"rpeer/internal/tracesim"
 	"rpeer/internal/traix"
+	"rpeer/pkg/rpi"
 )
 
 // Env is the assembled experimental environment: one world, its
-// datasets, one measurement campaign, one shared inference context,
+// datasets, one measurement campaign, one shared inference engine,
 // one pipeline run and the validation split. Build it once and feed it
 // to every experiment.
 //
-// Ctx is the shared core.Context over Inputs: constructors that re-run
-// the pipeline under modified options (Table 4's per-step rows, the
-// Section 8 extension) go through it so the RTT indexes, traceroute
+// Engine is the long-lived rpi.Engine the environment rides on; Ctx is
+// its shared core.Context over Inputs. Constructors that re-run the
+// pipeline under modified options (Table 4's per-step rows, the
+// Section 8 extension) go through Ctx so the RTT indexes, traceroute
 // detections, geo rings and alias clusters are computed once per
-// environment rather than once per artefact. The context is safe for
-// the concurrent use All makes of it.
+// environment rather than once per artefact. Both are safe for the
+// concurrent use All makes of them.
+//
+// Dataset and Inputs reflect the engine's view (a private clone of the
+// generated registry data), so applied deltas and experiment reads
+// stay coherent.
 type Env struct {
 	World      *netsim.World
 	Dataset    *registry.Dataset
@@ -41,6 +47,7 @@ type Env struct {
 	Ping       *pingsim.Result
 	Paths      []*traix.Path
 	Inputs     core.Inputs
+	Engine     *rpi.Engine
 	Ctx        *core.Context
 	Report     *core.Report
 	BaseReport *core.Report
@@ -50,8 +57,10 @@ type Env struct {
 }
 
 // NewEnv builds the environment with the default configuration.
-func NewEnv(seed int64) (*Env, error) {
-	return NewEnvWithConfig(netsim.DefaultConfig(), seed)
+// Options configure the underlying engine (worker count, baseline
+// threshold, ...).
+func NewEnv(seed int64, opts ...rpi.Option) (*Env, error) {
+	return NewEnvWithConfig(netsim.DefaultConfig(), seed, opts...)
 }
 
 // NewEnvWithConfig builds the environment over an explicit world
@@ -59,12 +68,11 @@ func NewEnv(seed int64) (*Env, error) {
 // presets); cfg.Seed is overridden by seed. Independent build stages
 // overlap: once the world is generated, the registry, colocation DB,
 // ping campaign (hashed-RNG parallel path), traceroute corpus and
-// validation split are produced concurrently; the shared context then
-// builds its indexes in parallel, and the pipeline and baseline runs
-// overlap as well. The result is identical to a fully sequential build
-// — every stage is seeded independently and no stage reads another's
-// output.
-func NewEnvWithConfig(cfg netsim.Config, seed int64) (*Env, error) {
+// validation split are produced concurrently; the engine's shared
+// context then builds its indexes in parallel. The result is identical
+// to a fully sequential build — every stage is seeded independently
+// and no stage reads another's output.
+func NewEnvWithConfig(cfg netsim.Config, seed int64, opts ...rpi.Option) (*Env, error) {
 	cfg.Seed = seed
 	w, err := netsim.Generate(cfg)
 	if err != nil {
@@ -114,31 +122,22 @@ func NewEnvWithConfig(cfg netsim.Config, seed int64) (*Env, error) {
 		World: w, Dataset: ds, Colo: colo, Ping: ping, Paths: paths,
 		Speed: geo.DefaultSpeedModel(), Seed: seed + 6,
 	}
-	ctx, err := core.NewContext(in)
+	eng, err := rpi.New(in, opts...)
 	if err != nil {
-		return nil, fmt.Errorf("exp: context: %w", err)
+		return nil, fmt.Errorf("exp: engine: %w", err)
 	}
-	var (
-		rep, base       *core.Report
-		repErr, baseErr error
-	)
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		base, baseErr = ctx.Baseline(core.DefaultBaselineThresholdMs)
-	}()
-	rep, repErr = ctx.Run(core.DefaultOptions())
-	wg.Wait()
-	if repErr != nil {
-		return nil, fmt.Errorf("exp: pipeline: %w", repErr)
-	}
-	if baseErr != nil {
-		return nil, fmt.Errorf("exp: baseline: %w", baseErr)
+	base, err := eng.Baseline()
+	if err != nil {
+		return nil, fmt.Errorf("exp: baseline: %w", err)
 	}
 
+	// The engine owns a private dataset clone; expose its view so
+	// experiment reads and applied deltas stay coherent.
+	in = eng.Inputs()
 	env := &Env{
-		World: w, Dataset: ds, Colo: colo, VPs: vps, Ping: ping,
-		Paths: paths, Inputs: in, Ctx: ctx, Report: rep, BaseReport: base,
+		World: w, Dataset: in.Dataset, Colo: colo, VPs: vps, Ping: ping,
+		Paths: paths, Inputs: in, Engine: eng, Ctx: eng.Context(),
+		Report: eng.Snapshot(), BaseReport: base,
 		Validation: val,
 		ixpByName:  make(map[string]*netsim.IXP, len(w.IXPs)),
 	}

@@ -193,6 +193,10 @@ type Result struct {
 	// (RTTmin < 1 ms) and answered at all.
 	UsableVPs []*VP
 
+	// overrides are per-interface replacement aggregates layered over
+	// the campaign fold by WithOverrides (re-campaign refreshes).
+	overrides map[netip.Addr]Override
+
 	idxOnce sync.Once
 	idx     map[netip.Addr]*IfaceAgg
 }
@@ -216,9 +220,9 @@ type IfaceAgg struct {
 }
 
 // IfaceIndex returns the per-interface campaign aggregates, building
-// them on first use (one pass over all usable-VP measurements). The
-// returned map is shared and must be treated as read-only; concurrent
-// callers are safe.
+// them on first use (one pass over all usable-VP measurements, then
+// any overrides layered on top). The returned map is shared and must
+// be treated as read-only; concurrent callers are safe.
 func (r *Result) IfaceIndex() map[netip.Addr]*IfaceAgg {
 	r.idxOnce.Do(func() {
 		idx := make(map[netip.Addr]*IfaceAgg)
@@ -242,9 +246,71 @@ func (r *Result) IfaceIndex() map[netip.Addr]*IfaceAgg {
 				}
 			}
 		}
+		for ip, o := range r.overrides {
+			if math.IsNaN(o.RTTMinMs) {
+				delete(idx, ip)
+				continue
+			}
+			idx[ip] = &IfaceAgg{
+				RTTMinMs:     o.RTTMinMs,
+				BestVP:       o.BestVP,
+				BestRoundsUp: o.BestRoundsUp,
+				AnyRounding:  o.AnyRounding,
+			}
+		}
 		r.idx = idx
 	})
 	return r.idx
+}
+
+// Override is a per-interface replacement campaign aggregate: the
+// refreshed measurement state a re-campaign produced for one member
+// interface. An Override with a NaN RTTMinMs removes the interface
+// from the index (the refresh found it unmeasurable).
+type Override struct {
+	RTTMinMs     float64
+	BestVP       *VP
+	BestRoundsUp bool
+	AnyRounding  bool
+}
+
+// WithOverrides returns a view of the campaign with the given
+// per-interface aggregates replacing the folded ones. The receiver is
+// not modified; the returned Result shares its measurement slices.
+// Repeated applications stack, latest override winning per interface.
+func (r *Result) WithOverrides(ov map[netip.Addr]Override) *Result {
+	merged := make(map[netip.Addr]Override, len(r.overrides)+len(ov))
+	for ip, o := range r.overrides {
+		merged[ip] = o
+	}
+	for ip, o := range ov {
+		merged[ip] = o
+	}
+	return &Result{
+		VPs: r.VPs, ByVP: r.ByVP,
+		RouteServerRTT: r.RouteServerRTT,
+		UsableVPs:      r.UsableVPs,
+		overrides:      merged,
+	}
+}
+
+// Overrides folds a re-campaign result into the override form
+// WithOverrides consumes: every interface the refresh measured usably
+// gets its refreshed aggregate (latest campaign wins). Interfaces the
+// refresh could not measure are left untouched — a re-campaign
+// narrows staleness, it does not revoke history.
+func Overrides(refresh *Result) map[netip.Addr]Override {
+	idx := refresh.IfaceIndex()
+	out := make(map[netip.Addr]Override, len(idx))
+	for ip, a := range idx {
+		out[ip] = Override{
+			RTTMinMs:     a.RTTMinMs,
+			BestVP:       a.BestVP,
+			BestRoundsUp: a.BestRoundsUp,
+			AnyRounding:  a.AnyRounding,
+		}
+	}
+	return out
 }
 
 // Run executes a ping campaign from every VP towards all member

@@ -268,6 +268,37 @@ func Merge(snaps []*Snapshot) *Dataset {
 	return d
 }
 
+// Clone returns a deep copy of the dataset's maps (Stats is copied
+// shallowly; its rows are values). Long-lived consumers that mutate
+// their view of the registry — the rpi engine absorbing membership
+// deltas — clone first so the caller's dataset stays frozen.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{
+		PrefixIXP: make(map[netip.Prefix]string, len(d.PrefixIXP)),
+		IfaceASN:  make(map[netip.Addr]netsim.ASN, len(d.IfaceASN)),
+		IfaceIXP:  make(map[netip.Addr]string, len(d.IfaceIXP)),
+		Ports:     make(map[PortKey]int, len(d.Ports)),
+		MinPort:   make(map[string]int, len(d.MinPort)),
+		Stats:     append([]SourceStats(nil), d.Stats...),
+	}
+	for k, v := range d.PrefixIXP {
+		c.PrefixIXP[k] = v
+	}
+	for k, v := range d.IfaceASN {
+		c.IfaceASN[k] = v
+	}
+	for k, v := range d.IfaceIXP {
+		c.IfaceIXP[k] = v
+	}
+	for k, v := range d.Ports {
+		c.Ports[k] = v
+	}
+	for k, v := range d.MinPort {
+		c.MinPort[k] = v
+	}
+	return c
+}
+
 // IXPOf returns the IXP name whose peering LAN contains ip, if any.
 func (d *Dataset) IXPOf(ip netip.Addr) (string, bool) {
 	for p, name := range d.PrefixIXP {

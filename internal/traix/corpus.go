@@ -1,0 +1,177 @@
+package traix
+
+import (
+	"net/netip"
+	"sort"
+
+	"rpeer/internal/netsim"
+	"rpeer/internal/registry"
+)
+
+// Corpus is a detection-ready index over a fixed traceroute path set.
+//
+// Crossing and private-hop detection read two kinds of state: the
+// corpus itself (immutable) and the IXP membership dataset (which
+// churns — members join and leave between inference runs). The corpus
+// splits each path's detection work along that line once, so that a
+// membership change never forces a full re-scan of every hop:
+//
+//   - hops whose address lies on a peering-LAN prefix are *dynamic*
+//     candidates: whether they form an IXP crossing, or poison a
+//     private-hop pair, depends on the current membership maps;
+//   - consecutive-hop pairs touching no peering-LAN address are
+//     *static*: member interfaces only ever carry peering-LAN
+//     addresses, so no dataset state can change how these pairs
+//     classify. Their private-hop verdicts are computed once here,
+//     from the prefix-to-AS map alone.
+//
+// Detect then re-evaluates only the dynamic candidates against a
+// Detector (typically after a membership delta) and merges the static
+// results back in path-and-hop order, producing slices identical to a
+// cold DetectAll / DetectPrivateAll pass over the same dataset state.
+type Corpus struct {
+	paths []*Path
+	per   []pathCands
+}
+
+// pathCands is one path's split detection state.
+type pathCands struct {
+	// cross lists hop indexes i (>= 1) whose address is on a
+	// peering-LAN prefix: the only hops that can anchor a crossing.
+	cross []int
+	// priv lists second-hop indexes i of consecutive responsive pairs
+	// where at least one address is on a peering-LAN prefix: the only
+	// pairs whose private-hop verdict depends on membership state.
+	priv []int
+	// static holds the membership-independent private hops, ascending
+	// by Index.
+	static []PrivateHop
+}
+
+// LANSet answers "is this address on any peering-LAN prefix?" with one
+// map lookup per distinct prefix length. The corpus split relies on
+// the invariant that member interfaces only ever carry peering-LAN
+// addresses; callers that grow the dataset (membership joins) use a
+// LANSet to uphold it.
+type LANSet struct {
+	bits []int
+	sets []map[netip.Prefix]bool
+}
+
+// NewLANSet indexes a peering-LAN prefix plan.
+func NewLANSet(lans []netip.Prefix) *LANSet {
+	byBits := make(map[int]map[netip.Prefix]bool)
+	for _, p := range lans {
+		if !p.IsValid() {
+			continue
+		}
+		m := byBits[p.Bits()]
+		if m == nil {
+			m = make(map[netip.Prefix]bool)
+			byBits[p.Bits()] = m
+		}
+		m[p.Masked()] = true
+	}
+	s := &LANSet{}
+	for b := range byBits {
+		s.bits = append(s.bits, b)
+	}
+	sort.Ints(s.bits)
+	for _, b := range s.bits {
+		s.sets = append(s.sets, byBits[b])
+	}
+	return s
+}
+
+// Contains reports whether ip lies on any indexed prefix.
+func (s *LANSet) Contains(ip netip.Addr) bool {
+	for i, b := range s.bits {
+		p, err := ip.Prefix(b)
+		if err != nil {
+			continue
+		}
+		if s.sets[i][p] {
+			return true
+		}
+	}
+	return false
+}
+
+// NewCorpus indexes a path corpus. set must index every peering-LAN
+// prefix member interfaces can be drawn from (the world's LAN plan, a
+// superset of whatever the registry dataset happens to cover — see
+// LANPrefixes), and ipmap is the membership-independent prefix-to-AS
+// map used to settle the static pairs.
+func NewCorpus(paths []*Path, set *LANSet, ipmap *registry.IPMap) *Corpus {
+	c := &Corpus{paths: paths, per: make([]pathCands, len(paths))}
+	for pi, p := range paths {
+		pc := &c.per[pi]
+		onLAN := make([]bool, len(p.Hops))
+		for i, h := range p.Hops {
+			onLAN[i] = h.IP.IsValid() && set.Contains(h.IP)
+		}
+		for i := 1; i < len(p.Hops); i++ {
+			if onLAN[i] {
+				pc.cross = append(pc.cross, i)
+			}
+			a, b := p.Hops[i-1].IP, p.Hops[i].IP
+			if !a.IsValid() || !b.IsValid() {
+				continue
+			}
+			if onLAN[i-1] || onLAN[i] {
+				pc.priv = append(pc.priv, i)
+				continue
+			}
+			// Static pair: no peering-LAN address involved, so the
+			// dataset's exclusion and AS maps can never apply.
+			aAS, okA := ipmap.ASOf(a)
+			bAS, okB := ipmap.ASOf(b)
+			if !okA || !okB || aAS == bAS {
+				continue
+			}
+			pc.static = append(pc.static, PrivateHop{Path: p, Index: i, AIP: a, BIP: b, AAS: aAS, BAS: bAS})
+		}
+	}
+	return c
+}
+
+// Detect evaluates the corpus against the detector's current dataset
+// state. The returned slices are freshly allocated and ordered exactly
+// as DetectAll / DetectPrivateAll over the same paths would order
+// them: by path, then by hop index.
+func (c *Corpus) Detect(d *Detector) ([]Crossing, []PrivateHop) {
+	var crossings []Crossing
+	var priv []PrivateHop
+	for pi, p := range c.paths {
+		pc := &c.per[pi]
+		for _, i := range pc.cross {
+			if cr, ok := d.crossingAt(p, i); ok {
+				crossings = append(crossings, cr)
+			}
+		}
+		// Merge static results with the dynamic pair verdicts in hop
+		// order; both lists are ascending and disjoint.
+		si := 0
+		for _, i := range pc.priv {
+			for si < len(pc.static) && pc.static[si].Index < i {
+				priv = append(priv, pc.static[si])
+				si++
+			}
+			if ph, ok := d.privateAt(p, i); ok {
+				priv = append(priv, ph)
+			}
+		}
+		priv = append(priv, pc.static[si:]...)
+	}
+	return crossings, priv
+}
+
+// LANPrefixes extracts the peering-LAN plan of a world, the lans input
+// of NewCorpus.
+func LANPrefixes(w *netsim.World) []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(w.IXPs))
+	for _, ix := range w.IXPs {
+		out = append(out, ix.PeeringLAN)
+	}
+	return out
+}

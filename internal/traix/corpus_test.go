@@ -1,0 +1,123 @@
+package traix_test
+
+import (
+	"testing"
+
+	"rpeer/internal/netsim"
+	"rpeer/internal/registry"
+	"rpeer/internal/tracesim"
+	"rpeer/internal/traix"
+)
+
+var (
+	fw  *netsim.World
+	fds *registry.Dataset
+	fim *registry.IPMap
+	fps []*traix.Path
+)
+
+func corpusFixtures(t testing.TB) (*netsim.World, *registry.Dataset, *registry.IPMap, []*traix.Path) {
+	t.Helper()
+	if fw == nil {
+		w, err := netsim.Generate(netsim.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw = w
+		fds = registry.Build(w, registry.DefaultNoise(), 42)
+		fim = registry.BuildIPMap(w)
+		fps = tracesim.Generate(w, tracesim.DefaultConfig())
+	}
+	return fw, fds, fim, fps
+}
+
+func sameCrossings(t *testing.T, label string, a, b []traix.Crossing) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d crossings vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: crossing %d differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+func samePrivate(t *testing.T, label string, a, b []traix.PrivateHop) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d private hops vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: private hop %d differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// TestCorpusMatchesColdDetection pins the corpus contract: Detect must
+// reproduce the full DetectAll / DetectPrivateAll passes exactly, in
+// content and order.
+func TestCorpusMatchesColdDetection(t *testing.T) {
+	w, ds, im, paths := corpusFixtures(t)
+	d := traix.NewDetector(ds, im)
+	corpus := traix.NewCorpus(paths, traix.NewLANSet(traix.LANPrefixes(w)), im)
+
+	gotC, gotP := corpus.Detect(d)
+	sameCrossings(t, "cold", gotC, d.DetectAll(paths))
+	samePrivate(t, "cold", gotP, d.DetectPrivateAll(paths))
+
+	if len(gotC) == 0 || len(gotP) == 0 {
+		t.Fatalf("degenerate corpus: %d crossings, %d private hops", len(gotC), len(gotP))
+	}
+}
+
+// TestCorpusTracksMembershipChurn is the incremental-update contract:
+// after membership joins and leaves, re-evaluating only the dynamic
+// candidates must match a full scan against the mutated dataset.
+func TestCorpusTracksMembershipChurn(t *testing.T) {
+	w, ds, im, paths := corpusFixtures(t)
+	corpus := traix.NewCorpus(paths, traix.NewLANSet(traix.LANPrefixes(w)), im)
+
+	// Mutate a private clone of the dataset: drop every 7th known
+	// interface, add every ground-truth member the noise had hidden.
+	mut := ds.Clone()
+	i := 0
+	for ip := range ds.IfaceIXP {
+		if i%7 == 0 {
+			delete(mut.IfaceIXP, ip)
+			delete(mut.IfaceASN, ip)
+		}
+		i++
+	}
+	added := 0
+	for _, m := range w.Members {
+		if _, known := mut.IfaceASN[m.Iface]; known {
+			continue
+		}
+		mut.IfaceASN[m.Iface] = m.ASN
+		mut.IfaceIXP[m.Iface] = w.IXP(m.IXP).Name
+		added++
+	}
+	if added == 0 {
+		t.Fatal("noise hid no members; churn test is vacuous")
+	}
+
+	d := traix.NewDetector(mut, im)
+	gotC, gotP := corpus.Detect(d)
+	sameCrossings(t, "churned", gotC, d.DetectAll(paths))
+	samePrivate(t, "churned", gotP, d.DetectPrivateAll(paths))
+}
+
+func TestLANSetContains(t *testing.T) {
+	w, _, _, _ := corpusFixtures(t)
+	set := traix.NewLANSet(traix.LANPrefixes(w))
+	for _, ix := range w.IXPs {
+		if !set.Contains(ix.PeeringLAN.Addr().Next()) {
+			t.Fatalf("LAN address of %s not recognised", ix.Name)
+		}
+		if set.Contains(ix.MgmtLAN.Addr()) {
+			t.Fatalf("management address of %s misclassified as peering LAN", ix.Name)
+		}
+	}
+}

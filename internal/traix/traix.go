@@ -86,51 +86,56 @@ func (d *Detector) asOf(ip netip.Addr) (netsim.ASN, bool) {
 func (d *Detector) Detect(p *Path) []Crossing {
 	var out []Crossing
 	for i := 1; i < len(p.Hops); i++ {
-		ixpIP := p.Hops[i].IP
-		if !ixpIP.IsValid() {
-			continue
+		if c, ok := d.crossingAt(p, i); ok {
+			out = append(out, c)
 		}
-		ixpName, ok := d.ds.IfaceIXP[ixpIP]
-		if !ok {
-			continue // not a known IXP interface
-		}
-		farAS, ok := d.ds.IfaceASN[ixpIP]
-		if !ok {
-			continue
-		}
-		// Rule 1 second half: the hop after the IXP IP must belong to
-		// the same AS, when present and responsive.
-		if i+1 < len(p.Hops) && p.Hops[i+1].IP.IsValid() {
-			if asn, ok := d.asOf(p.Hops[i+1].IP); !ok || asn != farAS {
-				continue
-			}
-		} else if i+1 >= len(p.Hops) {
-			// IXP IP as last hop: cannot confirm the far side.
-			continue
-		} else {
-			continue // unresponsive far hop: cannot confirm
-		}
-		// Rule 2: the preceding hop belongs to a different AS.
-		nearIP := p.Hops[i-1].IP
-		if !nearIP.IsValid() {
-			continue
-		}
-		nearAS, ok := d.asOf(nearIP)
-		if !ok || nearAS == farAS {
-			continue
-		}
-		// Rule 3: both ASes are members of the exchange.
-		set := d.members[ixpName]
-		if !set[nearAS] || !set[farAS] {
-			continue
-		}
-		out = append(out, Crossing{
-			Path: p, Index: i, IXP: ixpName,
-			NearIP: nearIP, NearAS: nearAS,
-			IXPIP: ixpIP, FarAS: farAS,
-		})
 	}
 	return out
+}
+
+// crossingAt applies the crossing rules to the triplet centred on hop
+// i (which must be >= 1).
+func (d *Detector) crossingAt(p *Path, i int) (Crossing, bool) {
+	ixpIP := p.Hops[i].IP
+	if !ixpIP.IsValid() {
+		return Crossing{}, false
+	}
+	ixpName, ok := d.ds.IfaceIXP[ixpIP]
+	if !ok {
+		return Crossing{}, false // not a known IXP interface
+	}
+	farAS, ok := d.ds.IfaceASN[ixpIP]
+	if !ok {
+		return Crossing{}, false
+	}
+	// Rule 1 second half: the hop after the IXP IP must belong to
+	// the same AS, when present and responsive.
+	if i+1 >= len(p.Hops) || !p.Hops[i+1].IP.IsValid() {
+		// IXP IP as last hop, or unresponsive far hop: cannot confirm.
+		return Crossing{}, false
+	}
+	if asn, ok := d.asOf(p.Hops[i+1].IP); !ok || asn != farAS {
+		return Crossing{}, false
+	}
+	// Rule 2: the preceding hop belongs to a different AS.
+	nearIP := p.Hops[i-1].IP
+	if !nearIP.IsValid() {
+		return Crossing{}, false
+	}
+	nearAS, ok := d.asOf(nearIP)
+	if !ok || nearAS == farAS {
+		return Crossing{}, false
+	}
+	// Rule 3: both ASes are members of the exchange.
+	set := d.members[ixpName]
+	if !set[nearAS] || !set[farAS] {
+		return Crossing{}, false
+	}
+	return Crossing{
+		Path: p, Index: i, IXP: ixpName,
+		NearIP: nearIP, NearAS: nearAS,
+		IXPIP: ixpIP, FarAS: farAS,
+	}, true
 }
 
 // DetectAll scans a corpus of paths.
@@ -157,24 +162,32 @@ type PrivateHop struct {
 func (d *Detector) DetectPrivate(p *Path) []PrivateHop {
 	var out []PrivateHop
 	for i := 1; i < len(p.Hops); i++ {
-		a, b := p.Hops[i-1].IP, p.Hops[i].IP
-		if !a.IsValid() || !b.IsValid() {
-			continue
+		if ph, ok := d.privateAt(p, i); ok {
+			out = append(out, ph)
 		}
-		if _, onIXP := d.ds.IfaceIXP[a]; onIXP {
-			continue
-		}
-		if _, onIXP := d.ds.IfaceIXP[b]; onIXP {
-			continue
-		}
-		aAS, okA := d.asOf(a)
-		bAS, okB := d.asOf(b)
-		if !okA || !okB || aAS == bAS {
-			continue
-		}
-		out = append(out, PrivateHop{Path: p, Index: i, AIP: a, BIP: b, AAS: aAS, BAS: bAS})
 	}
 	return out
+}
+
+// privateAt applies the private-interconnection rules to the pair
+// ending at hop i (which must be >= 1).
+func (d *Detector) privateAt(p *Path, i int) (PrivateHop, bool) {
+	a, b := p.Hops[i-1].IP, p.Hops[i].IP
+	if !a.IsValid() || !b.IsValid() {
+		return PrivateHop{}, false
+	}
+	if _, onIXP := d.ds.IfaceIXP[a]; onIXP {
+		return PrivateHop{}, false
+	}
+	if _, onIXP := d.ds.IfaceIXP[b]; onIXP {
+		return PrivateHop{}, false
+	}
+	aAS, okA := d.asOf(a)
+	bAS, okB := d.asOf(b)
+	if !okA || !okB || aAS == bAS {
+		return PrivateHop{}, false
+	}
+	return PrivateHop{Path: p, Index: i, AIP: a, BIP: b, AAS: aAS, BAS: bAS}, true
 }
 
 // DetectPrivateAll extracts private interconnections from a corpus.

