@@ -1,8 +1,8 @@
 GO ?= go
 # PR number stamped into the benchmark snapshot file name; bump (or
-# override: `make bench-snapshot PR=4`) each PR so trajectories of all
+# override: `make bench-snapshot PR=5`) each PR so trajectories of all
 # PRs stay side by side.
-PR ?= 3
+PR ?= 4
 
 # Pipelines (bench-snapshot) must fail when any stage fails, not just
 # the last one, or a broken benchmark run would silently overwrite the
@@ -33,9 +33,14 @@ test-race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem
 
-# One-iteration smoke of the headline pipeline benchmark (CI).
+# One-iteration smoke of the headline benchmarks (CI): the pipeline,
+# the substrate build, the engine apply path, the HTTP front end and
+# the 1x scaling rung all execute once, so a benchmark that rots (or
+# an API drift that only benchmarks exercise) fails the build instead
+# of surfacing at the next snapshot. The heavy scaling rungs (4x+)
+# stay out — they build multi-gigabyte worlds.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$' -benchmem -benchtime=1x
+	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkContextBuild|BenchmarkEngineApply/1x|BenchmarkServeHTTP|BenchmarkScaleWorld/1x' -benchmem -benchtime=1x
 
 # Build and run every example binary once (the public-API canaries;
 # CI runs this alongside the test jobs).

@@ -11,18 +11,27 @@
 //
 // Usage:
 //
-//	rpi-serve [-seed N] [-scale N] [-addr :8090] [-workers N]
+//	rpi-serve [-seed N] [-scale N] [-addr :8090] [-workers N] [-debug-addr :8091]
+//
+// With -debug-addr set, a second listener exposes the Go runtime
+// diagnostics — /debug/pprof/ (heap, CPU, goroutine profiles) and
+// /debug/vars (expvar: engine sequence, inference counts, apply
+// totals) — kept off the service address so the profiling surface is
+// never reachable from the API network.
 //
 // Example session:
 //
 //	curl localhost:8090/v1/report/Frankfurt-IX
 //	curl -X POST localhost:8090/v1/apply -d '{"leaves":[{"ixp":"Frankfurt-IX","iface":"185.0.0.9"}]}'
+//	go tool pprof localhost:8091/debug/pprof/heap
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"rpeer/pkg/rpi"
@@ -36,6 +45,7 @@ func main() {
 	scale := flag.Int("scale", 1, "world scale factor (1 = paper-sized)")
 	addr := flag.String("addr", ":8090", "listen address")
 	workers := flag.Int("workers", 0, "inference shard workers (0 = one per CPU)")
+	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof and expvar (empty = disabled)")
 	flag.Parse()
 
 	log.Printf("assembling inputs (seed %d, scale %dx)...", *seed, *scale)
@@ -61,6 +71,10 @@ func main() {
 	log.Printf("engine ready: %d memberships (%d local, %d remote), %d multi-IXP routers",
 		len(rep.Inferences), local, remote, len(rep.MultiRouters))
 
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, eng)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           serve.New(eng),
@@ -68,4 +82,47 @@ func main() {
 	}
 	log.Printf("serving /v1 on %s", *addr)
 	log.Fatal(srv.ListenAndServe())
+}
+
+// serveDebug runs the diagnostics listener: the pprof handlers plus
+// expvar gauges over the live engine (delta sequence, domain size,
+// verdict mix), so heap and wall-time effects of substrate changes are
+// observable on the serving binary without instrumenting the API.
+func serveDebug(addr string, eng *rpi.Engine) {
+	counts := func(want rpi.PeerClass) func() interface{} {
+		return func() interface{} {
+			n := 0
+			for _, inf := range eng.Snapshot().Inferences {
+				if inf.Class == want {
+					n++
+				}
+			}
+			return n
+		}
+	}
+	expvar.Publish("rpi.seq", expvar.Func(func() interface{} { return eng.Seq() }))
+	expvar.Publish("rpi.inferences", expvar.Func(func() interface{} {
+		return len(eng.Snapshot().Inferences)
+	}))
+	expvar.Publish("rpi.local", expvar.Func(counts(rpi.ClassLocal)))
+	expvar.Publish("rpi.remote", expvar.Func(counts(rpi.ClassRemote)))
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	dbg := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving /debug/pprof and /debug/vars on %s", addr)
+	// Diagnostics are auxiliary: a busy port or a later listener error
+	// must not take the healthy /v1 API down with it.
+	if err := dbg.ListenAndServe(); err != nil {
+		log.Printf("debug listener on %s stopped: %v", addr, err)
+	}
 }

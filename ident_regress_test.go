@@ -1,0 +1,87 @@
+package rpeer
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rpeer/internal/netsim"
+	"rpeer/pkg/rpi"
+)
+
+// TestReportsBitIdenticalUnderInterning pins the interned-ID columnar
+// substrate to the pre-interning behaviour: the report a worker-W
+// engine produces over a scaled world must be byte-identical on the
+// /v1 wire for every worker count, and identical again after a
+// membership delta round-trips through Apply. Combined with the
+// committed wire golden (pkg/rpi/testdata, generated before the
+// interning refactor), this pins "interning changed no verdict" at 1x
+// and extends the worker-invariance pin to the 4x world.
+func TestReportsBitIdenticalUnderInterning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 4x world")
+	}
+	workerSet := []int{1, 4, runtime.NumCPU()}
+	for _, factor := range []int{1, 4} {
+		factor := factor
+		t.Run(fmt.Sprintf("%dx", factor), func(t *testing.T) {
+			in, err := rpi.SyntheticInputs(1, factor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref []byte
+			for _, w := range workerSet {
+				eng, err := rpi.New(in, rpi.WithWorkers(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				wire, err := rpi.MarshalReport(eng.Snapshot())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = wire
+				} else if !bytes.Equal(ref, wire) {
+					t.Fatalf("workers=%d: wire bytes diverge from workers=%d (%d vs %d bytes)",
+						w, workerSet[0], len(wire), len(ref))
+				}
+
+				// A delta absorbed incrementally and then reverted must
+				// land back on the identical wire bytes: the interned ID
+				// space grew (joins append, leaves tombstone) but no
+				// verdict may move.
+				fwd := rpi.ChurnDelta(eng.Inputs(), 0.02, 1234)
+				rev := rpi.InvertDelta(eng.Inputs(), fwd)
+				if _, err := eng.Apply(fwd); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := eng.Apply(rev); err != nil {
+					t.Fatal(err)
+				}
+				wire2, err := rpi.MarshalReport(eng.Snapshot())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ref, wire2) {
+					t.Fatalf("workers=%d: wire bytes changed after delta round-trip", w)
+				}
+			}
+		})
+	}
+}
+
+// TestScaledConfig64x pins the 64x preset the new benchmark rung runs
+// on: membership growth must stay roughly linear in the factor so
+// "324k memberships" keeps meaning what BENCH_PR4.json says it means.
+func TestScaledConfig64x(t *testing.T) {
+	c1, c64 := netsim.DefaultConfig(), netsim.ScaledConfig(64)
+	if c64.NASes < 60*c1.NASes {
+		t.Fatalf("64x ASes = %d, want >= 60x default (%d)", c64.NASes, c1.NASes)
+	}
+	members1 := c1.NIXPs * (c1.MinIXPMembers + c1.LargestIXPMembers) / 2
+	members64 := c64.NIXPs * (c64.MinIXPMembers + c64.LargestIXPMembers) / 2
+	if members64 < 50*members1 {
+		t.Fatalf("64x rough membership estimate %d, want >= 50x the default's %d", members64, members1)
+	}
+}

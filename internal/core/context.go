@@ -5,11 +5,11 @@ import (
 	"math"
 	"net/netip"
 	"sort"
-	"strings"
 	"sync"
 
 	"rpeer/internal/alias"
 	"rpeer/internal/geo"
+	"rpeer/internal/ident"
 	"rpeer/internal/netsim"
 	"rpeer/internal/pingsim"
 	"rpeer/internal/registry"
@@ -23,31 +23,61 @@ import (
 // harness run the pipeline dozens of times over one input set, and
 // rebuilding this state per run dominated their cost.
 //
+// The substrate is columnar: every entity the hot paths touch —
+// interface, member AS, IXP, facility — is interned into a dense
+// integer ID through internal/ident, and the per-entity state lives in
+// ID-indexed slices and bitsets rather than hash maps. netip.Addr
+// values and IXP-name strings survive only at the ingestion edge
+// (building the context, absorbing a delta) and in the public Report.
+//
 // The context owns:
 //
-//   - the per-interface RTT / best-VP / rounding indexes folded from
+//   - the per-interface RTT / best-VP / rounding columns folded from
 //     the ping campaign (one pass, shared by every run);
-//   - the registry IP-to-AS map, the traIXroute detector, and the
-//     detected IXP crossings and private hops of the traceroute corpus;
+//   - the registry IP-to-AS map, the traIXroute detector, the detected
+//     IXP crossings and private hops of the traceroute corpus (kept
+//     both raw, for the ingestion edge, and compacted into ID columns
+//     for the classification loops), and the ID-indexed colocation /
+//     port-capacity view;
 //   - the lazily-built traceroute-RTT augmentation ("Beyond Pings"),
 //     shared by every run with Options.UseTracerouteRTT;
 //   - the geo fast path: facility coordinates converted once to unit
 //     vectors (distance = dot product + arccos, see geo.Vec3) plus a
-//     memoized per-(VP location, facility set) sorted-distance index,
-//     so each feasible-ring query is a binary search instead of a
-//     Vincenty solve per facility;
-//   - memoized alias-resolution clusters (sound because alias probing
-//     is a pure function of seed, interface and probe time).
+//     memoized per-(VP, facility-set) sorted-distance index keyed by
+//     packed integer IDs, so each feasible-ring query is a binary
+//     search instead of a Vincenty solve per facility;
+//   - memoized alias-resolution clusters in ID space (sound because
+//     alias probing is a pure function of seed, interface and probe
+//     time), and the memoized multi-IXP router observations Step 4
+//     re-reads on every run;
+//   - a pool of per-shard scratch columns (epoch-stamped mark arrays)
+//     so the per-entry classification of Steps 1-3 and 5 allocates
+//     nothing in steady state.
 //
 // All methods are safe for concurrent use; the caches are guarded.
 // Inputs must not be mutated after NewContext.
 type Context struct {
-	in Inputs
+	in  Inputs
+	ids *ident.Table
 
-	// Ping-only per-interface campaign indexes.
-	rtt    map[netip.Addr]float64
-	bestVP map[netip.Addr]*pingsim.VP
-	rounds map[netip.Addr]bool
+	// ixps is the inference-domain roster (the IXPs of the merged
+	// prefix plane), sorted by name. The interned IXP space is the
+	// superset union with interface-record names; roster marks which
+	// interned IXPs belong to the domain.
+	ixps   []string
+	roster ident.Bits
+
+	// vps interns vantage-point pointers into dense slots; ring memo
+	// keys and the bestVP column refer to slots, not pointers.
+	vpMu   sync.Mutex
+	vps    []*pingsim.VP
+	vpSlot map[*pingsim.VP]int32
+
+	// Ping-only per-interface campaign columns, indexed by IfaceID:
+	// NaN / -1 mark unmeasured interfaces.
+	rtt    []float64
+	bestVP []int32
+	rounds ident.Bits
 
 	ipmap     *registry.IPMap
 	det       *traix.Detector
@@ -55,28 +85,46 @@ type Context struct {
 	lans      *traix.LANSet
 	crossings []traix.Crossing
 	privHops  []traix.PrivateHop
+	cross     traix.CrossingTab
+	priv      traix.PrivateTab
 
-	// byASPriv indexes private-hop neighbours per AS (Step 5 input).
-	byASPriv map[netsim.ASN][]privNeighbour
+	// colo is the ID-indexed colocation and port-capacity view the
+	// per-entry classification reads.
+	colo *registry.ColoIndex
 
-	ixps   []string
-	ixpSet map[string]bool
+	// byASPriv indexes private-hop neighbours per member (Step 5
+	// input), indexed by MemberID.
+	byASPriv [][]privNeighbour
 
 	// domain is built lazily under domMu and patched in place by Apply
-	// (a sync.Once would survive deltas it must not survive).
-	domMu    sync.Mutex
-	domBuilt bool
-	domain   []domEntry
+	// (a sync.Once would survive deltas it must not survive). memGroups
+	// groups domain indexes per (member, IXP) for Step 4's propagation.
+	domMu     sync.Mutex
+	domBuilt  bool
+	domain    []domEntry
+	domSpare  []domEntry
+	memGroups map[uint64][]int32
 
-	// Traceroute-RTT augmentation, built lazily under traceMu and
-	// dropped by Apply (any delta can shift the crossings or the RTT
-	// view it folds).
+	// obs / clusters memoize Step 4's crossing observations and
+	// alias-resolved multi-IXP clusters; both depend only on the
+	// substrate (not the options, beyond the alias mode), so Apply is
+	// the only invalidator.
+	obsMu     sync.Mutex
+	obsBuilt  bool
+	obs       []*asObs
+	clusterMu sync.Mutex
+	clusters  map[alias.Mode][]cachedRouter
+
+	// Traceroute-RTT augmentation columns, built lazily under traceMu.
+	// Apply only clears traceBuilt: the columns keep their capacity and
+	// are rewritten in place on the next build (any delta can shift the
+	// crossings or the RTT view they fold).
 	traceMu      sync.Mutex
 	traceBuilt   bool
-	traceRTT     map[netip.Addr]float64
-	traceBestVP  map[netip.Addr]*pingsim.VP
-	traceRounds  map[netip.Addr]bool
-	traceDerived map[netip.Addr]bool
+	traceRTT     []float64
+	traceBestVP  []int32
+	traceRounds  ident.Bits
+	traceDerived ident.Bits
 
 	pvMu      sync.Mutex
 	pseudoVPs map[string]*pingsim.VP
@@ -86,35 +134,36 @@ type Context struct {
 	facOK   []bool
 
 	// ringMu is an RWMutex because ring queries are read-dominated once
-	// the per-(VP, facility-set) indexes are warm: parallel shards take
-	// the read lock on the fast path and only contend on first touch.
+	// the per-(VP slot, facility-set) indexes are warm: parallel shards
+	// take the read lock on the fast path and only contend on first
+	// touch. Keys are packed integers (see ringKeyFor).
 	ringMu sync.RWMutex
-	rings  map[ringKey][]ringEntry
+	rings  map[uint64][]ringEntry
 
 	resolvers  map[alias.Mode]*alias.Resolver
 	aliasMu    sync.RWMutex
-	aliasCache map[string][][]netip.Addr
+	aliasCache map[string][][]ident.IfaceID
+
+	// scratchPool recycles the per-shard classification scratch across
+	// runs (the epoch-stamped mark columns are sized to the ID spaces
+	// and far too large to allocate per run).
+	scratchPool sync.Pool
 }
 
-// domEntry is one membership of the inference domain.
+// domEntry is one membership of the inference domain, carrying both
+// the public key (report edge) and the interned IDs (hot path).
 type domEntry struct {
-	key Key
-	asn netsim.ASN
+	key    Key
+	asn    netsim.ASN
+	iface  ident.IfaceID
+	member ident.MemberID
+	ixp    ident.IXPID
 }
 
 // privNeighbour is one private-interconnection neighbour observation.
 type privNeighbour struct {
-	iface netip.Addr
-	other netsim.ASN
-}
-
-// ringKey identifies one (VP location, facility set) distance index.
-// Facility sets are identified by their registry handle — the IXP name
-// or the member ASN — rather than by slice contents.
-type ringKey struct {
-	loc geo.Point
-	ixp string
-	asn netsim.ASN
+	iface ident.IfaceID
+	other ident.MemberID
 }
 
 // ringEntry is one facility at its precomputed distance from the key's
@@ -122,6 +171,19 @@ type ringKey struct {
 type ringEntry struct {
 	d  float64
 	id netsim.FacilityID
+}
+
+// Ring-memo set kinds: an IXP's facility list or a member's colocation
+// record, identified by its interned ID (the registry handle).
+const (
+	ringIXP uint8 = iota
+	ringMember
+)
+
+// ringKeyFor packs one (VP slot, facility-set handle) pair into a
+// 64-bit memo key: slot in the high bits, set ID and kind below.
+func ringKeyFor(slot int32, kind uint8, set uint32) uint64 {
+	return uint64(uint32(slot))<<34 | uint64(set)<<2 | uint64(kind)
 }
 
 // NewContext validates the inputs and builds the shared substrate.
@@ -137,29 +199,89 @@ func NewContext(in Inputs) (*Context, error) {
 func newContext(in Inputs) *Context {
 	c := &Context{
 		in:         in,
-		rtt:        make(map[netip.Addr]float64),
-		bestVP:     make(map[netip.Addr]*pingsim.VP),
-		rounds:     make(map[netip.Addr]bool),
+		vpSlot:     make(map[*pingsim.VP]int32),
 		pseudoVPs:  make(map[string]*pingsim.VP),
-		rings:      make(map[ringKey][]ringEntry),
+		rings:      make(map[uint64][]ringEntry),
 		resolvers:  make(map[alias.Mode]*alias.Resolver),
-		aliasCache: make(map[string][][]netip.Addr),
+		aliasCache: make(map[string][][]ident.IfaceID),
+		clusters:   make(map[alias.Mode][]cachedRouter),
 	}
+
+	// ---- interning phase (serial; everything after assumes a frozen
+	// ID space except where noted) ----
+	c.ixps = ixpNames(in)
+	c.ids = ident.NewTable(len(in.Dataset.IfaceASN)+len(in.Dataset.IfaceASN)/4,
+		len(in.World.ASNs)+16, len(in.World.Facilities))
+	c.ids.SetIXPs(ixpUnion(in))
+	for _, name := range c.ixps {
+		if id, ok := c.ids.IXP(name); ok {
+			c.roster.Set(uint32(id))
+		}
+	}
+	// Members: the world roster (sorted), then any dataset-only ASNs
+	// (none in practice — registry noise only reassigns within the
+	// world — but interning is the wrong place to rely on that).
+	for _, asn := range in.World.ASNs {
+		c.ids.AddMember(asn)
+	}
+	extraASNs := make([]netsim.ASN, 0)
+	for _, asn := range in.Dataset.IfaceASN {
+		if _, ok := c.ids.Member(asn); !ok {
+			extraASNs = append(extraASNs, asn)
+		}
+	}
+	sort.Slice(extraASNs, func(i, j int) bool { return extraASNs[i] < extraASNs[j] })
+	for _, asn := range extraASNs {
+		c.ids.AddMember(asn)
+	}
+	// Interfaces: the merged dataset's records, ascending by address,
+	// so IfaceID order matches address order over the frozen inputs.
+	dsIfaces := make([]netip.Addr, 0, len(in.Dataset.IfaceASN))
+	for ip := range in.Dataset.IfaceASN {
+		dsIfaces = append(dsIfaces, ip)
+	}
+	sort.Slice(dsIfaces, func(i, j int) bool { return dsIfaces[i].Less(dsIfaces[j]) })
+	for _, ip := range dsIfaces {
+		c.ids.AddIface(ip)
+	}
+	// Facilities: the world roster (already dense, interned for the
+	// round-trip surface).
+	for _, f := range in.World.Facilities {
+		if f != nil {
+			c.ids.AddFac(f.ID)
+		}
+	}
+	c.growColumns()
+
 	// The substrate indexes depend only on the (immutable) inputs and
 	// not on each other, so they build concurrently: the ping-campaign
-	// fold, the traceroute plane (IP map -> detector -> crossings /
-	// private hops), and the geo unit vectors each get a goroutine.
-	// Each goroutine writes disjoint context fields; wg.Wait is the
-	// publication barrier.
+	// fold (the only goroutine that may intern — campaign targets
+	// outside the registry dataset — which is why the other two touch
+	// neither the table nor the columns), the traceroute plane (IP map
+	// -> detector -> crossings / private hops, all in the address
+	// domain), and the geo unit vectors. Each goroutine writes disjoint
+	// context fields; wg.Wait is the publication barrier.
 	var wg sync.WaitGroup
 	wg.Add(3)
 	go func() {
 		defer wg.Done()
-		if in.Ping != nil {
-			for ip, a := range in.Ping.IfaceIndex() {
-				c.rtt[ip] = a.RTTMinMs
-				c.bestVP[ip] = a.BestVP
-				c.rounds[ip] = a.BestRoundsUp
+		if in.Ping == nil {
+			return
+		}
+		idx := in.Ping.IfaceIndex()
+		keys := make([]netip.Addr, 0, len(idx))
+		for ip := range idx {
+			keys = append(keys, ip)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+		for _, ip := range keys {
+			a := idx[ip]
+			id := c.ids.AddIface(ip)
+			c.growColumns()
+			c.rtt[id] = a.RTTMinMs
+			c.bestVP[id] = c.vpSlotOf(a.BestVP)
+			if a.BestRoundsUp {
+				c.rounds.Set(uint32(id))
 			}
 		}
 	}()
@@ -176,7 +298,6 @@ func newContext(in Inputs) *Context {
 			c.corpus = traix.NewCorpus(in.Paths, c.lans, c.ipmap)
 			c.crossings, c.privHops = c.corpus.Detect(c.det)
 		}
-		c.rebuildByASPriv()
 	}()
 	go func() {
 		defer wg.Done()
@@ -196,28 +317,125 @@ func newContext(in Inputs) *Context {
 			c.facOK[f.ID] = true
 		}
 	}()
-	c.ixps = ixpNames(in)
-	c.ixpSet = make(map[string]bool, len(c.ixps))
-	for _, name := range c.ixps {
-		c.ixpSet[name] = true
-	}
 	wg.Wait()
+
+	// ---- back to serial: compact the detections into ID columns
+	// (interning crossing participants), project the colocation and
+	// port tables, and index the private neighbours. ----
+	c.cross.CompactCrossings(c.crossings, c.ids)
+	c.priv.CompactPrivate(c.privHops, c.ids)
+	c.growColumns()
+	c.colo = registry.NewColoIndex(in.Colo, in.Dataset, c.ids)
+	c.rebuildByASPriv()
 
 	return c
 }
 
-// HasIXP reports whether the merged dataset knows the named IXP. The
-// set is fixed at construction: membership deltas never touch the
-// prefix plane.
-func (c *Context) HasIXP(name string) bool { return c.ixpSet[name] }
+// ixpUnion lists every IXP name the dataset mentions — the prefix
+// plane plus interface records whose prefix record was lost to source
+// noise — sorted, so interned IXPID order equals name order.
+func ixpUnion(in Inputs) []string {
+	seen := make(map[string]bool)
+	var names []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	for _, name := range in.Dataset.PrefixIXP {
+		add(name)
+	}
+	for _, name := range in.Dataset.IfaceIXP {
+		add(name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// growColumns pads the interface-indexed columns to the current ID
+// space (NaN / -1 sentinel for unmeasured interfaces).
+func (c *Context) growColumns() {
+	n := c.ids.NumIfaces()
+	for len(c.rtt) < n {
+		c.rtt = append(c.rtt, math.NaN())
+	}
+	for len(c.bestVP) < n {
+		c.bestVP = append(c.bestVP, -1)
+	}
+}
+
+// vpSlotOf interns a vantage-point pointer into a dense slot (-1 for
+// nil). Slots feed the bestVP column and the ring memo keys.
+func (c *Context) vpSlotOf(vp *pingsim.VP) int32 {
+	if vp == nil {
+		return -1
+	}
+	c.vpMu.Lock()
+	defer c.vpMu.Unlock()
+	if s, ok := c.vpSlot[vp]; ok {
+		return s
+	}
+	s := int32(len(c.vps))
+	c.vps = append(c.vps, vp)
+	c.vpSlot[vp] = s
+	return s
+}
+
+// vpAt returns the vantage point behind a slot.
+func (c *Context) vpAt(slot int32) *pingsim.VP {
+	c.vpMu.Lock()
+	defer c.vpMu.Unlock()
+	return c.vps[slot]
+}
+
+// setPing patches one interface's campaign columns (Apply overrides
+// and the step tests inject measurements through here).
+func (c *Context) setPing(ip netip.Addr, rtt float64, vp *pingsim.VP, rounds bool) {
+	id := c.ids.AddIface(ip)
+	c.growColumns()
+	c.rtt[id] = rtt
+	c.bestVP[id] = c.vpSlotOf(vp)
+	if rounds {
+		c.rounds.Set(uint32(id))
+	} else {
+		c.rounds.Clear(uint32(id))
+	}
+}
+
+// clearPing removes one interface's measurement.
+func (c *Context) clearPing(ip netip.Addr) {
+	id, ok := c.ids.Iface(ip)
+	if !ok || int(id) >= len(c.rtt) {
+		return
+	}
+	c.rtt[id] = math.NaN()
+	c.bestVP[id] = -1
+	c.rounds.Clear(uint32(id))
+}
+
+// HasIXP reports whether the merged dataset's prefix plane knows the
+// named IXP. The set is fixed at construction: membership deltas never
+// touch the prefix plane.
+func (c *Context) HasIXP(name string) bool {
+	id, ok := c.ids.IXP(name)
+	return ok && c.roster.Get(uint32(id))
+}
 
 // BestVP returns the vantage point behind an interface's current
 // campaign minimum, reflecting all applied deltas. Callers must not
 // run concurrently with Apply (the rpi engine resolves under its
 // apply lock).
 func (c *Context) BestVP(ip netip.Addr) (*pingsim.VP, bool) {
-	vp, ok := c.bestVP[ip]
-	return vp, ok
+	id, ok := c.ids.Iface(ip)
+	if !ok || int(id) >= len(c.bestVP) {
+		return nil, false
+	}
+	slot := c.bestVP[id]
+	if slot < 0 {
+		return nil, false
+	}
+	return c.vpAt(slot), true
 }
 
 // resolverFor returns the memoized resolver for an alias mode,
@@ -325,21 +543,24 @@ func (c *Context) RunStep(opt Options, s Step) (*Report, error) {
 // shared substrate. Only memberships with a usable campaign minimum
 // receive a verdict.
 func (c *Context) Baseline(thresholdMs float64) (*Report, error) {
-	return c.domainReport(c.rtt, func(inf *Inference, rtt float64) {
+	rep, _ := c.domainReport(c.rtt, func(inf *Inference, rtt float64, _ domEntry) {
 		inf.Step = StepBaseline
 		if rtt > thresholdMs {
 			inf.Class = ClassRemote
 		} else {
 			inf.Class = ClassLocal
 		}
-	}), nil
+	})
+	return rep, nil
 }
 
 // domainReport materializes the all-unknown inference domain in one
-// allocation, fills in RTT minimums from the given view, and lets
-// measured finish each entry that has one. It backs both newDomain and
-// Baseline so domain construction has a single definition.
-func (c *Context) domainReport(rtt map[netip.Addr]float64, measured func(inf *Inference, rtt float64)) *Report {
+// allocation, fills in RTT minimums from the given column view, and
+// lets measured finish each entry that has one. It backs both
+// newDomain and Baseline so domain construction has a single
+// definition. The returned slice is the report's backing inference
+// array, aligned with domainEntries order.
+func (c *Context) domainReport(rtt []float64, measured func(inf *Inference, rtt float64, e domEntry)) (*Report, []Inference) {
 	entries := c.domainEntries()
 	infs := make([]Inference, len(entries))
 	rep := &Report{Inferences: make(map[Key]*Inference, len(entries))}
@@ -350,13 +571,13 @@ func (c *Context) domainReport(rtt map[netip.Addr]float64, measured func(inf *In
 			RTTMinMs:              math.NaN(),
 			FeasibleIXPFacilities: -1,
 		}
-		if v, ok := rtt[e.key.Iface]; ok {
+		if v := rtt[e.iface]; !math.IsNaN(v) {
 			inf.RTTMinMs = v
-			measured(inf, v)
+			measured(inf, v, e)
 		}
 		rep.Inferences[e.key] = inf
 	}
-	return rep
+	return rep, infs
 }
 
 // domainEntries returns the inference domain — one entry per interface
@@ -366,69 +587,148 @@ func (c *Context) domainReport(rtt map[netip.Addr]float64, measured func(inf *In
 func (c *Context) domainEntries() []domEntry {
 	c.domMu.Lock()
 	defer c.domMu.Unlock()
-	if !c.domBuilt {
-		seen := make(map[Key]bool)
-		for _, ixpName := range c.ixps {
-			for _, rec := range c.in.Dataset.MembersOf(ixpName) {
-				k := Key{IXP: ixpName, Iface: rec.IP}
-				if seen[k] {
-					continue
-				}
-				seen[k] = true
-				c.domain = append(c.domain, domEntry{key: k, asn: rec.ASN})
-			}
-		}
-		c.domBuilt = true
-	}
+	c.buildDomainLocked()
 	return c.domain
 }
 
-// rebuildByASPriv reindexes the private-hop neighbours per AS.
+// memberGroups returns the (member, IXP) -> domain-index grouping Step
+// 4's propagation reads, building the domain as needed. Group indexes
+// are ascending by interface address (the domain order within one
+// IXP), which classOf's first-decided-entry rule depends on.
+func (c *Context) memberGroups() map[uint64][]int32 {
+	c.domMu.Lock()
+	defer c.domMu.Unlock()
+	c.buildDomainLocked()
+	return c.memGroups
+}
+
+func groupKey(m ident.MemberID, x ident.IXPID) uint64 {
+	return uint64(m)<<32 | uint64(x)
+}
+
+// buildDomainLocked builds the domain and its (member, IXP) grouping;
+// the caller holds domMu.
+func (c *Context) buildDomainLocked() {
+	if c.domBuilt {
+		return
+	}
+	seen := make(map[Key]bool)
+	for _, ixpName := range c.ixps {
+		for _, rec := range c.in.Dataset.MembersOf(ixpName) {
+			k := Key{IXP: ixpName, Iface: rec.IP}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			c.domain = append(c.domain, c.newDomEntry(k, rec.ASN))
+		}
+	}
+	c.rebuildGroupsLocked()
+	c.domBuilt = true
+}
+
+// newDomEntry resolves one membership's interned IDs. Every entity is
+// interned at construction or during Apply, so the lookups always hit;
+// AddIface/AddMember keep the failure mode graceful if that invariant
+// is ever broken by a caller mutating Inputs behind the context.
+func (c *Context) newDomEntry(k Key, asn netsim.ASN) domEntry {
+	iface, ok := c.ids.Iface(k.Iface)
+	if !ok {
+		iface = c.ids.AddIface(k.Iface)
+		c.growColumns()
+	}
+	member, ok := c.ids.Member(asn)
+	if !ok {
+		member = c.ids.AddMember(asn)
+		c.colo.Grow(c.ids)
+		c.growByASPriv()
+	}
+	ixp, _ := c.ids.IXP(k.IXP)
+	return domEntry{key: k, asn: asn, iface: iface, member: member, ixp: ixp}
+}
+
+// rebuildGroupsLocked reindexes memGroups from the current domain; the
+// caller holds domMu.
+func (c *Context) rebuildGroupsLocked() {
+	groups := make(map[uint64][]int32, len(c.memGroups))
+	for i, e := range c.domain {
+		gk := groupKey(e.member, e.ixp)
+		groups[gk] = append(groups[gk], int32(i))
+	}
+	c.memGroups = groups
+}
+
+// rebuildByASPriv reindexes the private-hop neighbours per member,
+// reusing the per-member slice capacity across Apply calls.
 func (c *Context) rebuildByASPriv() {
-	c.byASPriv = make(map[netsim.ASN][]privNeighbour)
-	for _, h := range c.privHops {
-		c.byASPriv[h.AAS] = append(c.byASPriv[h.AAS], privNeighbour{h.AIP, h.BAS})
-		c.byASPriv[h.BAS] = append(c.byASPriv[h.BAS], privNeighbour{h.BIP, h.AAS})
+	n := c.ids.NumMembers()
+	if cap(c.byASPriv) < n {
+		next := make([][]privNeighbour, n)
+		copy(next, c.byASPriv)
+		c.byASPriv = next
+	}
+	c.byASPriv = c.byASPriv[:n]
+	for i := range c.byASPriv {
+		c.byASPriv[i] = c.byASPriv[i][:0]
+	}
+	for i := 0; i < c.priv.Len(); i++ {
+		a, b := c.priv.AAS[i], c.priv.BAS[i]
+		c.byASPriv[a] = append(c.byASPriv[a], privNeighbour{c.priv.A[i], b})
+		c.byASPriv[b] = append(c.byASPriv[b], privNeighbour{c.priv.B[i], a})
 	}
 }
 
-// traceAugmented returns the RTT view extended with traceroute-derived
-// estimates ("Beyond Pings", Section 8), building it lazily. Apply
-// drops the built view, so it always reflects the current crossings
-// and campaign state.
-func (c *Context) traceAugmented() (rtt map[netip.Addr]float64, bestVP map[netip.Addr]*pingsim.VP, rounds map[netip.Addr]bool, derived map[netip.Addr]bool) {
+// growByASPriv extends the per-member neighbour index to the current
+// member space.
+func (c *Context) growByASPriv() {
+	for len(c.byASPriv) < c.ids.NumMembers() {
+		c.byASPriv = append(c.byASPriv, nil)
+	}
+}
+
+// traceAugmented returns the RTT columns extended with traceroute-
+// derived estimates ("Beyond Pings", Section 8), building them lazily.
+// Apply clears the built flag, so the view always reflects the current
+// crossings and campaign state; the columns are rewritten in place —
+// a rebuild after a delta reuses the interned capacity instead of
+// reallocating the whole view.
+func (c *Context) traceAugmented() (rtt []float64, bestVP []int32, rounds, derived *ident.Bits) {
 	c.traceMu.Lock()
 	defer c.traceMu.Unlock()
 	if !c.traceBuilt {
-		c.traceRTT = make(map[netip.Addr]float64, len(c.rtt))
-		c.traceBestVP = make(map[netip.Addr]*pingsim.VP, len(c.bestVP))
-		c.traceRounds = make(map[netip.Addr]bool, len(c.rounds))
-		c.traceDerived = make(map[netip.Addr]bool)
-		for ip, v := range c.rtt {
-			c.traceRTT[ip] = v
+		n := len(c.rtt)
+		if cap(c.traceRTT) < n {
+			c.traceRTT = make([]float64, n)
 		}
-		for ip, v := range c.bestVP {
-			c.traceBestVP[ip] = v
+		c.traceRTT = c.traceRTT[:n]
+		copy(c.traceRTT, c.rtt)
+		if cap(c.traceBestVP) < n {
+			c.traceBestVP = make([]int32, n)
 		}
-		for ip, v := range c.rounds {
-			c.traceRounds[ip] = v
-		}
+		c.traceBestVP = c.traceBestVP[:n]
+		copy(c.traceBestVP, c.bestVP)
+		c.traceRounds.CopyFrom(&c.rounds)
+		c.traceDerived.Reset()
 		for _, e := range DeriveTracerouteRTT(c.crossings) {
-			if _, ok := c.traceRTT[e.Iface]; ok {
+			id, ok := c.ids.Iface(e.Iface)
+			if !ok || int(id) >= n {
+				continue
+			}
+			if !math.IsNaN(c.traceRTT[id]) {
 				continue // ping data always wins
 			}
 			vp := c.pseudoVP(e.IXP)
 			if vp == nil {
 				continue
 			}
-			c.traceRTT[e.Iface] = e.RTTMs
-			c.traceBestVP[e.Iface] = vp
-			c.traceRounds[e.Iface] = false
-			c.traceDerived[e.Iface] = true
+			c.traceRTT[id] = e.RTTMs
+			c.traceBestVP[id] = c.vpSlotOf(vp)
+			c.traceRounds.Clear(uint32(id))
+			c.traceDerived.Set(uint32(id))
 		}
 		c.traceBuilt = true
 	}
-	return c.traceRTT, c.traceBestVP, c.traceRounds, c.traceDerived
+	return c.traceRTT, c.traceBestVP, &c.traceRounds, &c.traceDerived
 }
 
 // pseudoVP returns (allocating lazily) a synthetic vantage point at the
@@ -467,9 +767,9 @@ func (c *Context) facVec(id netsim.FacilityID) (geo.Vec3, bool) {
 }
 
 // ringEntries returns the sorted facility-distance index for one
-// (VP location, facility set) pair, building and memoizing it on first
+// (VP slot, facility set) pair, building and memoizing it on first
 // use. facs is resolved by the caller from the key's registry handle.
-func (c *Context) ringEntries(key ringKey, facs []netsim.FacilityID) []ringEntry {
+func (c *Context) ringEntries(key uint64, slot int32, facs []netsim.FacilityID) []ringEntry {
 	c.ringMu.RLock()
 	if e, ok := c.rings[key]; ok {
 		c.ringMu.RUnlock()
@@ -477,7 +777,7 @@ func (c *Context) ringEntries(key ringKey, facs []netsim.FacilityID) []ringEntry
 	}
 	c.ringMu.RUnlock()
 
-	v := geo.UnitVec(key.loc)
+	v := geo.UnitVec(c.vpAt(slot).Loc)
 	entries := make([]ringEntry, 0, len(facs))
 	for _, f := range facs {
 		vec, ok := c.facVec(f)
@@ -499,10 +799,10 @@ func (c *Context) ringEntries(key ringKey, facs []netsim.FacilityID) []ringEntry
 }
 
 // ringQuery appends to buf the facilities of the keyed set whose
-// distance from the key's VP location falls inside [dMin, dMax], in
+// distance from the slot's VP location falls inside [dMin, dMax], in
 // ascending distance order, and returns the extended buffer.
-func (c *Context) ringQuery(key ringKey, facs []netsim.FacilityID, dMin, dMax float64, buf []netsim.FacilityID) []netsim.FacilityID {
-	entries := c.ringEntries(key, facs)
+func (c *Context) ringQuery(slot int32, kind uint8, set uint32, facs []netsim.FacilityID, dMin, dMax float64, buf []netsim.FacilityID) []netsim.FacilityID {
+	entries := c.ringEntries(ringKeyFor(slot, kind, set), slot, facs)
 	i := sort.Search(len(entries), func(i int) bool { return entries[i].d >= dMin })
 	for ; i < len(entries) && entries[i].d <= dMax; i++ {
 		buf = append(buf, entries[i].id)
@@ -538,32 +838,46 @@ func (c *Context) facDist(a, b []netsim.FacilityID) (minKm, maxKm float64, ok bo
 	return minKm, maxKm, ok
 }
 
-// resolve memoizes alias resolution per (mode, interface set). ifaces
-// must be sorted ascending (both call sites sort). The returned
-// clusters are shared across runs and must be treated as read-only.
-func (c *Context) resolve(mode alias.Mode, ifaces []netip.Addr) [][]netip.Addr {
-	var sb strings.Builder
-	sb.Grow(len(ifaces)*16 + 1)
-	sb.WriteByte(byte(mode))
-	for _, ip := range ifaces {
-		b := ip.As16()
-		sb.Write(b[:])
+// resolveIDs memoizes alias resolution per (mode, interface-ID set).
+// ids must be sorted ascending by address (all call sites sort), so
+// equal address multisets share one cache key. Resolution itself runs
+// at the address edge — the resolver probes netip.Addr values — but
+// both the memo key and the cached clusters live in ID space. The
+// returned clusters are shared across runs and must be treated as
+// read-only. keyBuf is scratch for the lookup key (may be nil).
+func (c *Context) resolveIDs(mode alias.Mode, ifaceIDs []ident.IfaceID, keyBuf []byte) ([][]ident.IfaceID, []byte) {
+	keyBuf = keyBuf[:0]
+	keyBuf = append(keyBuf, byte(mode))
+	for _, id := range ifaceIDs {
+		keyBuf = append(keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 	}
-	key := sb.String()
 
 	c.aliasMu.RLock()
-	if r, ok := c.aliasCache[key]; ok {
+	if r, ok := c.aliasCache[string(keyBuf)]; ok {
 		c.aliasMu.RUnlock()
-		return r
+		return r, keyBuf
 	}
 	c.aliasMu.RUnlock()
 
 	// Resolution runs outside the lock: it is pure, so a concurrent
 	// duplicate computes the identical value.
-	res := c.resolverFor(mode).Resolve(ifaces)
+	addrs := make([]netip.Addr, len(ifaceIDs))
+	for i, id := range ifaceIDs {
+		addrs[i] = c.ids.Addr(id)
+	}
+	clusters := c.resolverFor(mode).Resolve(addrs)
+	res := make([][]ident.IfaceID, len(clusters))
+	for i, cl := range clusters {
+		out := make([]ident.IfaceID, len(cl))
+		for j, ip := range cl {
+			id, _ := c.ids.Iface(ip)
+			out[j] = id
+		}
+		res[i] = out
+	}
 
 	c.aliasMu.Lock()
-	c.aliasCache[key] = res
+	c.aliasCache[string(keyBuf)] = res
 	c.aliasMu.Unlock()
-	return res
+	return res, keyBuf
 }

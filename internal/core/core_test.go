@@ -313,7 +313,7 @@ func TestTracerouteRTTAgreesWithPing(t *testing.T) {
 	p := newContext(in).newPipeline(DefaultOptions())
 	var pings, traces []float64
 	for _, e := range DeriveTracerouteRTT(p.crossings) {
-		if ping, ok := p.rtt[e.Iface]; ok {
+		if ping, ok := p.rttFor(e.Iface); ok {
 			pings = append(pings, ping)
 			traces = append(traces, e.RTTMs)
 		}

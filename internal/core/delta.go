@@ -47,18 +47,24 @@ func (d *Delta) Empty() bool {
 // the reports are identical (see the equivalence tests) — but the
 // update costs a fraction of a rebuild:
 //
-//   - the RTT indexes are patched per overridden interface; the full
+//   - new entities append to the intern table (an interface that
+//     re-joins revives its tombstoned ID) and the ID-indexed columns
+//     grow in place; departing interfaces are tombstoned, never
+//     compacted, so every column and memo stays valid;
+//   - the RTT columns are patched per overridden interface; the full
 //     campaign fold is not repeated;
 //   - membership churn re-evaluates only the traceroute corpus's
 //     peering-LAN candidates (the membership-dependent sliver of the
-//     detection work) and rebuilds the cheap member-set and domain
-//     indexes; the hop-by-hop corpus scan and the IP-to-AS map are
-//     never repeated;
+//     detection work), recompacts the crossing/private-hop columns in
+//     place, and rebuilds the cheap member-set, domain and Step 4
+//     observation indexes; the hop-by-hop corpus scan and the IP-to-AS
+//     map are never repeated;
 //   - the facility geometry, ring memos and alias clusters survive
-//     untouched: they are keyed by location, facility set and
-//     interface-set content, none of which a delta invalidates.
+//     untouched: they are keyed by VP slot, facility set and
+//     interface-ID content, none of which a delta invalidates.
 //
-// The traceroute-RTT augmentation is dropped and rebuilt lazily.
+// The traceroute-RTT augmentation is dropped and rebuilt lazily into
+// its existing column capacity.
 //
 // Apply validates the whole delta before mutating anything: joins must
 // introduce new peering-LAN interfaces on IXPs the dataset knows,
@@ -89,7 +95,7 @@ func (c *Context) Apply(d Delta) error {
 		if !j.Iface.IsValid() || j.ASN == 0 {
 			return fmt.Errorf("core: join needs a valid interface and ASN")
 		}
-		if !c.ixpSet[j.IXP] {
+		if !c.HasIXP(j.IXP) {
 			return fmt.Errorf("core: join at unknown IXP %q", j.IXP)
 		}
 		if joining[j.Iface] {
@@ -126,32 +132,39 @@ func (c *Context) Apply(d Delta) error {
 		}
 	}
 
-	// ---- registry dataset ----
+	// ---- registry dataset + intern table ----
 	for _, k := range d.Leaves {
 		delete(ds.IfaceASN, k.Iface)
 		delete(ds.IfaceIXP, k.Iface)
+		if id, ok := c.ids.Iface(k.Iface); ok {
+			c.ids.RetireIface(id)
+		}
 	}
 	for _, j := range d.Joins {
 		ds.IfaceASN[j.Iface] = j.ASN
 		ds.IfaceIXP[j.Iface] = j.IXP
+		c.ids.AddIface(j.Iface) // appends or revives the tombstoned ID
+		c.ids.AddMember(j.ASN)
 		if j.PortMbps > 0 {
 			ds.Ports[registry.PortKey{IXP: j.IXP, ASN: j.ASN}] = j.PortMbps
+			ixp, _ := c.ids.IXP(j.IXP)
+			m, _ := c.ids.Member(j.ASN)
+			c.colo.SetPort(ixp, m, j.PortMbps)
 		}
 	}
+	c.growColumns()
+	c.colo.Grow(c.ids)
+	c.growByASPriv()
 
 	// ---- ping campaign ----
 	if len(d.Ping) > 0 {
 		c.in.Ping = c.in.Ping.WithOverrides(d.Ping)
 		for ip, ov := range d.Ping {
 			if math.IsNaN(ov.RTTMinMs) {
-				delete(c.rtt, ip)
-				delete(c.bestVP, ip)
-				delete(c.rounds, ip)
+				c.clearPing(ip)
 				continue
 			}
-			c.rtt[ip] = ov.RTTMinMs
-			c.bestVP[ip] = ov.BestVP
-			c.rounds[ip] = ov.BestRoundsUp
+			c.setPing(ip, ov.RTTMinMs, ov.BestVP, ov.BestRoundsUp)
 		}
 	}
 
@@ -164,14 +177,30 @@ func (c *Context) Apply(d Delta) error {
 		if c.corpus != nil {
 			c.crossings, c.privHops = c.corpus.Detect(c.det)
 		}
+		c.cross.CompactCrossings(c.crossings, c.ids)
+		c.priv.CompactPrivate(c.privHops, c.ids)
+		c.growColumns()
+		c.colo.Grow(c.ids)
+		c.growByASPriv()
 		c.rebuildByASPriv()
 		c.patchDomain(d, leaving)
+
+		// Step 4's observation and cluster memos fold crossings and
+		// member interfaces; both are membership state.
+		c.obsMu.Lock()
+		c.obsBuilt = false
+		c.obs = nil
+		c.obsMu.Unlock()
+		c.clusterMu.Lock()
+		for mode := range c.clusters {
+			delete(c.clusters, mode)
+		}
+		c.clusterMu.Unlock()
 	}
 
-	// ---- lazily rebuilt views ----
+	// ---- lazily rebuilt views: drop the built flag, keep capacity ----
 	c.traceMu.Lock()
 	c.traceBuilt = false
-	c.traceRTT, c.traceBestVP, c.traceRounds, c.traceDerived = nil, nil, nil, nil
 	c.traceMu.Unlock()
 
 	return nil
@@ -179,33 +208,37 @@ func (c *Context) Apply(d Delta) error {
 
 // patchDomain applies membership churn to the built domain, keeping
 // the deterministic (IXP name, interface) order a cold build would
-// produce. An unbuilt domain needs no patching — it will be built from
-// the post-delta dataset on first use.
+// produce and swapping between two retained buffers so repeated deltas
+// stop reallocating the table. An unbuilt domain needs no patching —
+// it will be built from the post-delta dataset on first use.
 func (c *Context) patchDomain(d Delta, leaving map[netip.Addr]bool) {
 	c.domMu.Lock()
 	defer c.domMu.Unlock()
 	if !c.domBuilt {
 		return
 	}
-	rank := make(map[string]int, len(c.ixps))
-	for i, name := range c.ixps {
-		rank[name] = i
+	out := c.domSpare[:0]
+	if need := len(c.domain) + len(d.Joins); cap(out) < need {
+		out = make([]domEntry, 0, need+need/4)
 	}
-	out := make([]domEntry, 0, len(c.domain)+len(d.Joins)-len(d.Leaves))
 	for _, e := range c.domain {
 		if !leaving[e.key.Iface] {
 			out = append(out, e)
 		}
 	}
 	for _, j := range d.Joins {
-		out = append(out, domEntry{key: Key{IXP: j.IXP, Iface: j.Iface}, asn: j.ASN})
+		out = append(out, c.newDomEntry(Key{IXP: j.IXP, Iface: j.Iface}, j.ASN))
 	}
+	// Interned IXPID order equals name order (the IXP space is fixed
+	// and was interned sorted), so the rank sort of the pre-interning
+	// code is one integer compare.
 	sort.Slice(out, func(i, k int) bool {
-		ri, rk := rank[out[i].key.IXP], rank[out[k].key.IXP]
-		if ri != rk {
-			return ri < rk
+		if out[i].ixp != out[k].ixp {
+			return out[i].ixp < out[k].ixp
 		}
 		return out[i].key.Iface.Less(out[k].key.Iface)
 	})
+	c.domSpare = c.domain
 	c.domain = out
+	c.rebuildGroupsLocked()
 }

@@ -128,9 +128,12 @@ func TestRingMemoUnderParallelShardAccess(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Reference rings from the warm context, computed serially.
+	// Reference rings from the warm context, computed serially. Memo
+	// keys are per-context (VP slots and interned IXP ids), so each
+	// side derives its own key from the (vp, ixp) pair.
 	type query struct {
-		key  ringKey
+		vp   *pingsim.VP
+		ixp  string
 		facs []netsim.FacilityID
 		want []netsim.FacilityID
 	}
@@ -143,10 +146,13 @@ func TestRingMemoUnderParallelShardAccess(t *testing.T) {
 		}
 	}
 	for ixp, facs := range in.Colo.IXPFacilities {
+		id, ok := warm.ids.IXP(ixp)
+		if !ok {
+			continue // colo knows IXPs outside the merged dataset
+		}
 		for _, vp := range vps {
-			k := ringKey{loc: vp.Loc, ixp: ixp}
-			want := warm.ringQuery(k, facs, 0, 500, nil)
-			queries = append(queries, query{key: k, facs: facs, want: want})
+			want := warm.ringQuery(warm.vpSlotOf(vp), ringIXP, uint32(id), facs, 0, 500, nil)
+			queries = append(queries, query{vp: vp, ixp: ixp, facs: facs, want: want})
 		}
 		if len(queries) >= 256 {
 			break
@@ -167,14 +173,15 @@ func TestRingMemoUnderParallelShardAccess(t *testing.T) {
 			// Offset start per worker so first touches collide.
 			for i := 0; i < len(queries); i++ {
 				q := queries[(i+w*7)%len(queries)]
-				buf = cold.ringQuery(q.key, q.facs, 0, 500, buf[:0])
+				id, _ := cold.ids.IXP(q.ixp)
+				buf = cold.ringQuery(cold.vpSlotOf(q.vp), ringIXP, uint32(id), q.facs, 0, 500, buf[:0])
 				if len(buf) != len(q.want) {
-					errc <- fmt.Errorf("ring %v: %d facilities, want %d", q.key, len(buf), len(q.want))
+					errc <- fmt.Errorf("ring %s/vp%d: %d facilities, want %d", q.ixp, q.vp.ID, len(buf), len(q.want))
 					return
 				}
 				for j := range buf {
 					if buf[j] != q.want[j] {
-						errc <- fmt.Errorf("ring %v: facility %v at %d, want %v", q.key, buf[j], j, q.want[j])
+						errc <- fmt.Errorf("ring %s/vp%d: facility %v at %d, want %v", q.ixp, q.vp.ID, buf[j], j, q.want[j])
 						return
 					}
 				}

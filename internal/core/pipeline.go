@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"rpeer/internal/alias"
 	"rpeer/internal/geo"
+	"rpeer/internal/ident"
 	"rpeer/internal/netsim"
 	"rpeer/internal/pingsim"
 	"rpeer/internal/registry"
@@ -108,59 +110,120 @@ func RunStep(in Inputs, opt Options, s Step) (*Report, error) {
 // newDomain instantiates the inference domain: one unknown-classified
 // entry per interface record of the merged dataset. The entry list is
 // precomputed on the shared context; the per-run cost is one Inference
-// array and its index map.
+// array and its index map. The backing array is kept on the pipeline,
+// aligned with the context's domain entries, so the sharded steps
+// index straight into it instead of snapshotting the report map.
 func (p *pipeline) newDomain() *Report {
-	return p.ctx.domainReport(p.rtt, func(inf *Inference, _ float64) {
-		inf.TraceRTT = p.traceDerived[inf.Iface]
+	rep, infs := p.ctx.domainReport(p.rtt, func(inf *Inference, _ float64, e domEntry) {
+		if p.traceDerived != nil {
+			inf.TraceRTT = p.traceDerived.Get(uint32(e.iface))
+		}
 	})
+	p.domFor, p.domInfs, p.domEntries = rep, infs, p.ctx.domainEntries()
+	return rep
 }
 
-// pipeline is one run's view over the shared Context: the RTT table
-// matching Options.UseTracerouteRTT, the option knobs, and reusable
-// scratch buffers. It is cheap to build and must not outlive its
-// context.
+// pipeline is one run's view over the shared Context: the RTT columns
+// matching Options.UseTracerouteRTT and the option knobs. It is cheap
+// to build and must not outlive its context.
 type pipeline struct {
 	in  Inputs
 	opt Options
 	ctx *Context
 
-	// rtt is the per-interface campaign minimum across usable VPs.
-	rtt map[netip.Addr]float64
-	// bestVP is the usable VP that measured the interface's minimum.
-	bestVP map[netip.Addr]*pingsim.VP
+	// rtt is the per-interface campaign minimum across usable VPs,
+	// indexed by IfaceID (NaN = unmeasured).
+	rtt []float64
+	// bestVP is the VP slot that measured the interface's minimum
+	// (-1 = none).
+	bestVP []int32
 	// rounds marks interfaces whose minimum came from a rounding LG.
-	rounds map[netip.Addr]bool
+	rounds *ident.Bits
 	// traceDerived marks interfaces whose RTT came from traceroutes
 	// (nil unless Options.UseTracerouteRTT).
-	traceDerived map[netip.Addr]bool
+	traceDerived *ident.Bits
 
 	crossings []traix.Crossing
 	privHops  []traix.PrivateHop
 
-	// sc is the scratch used on the serial path; parallel shards each
-	// own a private one (see forEachInference).
-	sc scratch
-
-	// entries caches the shard snapshot of entriesFor's inference map:
-	// all steps of one run classify the same domain, so the snapshot is
-	// built once per report, not once per step.
-	entriesFor *Report
-	entries    []shardEntry
+	// domFor / domInfs / domEntries bind the report produced by
+	// newDomain to its backing inference array and the context's
+	// aligned entry list.
+	domFor     *Report
+	domInfs    []Inference
+	domEntries []domEntry
 }
 
-// shardEntry is one (key, inference) pair of the shard snapshot.
-type shardEntry struct {
-	k   Key
-	inf *Inference
-}
-
-// scratch holds the per-shard reusable buffers of the classification
-// hot path. Shards never share a scratch, so the feasible-ring result
-// buffers can be reused across entries without synchronisation.
+// scratch holds the per-shard reusable state of the classification hot
+// path: feasible-ring result buffers plus the epoch-stamped mark
+// columns Step 5's set logic runs on. Shards never share a scratch;
+// instances are pooled on the context because the mark columns are
+// sized to the ID spaces (far too large to allocate per run).
 type scratch struct {
 	// ringA and ringB are reusable feasible-ring result buffers.
 	ringA, ringB []netsim.FacilityID
+
+	// epoch stamps the mark columns; bumping it invalidates every mark
+	// in O(1). ifaceMark doubles as "in the candidate set" (epoch e1)
+	// and "in the member's alias cluster" (epoch e2).
+	epoch     uint32
+	ifaceMark []uint32
+	memMark   []uint32
+	facStamp  []uint32
+	facCount  []int32
+
+	ifaceIDs []ident.IfaceID
+	members  []ident.MemberID
+	facs     []netsim.FacilityID
+	fCommon  []netsim.FacilityID
+	keyBuf   []byte
 }
+
+// sizeTo grows the mark columns to the current ID spaces. Fresh
+// (zeroed) segments can never collide with a live epoch because
+// nextEpoch starts at 1 and wrap-around clears everything.
+func (s *scratch) sizeTo(ifaces, members, facs int) {
+	if len(s.ifaceMark) < ifaces {
+		s.ifaceMark = append(s.ifaceMark, make([]uint32, ifaces-len(s.ifaceMark))...)
+	}
+	if len(s.memMark) < members {
+		s.memMark = append(s.memMark, make([]uint32, members-len(s.memMark))...)
+	}
+	if len(s.facStamp) < facs {
+		s.facStamp = append(s.facStamp, make([]uint32, facs-len(s.facStamp))...)
+		s.facCount = append(s.facCount, make([]int32, facs-len(s.facCount))...)
+	}
+}
+
+// nextEpoch returns a fresh, never-live epoch value.
+func (s *scratch) nextEpoch() uint32 {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.ifaceMark {
+			s.ifaceMark[i] = 0
+		}
+		for i := range s.memMark {
+			s.memMark[i] = 0
+		}
+		for i := range s.facStamp {
+			s.facStamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	return s.epoch
+}
+
+// getScratch pops a pooled scratch sized to the current ID spaces.
+func (c *Context) getScratch() *scratch {
+	s, _ := c.scratchPool.Get().(*scratch)
+	if s == nil {
+		s = &scratch{}
+	}
+	s.sizeTo(c.ids.NumIfaces(), c.ids.NumMembers(), len(c.facVecs))
+	return s
+}
+
+func (c *Context) putScratch(s *scratch) { c.scratchPool.Put(s) }
 
 // newPipeline binds a run view to the context. Every pipeline — cold
 // package-level entry points included — runs over a Context; there is
@@ -171,23 +234,30 @@ func (c *Context) newPipeline(opt Options) *pipeline {
 	return p
 }
 
-// bind selects the context state matching the pipeline options.
+// bind selects the context columns matching the pipeline options.
 func (p *pipeline) bind() {
 	c := p.ctx
 	if p.opt.UseTracerouteRTT {
 		p.rtt, p.bestVP, p.rounds, p.traceDerived = c.traceAugmented()
 	} else {
-		p.rtt, p.bestVP, p.rounds, p.traceDerived = c.rtt, c.bestVP, c.rounds, nil
+		p.rtt, p.bestVP, p.rounds, p.traceDerived = c.rtt, c.bestVP, &c.rounds, nil
 	}
 	p.crossings = c.crossings
 	p.privHops = c.privHops
 }
 
-// resolve alias-resolves a sorted interface list through the context's
-// memoized resolver for the run's alias mode. The returned clusters
-// are shared and read-only.
-func (p *pipeline) resolve(ifaces []netip.Addr) [][]netip.Addr {
-	return p.ctx.resolve(p.opt.AliasMode, ifaces)
+// rttFor reports an interface's bound RTT minimum at the address edge
+// (tests and diagnostics; the hot paths read the column by ID).
+func (p *pipeline) rttFor(ip netip.Addr) (float64, bool) {
+	id, ok := p.ctx.ids.Iface(ip)
+	if !ok || int(id) >= len(p.rtt) {
+		return 0, false
+	}
+	v := p.rtt[id]
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
 }
 
 // ---------------------------------------------------------------------------
@@ -215,40 +285,43 @@ func (p *pipeline) workers(n int) int {
 }
 
 // forEachInference applies fn to every inference of the report,
-// fanning entries out across a shard pool when both the options and
+// fanning the domain out across a shard pool when both the options and
 // the domain size warrant it. fn must classify its entry from shared
 // read-only state and write only through inf (plus its private
 // scratch); because no entry reads another entry's verdict, the shard
 // schedule cannot leak into the report and the output is bit-identical
 // for every worker count — the merge is the writes themselves.
-func (p *pipeline) forEachInference(rep *Report, fn func(*scratch, Key, *Inference)) {
-	n := len(rep.Inferences)
+func (p *pipeline) forEachInference(rep *Report, fn func(*scratch, domEntry, *Inference)) {
+	entries := p.domEntries
+	n := len(entries)
 	workers := p.workers(n)
 	if workers <= 1 || n < parallelMinEntries {
-		for k, inf := range rep.Inferences {
-			fn(&p.sc, k, inf)
+		s := p.ctx.getScratch()
+		for i := range entries {
+			fn(s, entries[i], p.infAt(rep, i))
 		}
+		p.ctx.putScratch(s)
 		return
 	}
-	entries := p.shardEntries(rep)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var s scratch
+			s := p.ctx.getScratch()
+			defer p.ctx.putScratch(s)
 			for {
 				start := int(next.Add(shardChunk)) - shardChunk
-				if start >= len(entries) {
+				if start >= n {
 					return
 				}
 				end := start + shardChunk
-				if end > len(entries) {
-					end = len(entries)
+				if end > n {
+					end = n
 				}
-				for _, e := range entries[start:end] {
-					fn(&s, e.k, e.inf)
+				for i := start; i < end; i++ {
+					fn(s, entries[i], p.infAt(rep, i))
 				}
 			}
 		}()
@@ -256,17 +329,15 @@ func (p *pipeline) forEachInference(rep *Report, fn func(*scratch, Key, *Inferen
 	wg.Wait()
 }
 
-// shardEntries snapshots rep's inference map into a slice the shards
-// can index, reusing the snapshot across the steps of one run.
-func (p *pipeline) shardEntries(rep *Report) []shardEntry {
-	if p.entriesFor != rep {
-		entries := make([]shardEntry, 0, len(rep.Inferences))
-		for k, inf := range rep.Inferences {
-			entries = append(entries, shardEntry{k, inf})
-		}
-		p.entries, p.entriesFor = entries, rep
+// infAt returns the inference backing entry i of the domain. Reports
+// built by this pipeline's newDomain hit the aligned backing array;
+// anything else (there is no such caller today) falls back to the
+// report map.
+func (p *pipeline) infAt(rep *Report, i int) *Inference {
+	if rep == p.domFor {
+		return &p.domInfs[i]
 	}
-	return p.entries
+	return rep.Inferences[p.domEntries[i].key]
 }
 
 // ---------------------------------------------------------------------------
@@ -279,15 +350,15 @@ func (p *pipeline) stepPortCapacity(rep *Report) {
 	p.forEachInference(rep, p.classifyPortCapacity)
 }
 
-func (p *pipeline) classifyPortCapacity(_ *scratch, k Key, inf *Inference) {
+func (p *pipeline) classifyPortCapacity(_ *scratch, e domEntry, inf *Inference) {
 	if inf.Class != ClassUnknown {
 		return
 	}
-	cmin, ok := p.in.Dataset.MinPort[k.IXP]
+	cmin, ok := p.ctx.colo.MinPort(e.ixp)
 	if !ok {
 		return // no pricing data for this IXP
 	}
-	port, ok := p.in.Dataset.Ports[registry.PortKey{IXP: k.IXP, ASN: inf.ASN}]
+	port, ok := p.ctx.colo.Port(e.ixp, e.member)
 	if !ok {
 		return
 	}
@@ -303,10 +374,10 @@ func (p *pipeline) classifyPortCapacity(_ *scratch, k Key, inf *Inference) {
 // feasibleRing returns the [dmin, dmax] distance ring for an interface
 // measurement, applying the rounding-LG correction (dmin computed from
 // RTT-1) and the vmin ablation toggle.
-func (p *pipeline) feasibleRing(iface netip.Addr, rtt float64) (dMin, dMax float64) {
+func (p *pipeline) feasibleRing(iface ident.IfaceID, rtt float64) (dMin, dMax float64) {
 	dMax = p.in.Speed.DMax(rtt)
 	low := rtt
-	if p.rounds[iface] {
+	if p.rounds.Get(uint32(iface)) {
 		low = rtt - 1
 		if low < 0 {
 			low = 0
@@ -321,13 +392,13 @@ func (p *pipeline) feasibleRing(iface netip.Addr, rtt float64) (dMin, dMax float
 // ixpRing filters the IXP's facilities to those inside [dMin, dMax]
 // from the VP, through the context's memoized distance index, reusing
 // buf.
-func (p *pipeline) ixpRing(ixp string, vp *pingsim.VP, dMin, dMax float64, buf []netsim.FacilityID) []netsim.FacilityID {
-	return p.ctx.ringQuery(ringKey{loc: vp.Loc, ixp: ixp}, p.in.Colo.IXPFacilities[ixp], dMin, dMax, buf[:0])
+func (p *pipeline) ixpRing(ixp ident.IXPID, slot int32, dMin, dMax float64, buf []netsim.FacilityID) []netsim.FacilityID {
+	return p.ctx.ringQuery(slot, ringIXP, uint32(ixp), p.ctx.colo.IXPFacilities(ixp), dMin, dMax, buf[:0])
 }
 
-// asRing is ixpRing for a member AS's colocation facilities.
-func (p *pipeline) asRing(asn netsim.ASN, facs []netsim.FacilityID, vp *pingsim.VP, dMin, dMax float64, buf []netsim.FacilityID) []netsim.FacilityID {
-	return p.ctx.ringQuery(ringKey{loc: vp.Loc, asn: asn}, facs, dMin, dMax, buf[:0])
+// asRing is ixpRing for a member's colocation facilities.
+func (p *pipeline) asRing(m ident.MemberID, facs []netsim.FacilityID, slot int32, dMin, dMax float64, buf []netsim.FacilityID) []netsim.FacilityID {
+	return p.ctx.ringQuery(slot, ringMember, uint32(m), facs, dMin, dMax, buf[:0])
 }
 
 // stepRTTColo applies the Step 3 rules to every membership with a
@@ -336,23 +407,23 @@ func (p *pipeline) stepRTTColo(rep *Report) {
 	p.forEachInference(rep, p.classifyRTTColo)
 }
 
-func (p *pipeline) classifyRTTColo(s *scratch, k Key, inf *Inference) {
+func (p *pipeline) classifyRTTColo(s *scratch, e domEntry, inf *Inference) {
 	if inf.Class != ClassUnknown {
 		return
 	}
-	rtt, ok := p.rtt[k.Iface]
-	if !ok {
+	rtt := p.rtt[e.iface]
+	if math.IsNaN(rtt) {
 		return
 	}
-	vp := p.bestVP[k.Iface]
-	dMin, dMax := p.feasibleRing(k.Iface, rtt)
+	slot := p.bestVP[e.iface]
+	dMin, dMax := p.feasibleRing(e.iface, rtt)
 
-	feasIXP := p.ixpRing(k.IXP, vp, dMin, dMax, s.ringA)
+	feasIXP := p.ixpRing(e.ixp, slot, dMin, dMax, s.ringA)
 	s.ringA = feasIXP[:0]
 	inf.FeasibleIXPFacilities = len(feasIXP)
 
-	asFacs, hasData := p.in.Colo.Facilities(inf.ASN)
-	feasAS := p.asRing(inf.ASN, asFacs, vp, dMin, dMax, s.ringB)
+	asFacs, hasData := p.ctx.colo.Facilities(e.member)
+	feasAS := p.asRing(e.member, asFacs, slot, dMin, dMax, s.ringB)
 	s.ringB = feasAS[:0]
 
 	switch {

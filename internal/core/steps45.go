@@ -1,116 +1,207 @@
 package core
 
 import (
+	"math"
 	"net/netip"
 	"sort"
 
+	"rpeer/internal/alias"
 	"rpeer/internal/geo"
+	"rpeer/internal/ident"
 	"rpeer/internal/netsim"
 )
 
 // ---------------------------------------------------------------------------
 // Step 4: multi-IXP router inference (Section 5.2, Step 4)
 
-// asObservations gathers, per AS, the near-side interfaces observed in
-// IXP crossings together with the crossed IXP, plus the AS's own
-// peering interfaces from the dataset.
-type asObservations struct {
-	asn netsim.ASN
-	// nearIXPs maps each observed near interface to the set of IXPs it
-	// preceded in crossings.
-	nearIXPs map[netip.Addr]map[string]bool
-	// memberIfaces maps each of the AS's peering-LAN interfaces to its
-	// IXP.
-	memberIfaces map[netip.Addr]string
+// obsPair is one (interface, IXP) observation in ID space.
+type obsPair struct {
+	iface ident.IfaceID
+	ixp   ident.IXPID
 }
 
-// collectObservations indexes crossings and dataset interfaces per AS.
-func (p *pipeline) collectObservations() map[netsim.ASN]*asObservations {
-	out := make(map[netsim.ASN]*asObservations)
-	get := func(asn netsim.ASN) *asObservations {
-		o := out[asn]
+// asObs gathers, per member AS, the near-side interfaces observed in
+// IXP crossings together with the crossed IXP, plus the AS's own
+// peering interfaces from the dataset — the inputs of the multi-IXP
+// candidate search. Everything is deduplicated and sorted so cluster
+// IXP lookups are binary searches.
+type asObs struct {
+	member ident.MemberID
+	// nears holds the deduplicated near (interface, IXP) pairs, sorted
+	// by (iface, ixp); nearIfaces the distinct near interfaces.
+	nears      []obsPair
+	nearIfaces []ident.IfaceID
+	// mems holds the AS's peering-LAN interfaces with their IXP,
+	// sorted by iface (one entry per interface: the dataset maps each
+	// interface to exactly one IXP).
+	mems []obsPair
+	// nixps is the number of distinct IXPs across nears and mems.
+	nixps int
+}
+
+// nearIXPsOf iterates the IXPs observed behind one near interface.
+func (o *asObs) nearIXPsOf(iface ident.IfaceID, fn func(ident.IXPID)) {
+	i := sort.Search(len(o.nears), func(i int) bool { return o.nears[i].iface >= iface })
+	for ; i < len(o.nears) && o.nears[i].iface == iface; i++ {
+		fn(o.nears[i].ixp)
+	}
+}
+
+// memIXPOf returns the IXP of one of the AS's peering interfaces.
+func (o *asObs) memIXPOf(iface ident.IfaceID) (ident.IXPID, bool) {
+	i := sort.Search(len(o.mems), func(i int) bool { return o.mems[i].iface >= iface })
+	if i < len(o.mems) && o.mems[i].iface == iface {
+		return o.mems[i].ixp, true
+	}
+	return 0, false
+}
+
+// obsIndex returns the per-AS crossing/membership observations,
+// building them lazily. The index depends only on the substrate
+// (crossings and the dataset's interface records), so it survives
+// every run and is invalidated only by Apply. Entries are sorted by
+// AS number — the deterministic candidate order of the Step 4 rules.
+func (c *Context) obsIndex() []*asObs {
+	c.obsMu.Lock()
+	defer c.obsMu.Unlock()
+	if c.obsBuilt {
+		return c.obs
+	}
+	perMember := make(map[ident.MemberID]*asObs)
+	get := func(m ident.MemberID) *asObs {
+		o := perMember[m]
 		if o == nil {
-			o = &asObservations{
-				asn:          asn,
-				nearIXPs:     make(map[netip.Addr]map[string]bool),
-				memberIfaces: make(map[netip.Addr]string),
-			}
-			out[asn] = o
+			o = &asObs{member: m}
+			perMember[m] = o
 		}
 		return o
 	}
-	for _, c := range p.crossings {
-		o := get(c.NearAS)
-		set := o.nearIXPs[c.NearIP]
-		if set == nil {
-			set = make(map[string]bool)
-			o.nearIXPs[c.NearIP] = set
+	for i := 0; i < c.cross.Len(); i++ {
+		o := get(c.cross.NearAS[i])
+		o.nears = append(o.nears, obsPair{c.cross.Near[i], c.cross.IXP[i]})
+	}
+	for ip, name := range c.in.Dataset.IfaceIXP {
+		iface, ok := c.ids.Iface(ip)
+		if !ok {
+			continue
 		}
-		set[c.IXP] = true
+		member, ok := c.ids.Member(c.in.Dataset.IfaceASN[ip])
+		if !ok {
+			continue
+		}
+		ixp, ok := c.ids.IXP(name)
+		if !ok {
+			continue
+		}
+		o := get(member)
+		o.mems = append(o.mems, obsPair{iface, ixp})
 	}
-	for ip, ixp := range p.in.Dataset.IfaceIXP {
-		get(p.in.Dataset.IfaceASN[ip]).memberIfaces[ip] = ixp
-	}
-	return out
-}
 
-// multiIXPClusters alias-resolves each candidate AS's interfaces and
-// returns the clusters facing more than one IXP.
-func (p *pipeline) multiIXPClusters(obs map[netsim.ASN]*asObservations) []*MultiIXPRouter {
-	var asns []netsim.ASN
-	for asn, o := range obs {
-		// Candidate: the AS appears to peer at more than one IXP.
-		ixps := make(map[string]bool)
-		for _, set := range o.nearIXPs {
-			for x := range set {
-				ixps[x] = true
+	ixpMark := make([]uint32, c.ids.NumIXPs())
+	epoch := uint32(0)
+	obs := make([]*asObs, 0, len(perMember))
+	for _, o := range perMember {
+		sort.Slice(o.nears, func(i, j int) bool {
+			if o.nears[i].iface != o.nears[j].iface {
+				return o.nears[i].iface < o.nears[j].iface
+			}
+			return o.nears[i].ixp < o.nears[j].ixp
+		})
+		dedup := o.nears[:0]
+		for i, pr := range o.nears {
+			if i == 0 || pr != o.nears[i-1] {
+				dedup = append(dedup, pr)
 			}
 		}
-		for _, x := range o.memberIfaces {
-			ixps[x] = true
+		o.nears = dedup
+		for i, pr := range o.nears {
+			if i == 0 || pr.iface != o.nears[i-1].iface {
+				o.nearIfaces = append(o.nearIfaces, pr.iface)
+			}
 		}
-		if len(ixps) > 1 {
-			asns = append(asns, asn)
+		sort.Slice(o.mems, func(i, j int) bool { return o.mems[i].iface < o.mems[j].iface })
+		epoch++
+		for _, pr := range o.nears {
+			if ixpMark[pr.ixp] != epoch {
+				ixpMark[pr.ixp] = epoch
+				o.nixps++
+			}
 		}
+		for _, pr := range o.mems {
+			if ixpMark[pr.ixp] != epoch {
+				ixpMark[pr.ixp] = epoch
+				o.nixps++
+			}
+		}
+		obs = append(obs, o)
 	}
-	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	sort.Slice(obs, func(i, j int) bool { return c.ids.ASN(obs[i].member) < c.ids.ASN(obs[j].member) })
+	c.obs = obs
+	c.obsBuilt = true
+	return obs
+}
 
-	var routers []*MultiIXPRouter
-	for _, asn := range asns {
-		o := obs[asn]
-		var ifaces []netip.Addr
-		for ip := range o.nearIXPs {
-			ifaces = append(ifaces, ip)
+// cachedRouter is one alias-resolved multi-IXP cluster in ID space,
+// memoized per alias mode: the cluster interfaces (shared with the
+// alias cache, read-only) and the distinct IXPs the cluster faces
+// (sorted ascending, which for interned IXPs equals name order).
+type cachedRouter struct {
+	member ident.MemberID
+	ifaces []ident.IfaceID
+	ixps   []ident.IXPID
+}
+
+// multiRouters returns the clusters facing more than one IXP, built
+// lazily per alias mode over the memoized observations. Candidate ASes
+// are visited in ascending AS-number order and clusters keep resolver
+// output order, matching the pre-interning report order exactly.
+func (c *Context) multiRouters(mode alias.Mode) []cachedRouter {
+	c.clusterMu.Lock()
+	defer c.clusterMu.Unlock()
+	if r, ok := c.clusters[mode]; ok {
+		return r
+	}
+	obs := c.obsIndex()
+	ixpMark := make([]uint32, c.ids.NumIXPs())
+	epoch := uint32(0)
+	var keyBuf []byte
+	var idbuf []ident.IfaceID
+	routers := []cachedRouter{}
+	for _, o := range obs {
+		if o.nixps < 2 {
+			continue // candidate: the AS appears to peer at more than one IXP
 		}
-		for ip := range o.memberIfaces {
-			ifaces = append(ifaces, ip)
+		idbuf = idbuf[:0]
+		idbuf = append(idbuf, o.nearIfaces...)
+		for _, pr := range o.mems {
+			idbuf = append(idbuf, pr.iface)
 		}
-		sort.Slice(ifaces, func(i, j int) bool { return ifaces[i].Less(ifaces[j]) })
-		for _, cluster := range p.resolve(ifaces) {
-			ixps := make(map[string]bool)
-			for _, ip := range cluster {
-				for x := range o.nearIXPs[ip] {
-					ixps[x] = true
-				}
-				if x, ok := o.memberIfaces[ip]; ok {
-					ixps[x] = true
+		sort.Slice(idbuf, func(i, j int) bool { return c.ids.AddrLess(idbuf[i], idbuf[j]) })
+		var clusters [][]ident.IfaceID
+		clusters, keyBuf = c.resolveIDs(mode, idbuf, keyBuf)
+		for _, cluster := range clusters {
+			epoch++
+			var ixps []ident.IXPID
+			for _, id := range cluster {
+				o.nearIXPsOf(id, func(x ident.IXPID) {
+					if ixpMark[x] != epoch {
+						ixpMark[x] = epoch
+						ixps = append(ixps, x)
+					}
+				})
+				if x, ok := o.memIXPOf(id); ok && ixpMark[x] != epoch {
+					ixpMark[x] = epoch
+					ixps = append(ixps, x)
 				}
 			}
 			if len(ixps) < 2 {
 				continue
 			}
-			names := make([]string, 0, len(ixps))
-			for x := range ixps {
-				names = append(names, x)
-			}
-			sort.Strings(names)
-			// Copy the cluster out of the context's shared alias cache so
-			// the public Report owns its slices.
-			routers = append(routers, &MultiIXPRouter{
-				ASN: asn, Ifaces: append([]netip.Addr(nil), cluster...), IXPs: names,
-			})
+			sort.Slice(ixps, func(i, j int) bool { return ixps[i] < ixps[j] })
+			routers = append(routers, cachedRouter{member: o.member, ifaces: cluster, ixps: ixps})
 		}
 	}
+	c.clusters[mode] = routers
 	return routers
 }
 
@@ -120,34 +211,37 @@ func (p *pipeline) multiIXPClusters(obs map[netsim.ASN]*asObservations) []*Multi
 // itself (the normal pipeline flow); a non-nil seed supplies them from
 // elsewhere (the standalone per-step evaluation).
 func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerClass) {
-	obs := p.collectObservations()
-	routers := p.multiIXPClusters(obs)
+	c := p.ctx
+	cached := c.multiRouters(p.opt.AliasMode)
+
+	// Materialize the public router list fresh per run: Class is a
+	// per-run verdict and the Report owns its slices (the cached
+	// clusters are shared across runs and must stay immutable).
+	routers := make([]*MultiIXPRouter, len(cached))
+	for i := range cached {
+		cr := &cached[i]
+		ifaces := make([]netip.Addr, len(cr.ifaces))
+		for j, id := range cr.ifaces {
+			ifaces[j] = c.ids.Addr(id)
+		}
+		names := make([]string, len(cr.ixps))
+		for j, x := range cr.ixps {
+			names[j] = c.ids.IXPName(x)
+		}
+		routers[i] = &MultiIXPRouter{ASN: c.ids.ASN(cr.member), Ifaces: ifaces, IXPs: names}
+	}
 	rep.MultiRouters = routers
 
-	// Index memberships by (AS, IXP) for O(1) lookup and propagation.
-	type memKey struct {
-		asn netsim.ASN
-		ixp string
-	}
-	idx := make(map[memKey][]*Inference)
-	for k, inf := range rep.Inferences {
-		mk := memKey{inf.ASN, k.IXP}
-		idx[mk] = append(idx[mk], inf)
-	}
-	// The map iteration above is randomised; order the per-membership
-	// slices so classOf (which picks the first decided entry) cannot
-	// depend on it.
-	for _, infs := range idx {
-		if len(infs) > 1 {
-			sort.Slice(infs, func(i, j int) bool { return infs[i].Iface.Less(infs[j].Iface) })
-		}
-	}
-	classOf := func(asn netsim.ASN, ixp string) PeerClass {
+	// Memberships by (member, IXP) come pre-grouped from the context
+	// (domain indexes, ascending by interface within each group — the
+	// order classOf's first-decided rule requires).
+	groups := c.memberGroups()
+	classOf := func(m ident.MemberID, x ident.IXPID) PeerClass {
 		if seed != nil {
-			return seed(asn, ixp)
+			return seed(c.ids.ASN(m), c.ids.IXPName(x))
 		}
-		for _, inf := range idx[memKey{asn, ixp}] {
-			if inf.Class != ClassUnknown {
+		for _, di := range groups[groupKey(m, x)] {
+			if inf := p.infAt(rep, int(di)); inf.Class != ClassUnknown {
 				return inf.Class
 			}
 		}
@@ -158,8 +252,9 @@ func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerC
 	// involved membership, since the paper's rules phrase the outcome
 	// as "the AS is inferred local/remote to all involved IXPs".
 	standalone := seed != nil
-	assign := func(asn netsim.ASN, ixp string, cls PeerClass) {
-		for _, inf := range idx[memKey{asn, ixp}] {
+	assign := func(m ident.MemberID, x ident.IXPID, cls PeerClass) {
+		for _, di := range groups[groupKey(m, x)] {
+			inf := p.infAt(rep, int(di))
 			if inf.Class == ClassUnknown || (standalone && inf.Step == StepMultiIXP) {
 				inf.Class = cls
 				inf.Step = StepMultiIXP
@@ -167,11 +262,15 @@ func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerC
 		}
 	}
 
-	for _, r := range routers {
+	for i := range cached {
+		cr := &cached[i]
+		r := routers[i]
+		// Step 4's per-router geometry runs at the edge maps (a handful
+		// of routers per run, nothing per-membership).
 		asFacs, _ := p.in.Colo.Facilities(r.ASN)
-		var localIXPs, remoteIXPs, unknownIXPs []string
-		for _, x := range r.IXPs {
-			switch classOf(r.ASN, x) {
+		var localIXPs, remoteIXPs, unknownIXPs []ident.IXPID
+		for _, x := range cr.ixps {
+			switch classOf(cr.member, x) {
 			case ClassLocal:
 				localIXPs = append(localIXPs, x)
 			case ClassRemote:
@@ -182,7 +281,7 @@ func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerC
 		}
 		targets := unknownIXPs
 		if standalone {
-			targets = r.IXPs
+			targets = cr.ixps
 		}
 		switch {
 		case len(localIXPs) > 0 && len(remoteIXPs) == 0 && p.allShareFacility(r.IXPs):
@@ -190,7 +289,7 @@ func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerC
 			// share a facility -> local to all.
 			r.Class = RouterLocal
 			for _, x := range targets {
-				assign(r.ASN, x, ClassLocal)
+				assign(cr.member, x, ClassLocal)
 			}
 		case len(remoteIXPs) > 0 && len(localIXPs) == 0:
 			// Rule 2 (Fig 3b): remote to one IXP; every other involved
@@ -201,10 +300,10 @@ func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerC
 			// everything when all involved IXPs share one facility
 			// (condition 2(a)).
 			anchor := remoteIXPs[0]
-			anchorFacs := p.in.Colo.IXPFacilities[anchor]
+			anchorFacs := p.in.Colo.IXPFacilities[c.ids.IXPName(anchor)]
 			dMinAS, _, okAS := p.facDist(asFacs, anchorFacs)
 			if !okAS {
-				dMinAS = anchorRingDMin(p, idx[memKey{r.ASN, anchor}])
+				dMinAS = p.anchorRingDMin(groups[groupKey(cr.member, anchor)])
 			}
 			all2a := p.allShareFacility(r.IXPs)
 			assigned := 0
@@ -214,18 +313,18 @@ func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerC
 				}
 				holds := all2a
 				if !holds && dMinAS > 0 {
-					_, maxD, ok := p.facDist(p.in.Colo.IXPFacilities[x], anchorFacs)
+					_, maxD, ok := p.facDist(p.in.Colo.IXPFacilities[c.ids.IXPName(x)], anchorFacs)
 					holds = ok && maxD < dMinAS
 				}
 				if holds {
-					assign(r.ASN, x, ClassRemote)
+					assign(cr.member, x, ClassRemote)
 					assigned++
 				}
 			}
 			if all2a || assigned > 0 {
 				r.Class = RouterRemote
 				if standalone {
-					assign(r.ASN, anchor, ClassRemote)
+					assign(cr.member, anchor, ClassRemote)
 				}
 			}
 		case len(localIXPs) > 0:
@@ -234,11 +333,11 @@ func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerC
 			r.Class = RouterHybrid
 			ixpL := localIXPs[0]
 			if standalone {
-				assign(r.ASN, ixpL, ClassLocal)
+				assign(cr.member, ixpL, ClassLocal)
 			}
 			for _, x := range targets {
-				if x != ixpL && p.hybridRemoteCondition(r.ASN, ixpL, x) {
-					assign(r.ASN, x, ClassRemote)
+				if x != ixpL && p.hybridRemoteCondition(r.ASN, c.ids.IXPName(ixpL), c.ids.IXPName(x)) {
+					assign(cr.member, x, ClassRemote)
 				}
 			}
 			if len(remoteIXPs) == 0 && len(unknownIXPs) == 0 {
@@ -276,16 +375,18 @@ func (p *pipeline) allShareFacility(ixps []string) bool {
 
 // anchorRingDMin derives a lower bound on the member router's distance
 // from the anchor IXP out of the Step-3 feasible ring of the anchor
-// membership interface, for use when colocation data is missing. A
-// metro-radius slack absorbs the VP-to-facility offset.
-func anchorRingDMin(p *pipeline, infs []*Inference) float64 {
+// membership interfaces (domain indexes of one (member, IXP) group),
+// for use when colocation data is missing. A metro-radius slack
+// absorbs the VP-to-facility offset.
+func (p *pipeline) anchorRingDMin(group []int32) float64 {
 	best := 0.0
-	for _, inf := range infs {
-		rtt, ok := p.rtt[inf.Iface]
-		if !ok {
+	for _, di := range group {
+		e := p.domEntries[di]
+		rtt := p.rtt[e.iface]
+		if math.IsNaN(rtt) {
 			continue
 		}
-		dMin, _ := p.feasibleRing(inf.Iface, rtt)
+		dMin, _ := p.feasibleRing(e.iface, rtt)
 		if d := dMin - 2*geo.MetroSeparationKm; d > best {
 			best = d
 		}
@@ -324,57 +425,64 @@ func (p *pipeline) hybridRemoteCondition(asn netsim.ASN, ixpL, other string) boo
 // stepPrivate applies the Constrained-Facility-Search-style voting to
 // memberships still unknown after Steps 1-4.
 func (p *pipeline) stepPrivate(rep *Report) {
-	if len(p.privHops) == 0 {
+	if p.ctx.priv.Len() == 0 {
 		return
 	}
 	p.forEachInference(rep, p.classifyPrivate)
 }
 
-func (p *pipeline) classifyPrivate(s *scratch, k Key, inf *Inference) {
+func (p *pipeline) classifyPrivate(s *scratch, e domEntry, inf *Inference) {
 	if inf.Class != ClassUnknown {
 		return
 	}
-	// Private neighbours per AS come precomputed from the context.
-	ns := p.ctx.byASPriv[inf.ASN]
+	c := p.ctx
+	// Private neighbours per member come precomputed from the context.
+	ns := c.byASPriv[e.member]
 	if len(ns) == 0 {
 		return
 	}
-	// Alias-resolve the member interface together with the AS's
-	// private-link interfaces; keep the cluster holding the member
-	// interface (the router actually facing the IXP).
-	ifaceSet := map[netip.Addr]bool{k.Iface: true}
+	// Candidate set: the member interface plus the AS's private-link
+	// interfaces, deduplicated via the epoch marks, sorted by address
+	// (the alias memo's canonical order).
+	e1 := s.nextEpoch()
+	s.ifaceIDs = s.ifaceIDs[:0]
+	s.ifaceMark[e.iface] = e1
+	s.ifaceIDs = append(s.ifaceIDs, e.iface)
 	for _, n := range ns {
-		ifaceSet[n.iface] = true
+		if s.ifaceMark[n.iface] != e1 {
+			s.ifaceMark[n.iface] = e1
+			s.ifaceIDs = append(s.ifaceIDs, n.iface)
+		}
 	}
-	ifaces := make([]netip.Addr, 0, len(ifaceSet))
-	for ip := range ifaceSet {
-		ifaces = append(ifaces, ip)
-	}
-	sort.Slice(ifaces, func(i, j int) bool { return ifaces[i].Less(ifaces[j]) })
+	sort.Slice(s.ifaceIDs, func(i, j int) bool { return c.ids.AddrLess(s.ifaceIDs[i], s.ifaceIDs[j]) })
 
-	var cluster []netip.Addr
-	for _, c := range p.resolve(ifaces) {
-		for _, ip := range c {
-			if ip == k.Iface {
-				cluster = c
+	// Alias-resolve and keep the cluster holding the member interface
+	// (the router actually facing the IXP).
+	var clusters [][]ident.IfaceID
+	clusters, s.keyBuf = c.resolveIDs(p.opt.AliasMode, s.ifaceIDs, s.keyBuf)
+	var cluster []ident.IfaceID
+	for _, cl := range clusters {
+		for _, id := range cl {
+			if id == e.iface {
+				cluster = cl
 				break
 			}
 		}
 	}
-	clusterSet := make(map[netip.Addr]bool, len(cluster))
-	for _, ip := range cluster {
-		clusterSet[ip] = true
+	e2 := s.nextEpoch()
+	for _, id := range cluster {
+		s.ifaceMark[id] = e2
 	}
-	// Private AS neighbours of this router.
-	var neighbours []netsim.ASN
-	seen := make(map[netsim.ASN]bool)
+	// Private AS neighbours of this router, deduplicated in first-
+	// observation order.
+	s.members = s.members[:0]
 	for _, n := range ns {
-		if clusterSet[n.iface] && !seen[n.other] {
-			seen[n.other] = true
-			neighbours = append(neighbours, n.other)
+		if s.ifaceMark[n.iface] == e2 && s.memMark[n.other] != e2 {
+			s.memMark[n.other] = e2
+			s.members = append(s.members, n.other)
 		}
 	}
-	if len(neighbours) == 0 {
+	if len(s.members) == 0 {
 		return
 	}
 
@@ -382,44 +490,50 @@ func (p *pipeline) classifyPrivate(s *scratch, k Key, inf *Inference) {
 	// must also clear a majority of the voters (private
 	// interconnects overwhelmingly live inside one facility, so the
 	// top-voted facility is where this router most plausibly sits).
-	counts := make(map[netsim.FacilityID]int)
+	s.facs = s.facs[:0]
 	voters := 0
-	for _, n := range neighbours {
-		facs, ok := p.in.Colo.Facilities(n)
+	for _, m := range s.members {
+		facs, ok := c.colo.Facilities(m)
 		if !ok {
 			continue
 		}
 		voters++
 		for _, f := range facs {
-			counts[f]++
+			if s.facStamp[f] != e2 {
+				s.facStamp[f] = e2
+				s.facCount[f] = 1
+				s.facs = append(s.facs, f)
+			} else {
+				s.facCount[f]++
+			}
 		}
 	}
 	if voters < 2 {
 		return // a single voter cannot corroborate a facility
 	}
-	maxCount := 0
-	for _, c := range counts {
-		if c > maxCount {
-			maxCount = c
+	maxCount := int32(0)
+	for _, f := range s.facs {
+		if n := s.facCount[f]; n > maxCount {
+			maxCount = n
 		}
 	}
-	need := (voters + 1) / 2
+	need := int32(voters+1) / 2
 	if maxCount < need {
 		return // no facility is common to a neighbour majority
 	}
-	var fCommon []netsim.FacilityID
-	for f, c := range counts {
-		if c == maxCount {
-			fCommon = append(fCommon, f)
+	s.fCommon = s.fCommon[:0]
+	for _, f := range s.facs {
+		if s.facCount[f] == maxCount {
+			s.fCommon = append(s.fCommon, f)
 		}
 	}
 	// FIXP: feasible IXP facilities when an RTT ring exists,
 	// otherwise the IXP's full facility list.
-	fIXP := p.in.Colo.IXPFacilities[k.IXP]
-	if rtt, ok := p.rtt[k.Iface]; ok {
-		vp := p.bestVP[k.Iface]
-		dMin, dMax := p.feasibleRing(k.Iface, rtt)
-		fIXP = p.ixpRing(k.IXP, vp, dMin, dMax, s.ringA)
+	fIXP := c.colo.IXPFacilities(e.ixp)
+	if rtt := p.rtt[e.iface]; !math.IsNaN(rtt) {
+		slot := p.bestVP[e.iface]
+		dMin, dMax := p.feasibleRing(e.iface, rtt)
+		fIXP = p.ixpRing(e.ixp, slot, dMin, dMax, s.ringA)
 		s.ringA = fIXP[:0]
 	}
 	// The paper requires |FIXP ∩ Fcommon| = 1 for a local verdict;
@@ -431,9 +545,19 @@ func (p *pipeline) classifyPrivate(s *scratch, k Key, inf *Inference) {
 	// IXP facility (the paper's |FIXP ∩ Fcommon| = 1 condition), or
 	// when every top-voted candidate is an IXP facility — then the
 	// member is colocated with the exchange whichever of them hosts
-	// the router.
-	common := netsim.CommonFacilities(fIXP, fCommon)
-	if len(common) == 1 || (len(common) > 1 && len(common) == len(fCommon)) {
+	// the router. fCommon entries are distinct, so counting its
+	// members present in FIXP equals the distinct-intersection size
+	// netsim.CommonFacilities would report — without the allocation.
+	common := 0
+	for _, f := range s.fCommon {
+		for _, x := range fIXP {
+			if x == f {
+				common++
+				break
+			}
+		}
+	}
+	if common == 1 || (common > 1 && common == len(s.fCommon)) {
 		inf.Class = ClassLocal
 	} else {
 		inf.Class = ClassRemote

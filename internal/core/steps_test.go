@@ -91,9 +91,7 @@ func (f *tinyFixture) addIface(asn netsim.ASN) netip.Addr {
 func (f *tinyFixture) pipelineWithRTT(rtts map[netip.Addr]float64) (*pipeline, *Report) {
 	p := newContext(f.in).newPipeline(DefaultOptions())
 	for ip, rtt := range rtts {
-		p.rtt[ip] = rtt
-		p.bestVP[ip] = f.vp
-		p.rounds[ip] = false
+		p.ctx.setPing(ip, rtt, f.vp, false)
 	}
 	return p, p.newDomain()
 }
@@ -245,7 +243,7 @@ func TestStep3RoundingLGWidensRing(t *testing.T) {
 	f.in.Colo.ASFacilities[asn] = []netsim.FacilityID{f.ix.Facilities[0]}
 
 	p, rep := f.pipelineWithRTT(map[netip.Addr]float64{ip: 1.0})
-	p.rounds[ip] = true // the LG rounded 0.2ms up to 1ms
+	p.ctx.setPing(ip, 1.0, f.vp, true) // the LG rounded 0.2ms up to 1ms
 	p.stepRTTColo(rep)
 	got := rep.Inferences[Key{f.ix.Name, ip}]
 	if got.Class != ClassLocal {

@@ -1,0 +1,124 @@
+package registry
+
+import (
+	"rpeer/internal/ident"
+	"rpeer/internal/netsim"
+)
+
+// ColoIndex is the ID-indexed columnar view of the colocation and
+// port-capacity tables the per-membership classification reads on
+// every entry: AS facility records by dense MemberID, IXP facility
+// records and minimum port capacities by dense IXPID, and reported
+// port capacities by packed (IXPID, MemberID) key. One array index (or
+// one uint64 hash, for the sparse port table) replaces a string or
+// ASN map hash per lookup.
+//
+// The index is a projection: the ColoDB and Dataset stay the source of
+// truth at the ingestion edge. Membership deltas only ever touch the
+// port table (joins can refresh a member's reported capacity) — the
+// facility plane is fixed — so SetPort is the only mutation and Grow
+// the only resize hook.
+type ColoIndex struct {
+	// asFacs and asHasColo are indexed by MemberID; an AS outside the
+	// colo DB has hasColo false (the paper's "no colocation data"
+	// distinction, which Rule 3 of Step 3 depends on).
+	asFacs    [][]netsim.FacilityID
+	asHasColo ident.Bits
+
+	// ixpFacs and minPort are indexed by IXPID; minPort is -1 for IXPs
+	// without website pricing data.
+	ixpFacs [][]netsim.FacilityID
+	minPort []int32
+
+	// ports maps packed (IXPID, MemberID) to the reported capacity.
+	ports map[uint64]int32
+}
+
+// portKey packs an (IXP, member) pair into one map key.
+func portKey(ixp ident.IXPID, m ident.MemberID) uint64 {
+	return uint64(ixp)<<32 | uint64(m)
+}
+
+// NewColoIndex projects the colo DB and the dataset's port tables into
+// ID space. Every AS in the colo DB and every (IXP, ASN) port record
+// is interned through tab; IXPs must already be interned (records for
+// names outside tab's roster are dropped — they cannot appear in the
+// inference domain either).
+func NewColoIndex(db *ColoDB, ds *Dataset, tab *ident.Table) *ColoIndex {
+	ix := &ColoIndex{
+		ixpFacs: make([][]netsim.FacilityID, tab.NumIXPs()),
+		minPort: make([]int32, tab.NumIXPs()),
+		ports:   make(map[uint64]int32, len(ds.Ports)),
+	}
+	for name, facs := range db.IXPFacilities {
+		if id, ok := tab.IXP(name); ok {
+			ix.ixpFacs[id] = facs
+		}
+	}
+	for i := range ix.minPort {
+		ix.minPort[i] = -1
+	}
+	for name, min := range ds.MinPort {
+		if id, ok := tab.IXP(name); ok {
+			ix.minPort[id] = int32(min)
+		}
+	}
+	for asn, facs := range db.ASFacilities {
+		m := tab.AddMember(asn)
+		ix.Grow(tab)
+		ix.asFacs[m] = facs
+		ix.asHasColo.Set(uint32(m))
+	}
+	for k, mbps := range ds.Ports {
+		id, ok := tab.IXP(k.IXP)
+		if !ok {
+			continue
+		}
+		m := tab.AddMember(k.ASN)
+		ix.ports[portKey(id, m)] = int32(mbps)
+	}
+	ix.Grow(tab)
+	return ix
+}
+
+// Grow extends the member-indexed columns to the table's current
+// member space (Apply interns new member ASes; their columns default
+// to "no colocation data").
+func (ix *ColoIndex) Grow(tab *ident.Table) {
+	for len(ix.asFacs) < tab.NumMembers() {
+		ix.asFacs = append(ix.asFacs, nil)
+	}
+}
+
+// Facilities returns the member's recorded facilities and whether the
+// member has any colocation data at all.
+func (ix *ColoIndex) Facilities(m ident.MemberID) ([]netsim.FacilityID, bool) {
+	if int(m) >= len(ix.asFacs) {
+		return nil, false
+	}
+	return ix.asFacs[m], ix.asHasColo.Get(uint32(m))
+}
+
+// IXPFacilities returns the IXP's recorded switch facilities.
+func (ix *ColoIndex) IXPFacilities(id ident.IXPID) []netsim.FacilityID {
+	return ix.ixpFacs[id]
+}
+
+// MinPort returns the IXP's advertised minimum physical port capacity
+// and whether pricing data exists.
+func (ix *ColoIndex) MinPort(id ident.IXPID) (int, bool) {
+	v := ix.minPort[id]
+	return int(v), v >= 0
+}
+
+// Port returns the reported capacity of one membership.
+func (ix *ColoIndex) Port(ixp ident.IXPID, m ident.MemberID) (int, bool) {
+	v, ok := ix.ports[portKey(ixp, m)]
+	return int(v), ok
+}
+
+// SetPort records (or refreshes) a membership's reported capacity —
+// the one mutation membership deltas can cause here.
+func (ix *ColoIndex) SetPort(ixp ident.IXPID, m ident.MemberID, mbps int) {
+	ix.ports[portKey(ixp, m)] = int32(mbps)
+}

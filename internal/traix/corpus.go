@@ -48,29 +48,27 @@ type pathCands struct {
 	static []PrivateHop
 }
 
-// LANSet answers "is this address on any peering-LAN prefix?" with one
-// map lookup per distinct prefix length. The corpus split relies on
-// the invariant that member interfaces only ever carry peering-LAN
+// LANSet answers "is this address on any peering-LAN prefix?" with a
+// binary search over a sorted base-address column per distinct prefix
+// length — no per-query prefix hashing. The corpus split relies on the
+// invariant that member interfaces only ever carry peering-LAN
 // addresses; callers that grow the dataset (membership joins) use a
 // LANSet to uphold it.
 type LANSet struct {
 	bits []int
-	sets []map[netip.Prefix]bool
+	// bases[i] holds the masked base addresses of the bits[i]-long
+	// prefixes, sorted ascending.
+	bases [][]netip.Addr
 }
 
 // NewLANSet indexes a peering-LAN prefix plan.
 func NewLANSet(lans []netip.Prefix) *LANSet {
-	byBits := make(map[int]map[netip.Prefix]bool)
+	byBits := make(map[int][]netip.Addr)
 	for _, p := range lans {
 		if !p.IsValid() {
 			continue
 		}
-		m := byBits[p.Bits()]
-		if m == nil {
-			m = make(map[netip.Prefix]bool)
-			byBits[p.Bits()] = m
-		}
-		m[p.Masked()] = true
+		byBits[p.Bits()] = append(byBits[p.Bits()], p.Masked().Addr())
 	}
 	s := &LANSet{}
 	for b := range byBits {
@@ -78,7 +76,16 @@ func NewLANSet(lans []netip.Prefix) *LANSet {
 	}
 	sort.Ints(s.bits)
 	for _, b := range s.bits {
-		s.sets = append(s.sets, byBits[b])
+		col := byBits[b]
+		sort.Slice(col, func(i, j int) bool { return col[i].Less(col[j]) })
+		// Dedup: duplicate prefixes collapse to one base.
+		out := col[:0]
+		for i, a := range col {
+			if i == 0 || a != col[i-1] {
+				out = append(out, a)
+			}
+		}
+		s.bases = append(s.bases, out)
 	}
 	return s
 }
@@ -90,7 +97,10 @@ func (s *LANSet) Contains(ip netip.Addr) bool {
 		if err != nil {
 			continue
 		}
-		if s.sets[i][p] {
+		base := p.Addr()
+		col := s.bases[i]
+		j := sort.Search(len(col), func(k int) bool { return !col[k].Less(base) })
+		if j < len(col) && col[j] == base {
 			return true
 		}
 	}
