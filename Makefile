@@ -2,7 +2,7 @@ GO ?= go
 # PR number stamped into the benchmark snapshot file name; bump (or
 # override: `make bench-snapshot PR=5`) each PR so trajectories of all
 # PRs stay side by side.
-PR ?= 4
+PR ?= 5
 
 # Pipelines (bench-snapshot) must fail when any stage fails, not just
 # the last one, or a broken benchmark run would silently overwrite the
@@ -10,7 +10,7 @@ PR ?= 4
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet test test-race bench bench-smoke bench-snapshot examples-smoke
+.PHONY: all build vet test test-race bench bench-smoke bench-snapshot bench-compare examples-smoke
 
 all: vet build test
 
@@ -41,6 +41,20 @@ bench:
 # stay out — they build multi-gigabyte worlds.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkContextBuild|BenchmarkEngineApply/1x|BenchmarkServeHTTP|BenchmarkScaleWorld/1x' -benchmem -benchtime=1x
+
+# Compare a fresh run of the fast headline benchmarks against a
+# committed baseline snapshot and fail on >20% ns/op regression
+# (override: THRESHOLD=0.5; CI uses a loose threshold because runner
+# hardware differs from the snapshot machine). The fresh run covers
+# the same cheap set as bench-smoke, at 3 iterations to damp noise.
+BASE ?= BENCH_PR$(PR).json
+THRESHOLD ?= 0.20
+bench-compare:
+	tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/rpi-benchsnap \
+		-bench 'BenchmarkFullPipeline$$|BenchmarkContextBuild$$|BenchmarkEngineApply/1x|BenchmarkServeHTTP|BenchmarkScaleWorld/1x' \
+		-benchtime 3x -o $$tmp; \
+	$(GO) run ./cmd/rpi-benchdiff -base $(BASE) -new $$tmp -threshold $(THRESHOLD)
 
 # Build and run every example binary once (the public-API canaries;
 # CI runs this alongside the test jobs).

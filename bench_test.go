@@ -418,7 +418,7 @@ func benchScaledEnv(b *testing.B, factor int) *exp.Env {
 // substrate is re-derived.
 
 func BenchmarkEngineApply(b *testing.B) {
-	for _, factor := range []int{1, 4} {
+	for _, factor := range []int{1, 4, 16} {
 		factor := factor
 		b.Run(fmt.Sprintf("%dx", factor), func(b *testing.B) {
 			e := benchScaledEnv(b, factor)
@@ -557,9 +557,11 @@ func wireDeltaBody(b *testing.B, d rpi.Delta) []byte {
 
 func BenchmarkScaleWorld(b *testing.B) {
 	// The 64x rung (~324k memberships) became practical with the
-	// interned-ID columnar substrate; before it, the map-of-Addr hot
-	// paths made the pipeline there a multi-minute affair.
-	for _, factor := range []int{1, 4, 16, 64} {
+	// interned-ID columnar substrate; the 256x rung (~1.3M
+	// memberships) with the parallel columnar cold start (hashed
+	// per-entity RNG streams, slab batches, sharded context build) —
+	// before it, env-build there was a tens-of-minutes affair.
+	for _, factor := range []int{1, 4, 16, 64, 256} {
 		factor := factor
 		b.Run(fmt.Sprintf("%dx", factor), func(b *testing.B) {
 			b.Run("env-build", func(b *testing.B) {

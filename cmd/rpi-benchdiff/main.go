@@ -1,0 +1,124 @@
+// Command rpi-benchdiff compares two benchmark snapshots produced by
+// rpi-benchsnap and fails (exit 1) when any headline benchmark
+// regressed beyond a threshold. It is the teeth behind
+// `make bench-compare BASE=BENCH_PRn.json`: a fresh snapshot is diffed
+// against the committed baseline of the previous PR, so a perf claim
+// that silently rots fails the build instead of surfacing at the next
+// manual snapshot.
+//
+// Usage:
+//
+//	rpi-benchdiff -base BENCH_PR4.json -new /tmp/fresh.json
+//	rpi-benchdiff -base BENCH_PR4.json -new fresh.json -threshold 0.5 -headline 'BenchmarkFullPipeline$'
+//
+// Only benchmarks present in both snapshots and matching the headline
+// pattern are compared (a renamed or newly added benchmark is not a
+// regression). ns/op comparisons only make sense between runs on the
+// same machine; CI wiring should compare runner-built snapshots with a
+// generous threshold or pin the runner class.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Record mirrors rpi-benchsnap's per-benchmark layout.
+type Record struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Snapshot mirrors rpi-benchsnap's file layout.
+type Snapshot struct {
+	CPU   string   `json:"cpu,omitempty"`
+	Bench []Record `json:"benchmarks"`
+}
+
+// defaultHeadline selects the perf-claim benchmarks: the shared-context
+// pipeline, substrate construction, incremental apply, the HTTP front
+// end and the scaling rungs.
+const defaultHeadline = `^Benchmark(FullPipeline$|ContextBuild$|EngineApply/.*/incremental$|ServeHTTP/|ScaleWorld/)`
+
+func load(path string) (map[string]float64, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(s.Bench))
+	for _, r := range s.Bench {
+		out[r.Name] = r.NsPerOp
+	}
+	return out, s.CPU, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rpi-benchdiff: ")
+	base := flag.String("base", "", "baseline snapshot (committed BENCH_PRn.json)")
+	fresh := flag.String("new", "", "fresh snapshot to judge")
+	threshold := flag.Float64("threshold", 0.20, "fail when ns/op grows by more than this fraction")
+	headline := flag.String("headline", defaultHeadline, "regexp selecting the headline benchmarks")
+	flag.Parse()
+	if *base == "" || *fresh == "" {
+		log.Fatal("need -base and -new")
+	}
+	re, err := regexp.Compile(*headline)
+	if err != nil {
+		log.Fatalf("bad -headline: %v", err)
+	}
+
+	baseNs, baseCPU, err := load(*base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newNs, newCPU, err := load(*fresh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if baseCPU != "" && newCPU != "" && baseCPU != newCPU {
+		fmt.Printf("note: snapshots come from different CPUs (%q vs %q); ratios may reflect hardware, not code\n", baseCPU, newCPU)
+	}
+
+	names := make([]string, 0, len(baseNs))
+	for name := range baseNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	compared, regressions := 0, 0
+	for _, name := range names {
+		if !re.MatchString(name) {
+			continue
+		}
+		b := baseNs[name]
+		n, ok := newNs[name]
+		if !ok || b <= 0 {
+			continue
+		}
+		compared++
+		ratio := n / b
+		mark := " "
+		if ratio > 1+*threshold {
+			mark = "!"
+			regressions++
+		}
+		fmt.Printf("%s %-55s %14.0f -> %14.0f ns/op  (%.2fx)\n", mark, name, b, n, ratio)
+	}
+	if compared == 0 {
+		log.Fatal("no headline benchmarks in common; nothing compared")
+	}
+	if regressions > 0 {
+		log.Fatalf("%d of %d headline benchmarks regressed beyond %.0f%%", regressions, compared, *threshold*100)
+	}
+	fmt.Printf("ok: %d headline benchmarks within %.0f%% of %s\n", compared, *threshold*100, *base)
+}

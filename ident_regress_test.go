@@ -10,14 +10,14 @@ import (
 	"rpeer/pkg/rpi"
 )
 
-// TestReportsBitIdenticalUnderInterning pins the interned-ID columnar
-// substrate to the pre-interning behaviour: the report a worker-W
-// engine produces over a scaled world must be byte-identical on the
-// /v1 wire for every worker count, and identical again after a
-// membership delta round-trips through Apply. Combined with the
-// committed wire golden (pkg/rpi/testdata, generated before the
-// interning refactor), this pins "interning changed no verdict" at 1x
-// and extends the worker-invariance pin to the 4x world.
+// TestReportsBitIdenticalUnderInterning pins the columnar substrate's
+// determinism contract: the report a worker-W engine produces over a
+// scaled world must be byte-identical on the /v1 wire for every worker
+// count, and identical again after a membership delta round-trips
+// through Apply. Combined with the committed wire golden
+// (pkg/rpi/testdata, re-pinned once in PR 5 with the hashed-stream
+// RNG), this pins "the substrate changes no verdict" at 1x and
+// extends the worker-invariance pin to the 4x world.
 func TestReportsBitIdenticalUnderInterning(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a 4x world")

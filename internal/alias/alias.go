@@ -13,12 +13,13 @@
 package alias
 
 import (
-	"hash/fnv"
 	"math"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"rpeer/internal/netsim"
+	"rpeer/internal/rng"
 )
 
 // Mode selects the precision/coverage trade-off.
@@ -58,6 +59,13 @@ type Prober struct {
 	// NoReplyProb is the per-probe loss probability.
 	NoReplyProb float64
 	seed        int64
+
+	// usable caches the per-router counter-usability verdict (pure in
+	// (seed, router), recomputed tens of times per router by the
+	// resolver's probe rounds before the cache). Built on first probe so
+	// post-construction tuning of RandomIPIDFrac still takes effect.
+	usableOnce sync.Once
+	usable     []bool
 }
 
 // NewProber builds a prober over the world.
@@ -70,36 +78,58 @@ func NewProber(w *netsim.World, seed int64) *Prober {
 	}
 }
 
+// addrWords folds an address into two 64-bit identity words.
+func addrWords(a netip.Addr) (lo, hi uint64) {
+	if a.Is4() {
+		b := a.As4()
+		return uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3]), 4
+	}
+	b := a.As16()
+	for i := 0; i < 8; i++ {
+		lo |= uint64(b[i]) << (8 * i)
+		hi |= uint64(b[8+i]) << (8 * i)
+	}
+	return lo, hi
+}
+
 // noise derives a deterministic uniform [0,1) value for one probe event
 // from (seed, interface, time, salt).
 func (p *Prober) noise(iface netip.Addr, t float64, salt uint64) float64 {
-	h := fnv.New64a()
-	var buf [36]byte
-	b16 := iface.As16()
-	copy(buf[0:16], b16[:])
-	for i := 0; i < 8; i++ {
-		buf[16+i] = byte(uint64(p.seed) >> (8 * i))
-		buf[24+i] = byte(math.Float64bits(t) >> (8 * i))
-	}
-	buf[32] = byte(salt)
-	buf[33] = byte(salt >> 8)
-	buf[34] = byte(salt >> 16)
-	buf[35] = byte(salt >> 24)
-	_, _ = h.Write(buf[:])
-	return float64(h.Sum64()>>11) / (1 << 53)
+	lo, hi := addrWords(iface)
+	h := rng.Mix(rng.Key3(p.seed, lo, hi, math.Float64bits(t)), salt)
+	return float64(h>>11) / (1 << 53)
 }
 
 // usableCounter reports whether the router exposes a shared monotonic
 // IP-ID counter (deterministic per router and seed).
 func (p *Prober) usableCounter(r *netsim.Router) bool {
-	h := fnv.New64a()
-	var buf [16]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(uint64(r.ID) >> (8 * i))
-		buf[8+i] = byte(uint64(p.seed) >> (8 * i))
+	p.usableOnce.Do(p.buildUsable)
+	if int(r.ID) < len(p.usable) {
+		return p.usable[r.ID]
 	}
-	_, _ = h.Write(buf[:])
-	return float64(h.Sum64()%10000)/10000 >= p.RandomIPIDFrac
+	return p.usableVerdict(r.ID)
+}
+
+// buildUsable precomputes the usability column for the world's dense
+// router ID space.
+func (p *Prober) buildUsable() {
+	maxID := netsim.RouterID(-1)
+	for _, id := range p.w.RouterIDs {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	col := make([]bool, maxID+1)
+	for _, id := range p.w.RouterIDs {
+		col[id] = p.usableVerdict(id)
+	}
+	p.usable = col
+}
+
+// usableVerdict is the pure per-router verdict backing the cache.
+func (p *Prober) usableVerdict(id netsim.RouterID) bool {
+	h := rng.Key2(p.seed, uint64(id), 0x1d)
+	return float64(h%10000)/10000 >= p.RandomIPIDFrac
 }
 
 // Probe returns the IP-ID value of the interface at (virtual) time t
@@ -122,10 +152,50 @@ func (p *Prober) Probe(iface netip.Addr, t float64) (uint16, bool) {
 	return uint16(uint64(v) % 65536), true
 }
 
+// sampleSeries probes one interface across rounds, hoisting the
+// router resolution, usability verdict and address words out of the
+// per-round loop (Probe re-derives all three per call; a MIDAR series
+// touches the same interface 30 times). Identical outcomes to calling
+// Probe round by round.
+func (p *Prober) sampleSeries(iface netip.Addr, rounds int, spacing, offset float64) []sample {
+	rid, ok := p.w.RouterOf(iface)
+	if !ok {
+		return nil
+	}
+	r := p.w.Router(rid)
+	if !p.usableCounter(r) {
+		return nil // every probe replies without signal
+	}
+	lo, hi := addrWords(iface)
+	base := rng.Key2(p.seed, lo, hi)
+	out := make([]sample, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		t := float64(i)*spacing + offset
+		ht := rng.Mix(base, math.Float64bits(t))
+		if float64(rng.Mix(ht, 0x5A)>>11)/(1<<53) < p.NoReplyProb {
+			continue
+		}
+		jitter := float64(rng.Mix(ht, 0x33)>>11) / (1 << 53)
+		v := float64(r.IPIDInit) + r.IPIDRate*t + jitter*3
+		out = append(out, sample{t, uint16(uint64(v) % 65536)})
+	}
+	return out
+}
+
 // sample is one (time, unwrapped-id) observation.
 type sample struct {
 	t  float64
 	id uint16
+}
+
+// ifaceSeries is the memoized probe outcome for one interface: the
+// time-ordered sample series and its fitted counter velocity. Probing
+// is a pure function of (prober seed, interface), so one record serves
+// every Resolve call that touches the interface.
+type ifaceSeries struct {
+	samples []sample
+	vel     float64
+	velOK   bool
 }
 
 // Resolver clusters interfaces into routers.
@@ -136,25 +206,49 @@ type Resolver struct {
 	Rounds int
 	// Spacing is the inter-round spacing in seconds.
 	Spacing float64
+
+	// memo caches the per-interface series across Resolve calls. The
+	// probe schedule offsets by a hash of the address (not the position
+	// of the interface within one call's input set), so a series is a
+	// pure function of the interface and can be shared by every call.
+	memoMu sync.RWMutex
+	memo   map[netip.Addr]*ifaceSeries
 }
 
 // NewResolver returns a resolver with MIDAR-like defaults (30 rounds,
 // 10 s spacing).
 func NewResolver(p *Prober, mode Mode) *Resolver {
-	return &Resolver{Prober: p, Mode: mode, Rounds: 30, Spacing: 10}
+	return &Resolver{
+		Prober: p, Mode: mode, Rounds: 30, Spacing: 10,
+		memo: make(map[netip.Addr]*ifaceSeries),
+	}
 }
 
-// series probes one interface across all rounds, offset within the
-// round to interleave with other interfaces.
-func (r *Resolver) series(iface netip.Addr, offset float64) []sample {
-	var out []sample
-	for i := 0; i < r.Rounds; i++ {
-		t := float64(i)*r.Spacing + offset
-		if id, ok := r.Prober.Probe(iface, t); ok {
-			out = append(out, sample{t, id})
-		}
+// seriesFor returns the memoized series of one interface, probing it
+// across all rounds on first use. The round offset interleaves
+// interfaces MIDAR-style; it is derived from the address so that the
+// series does not depend on which other interfaces share the call.
+func (r *Resolver) seriesFor(iface netip.Addr) *ifaceSeries {
+	r.memoMu.RLock()
+	s, ok := r.memo[iface]
+	r.memoMu.RUnlock()
+	if ok {
+		return s
 	}
-	return out
+
+	lo, hi := addrWords(iface)
+	offset := float64(rng.Key3(r.Prober.seed, lo, hi, 0x0f)%7) * (r.Spacing / 7)
+	s = &ifaceSeries{samples: r.Prober.sampleSeries(iface, r.Rounds, r.Spacing, offset)}
+	s.vel, s.velOK = velocity(s.samples)
+
+	r.memoMu.Lock()
+	if prev, ok := r.memo[iface]; ok {
+		s = prev // concurrent duplicate computed the identical value
+	} else {
+		r.memo[iface] = s
+	}
+	r.memoMu.Unlock()
+	return s
 }
 
 // velocity estimates the counter rate (IDs per second) of a series by
@@ -164,25 +258,22 @@ func velocity(s []sample) (rate float64, ok bool) {
 		return 0, false
 	}
 	// Unwrap: assume the counter advances less than 2^16 between
-	// consecutive samples (true for MIDAR-scale spacing and rates).
-	unwrapped := make([]float64, len(s))
+	// consecutive samples (true for MIDAR-scale spacing and rates),
+	// accumulating the least-squares terms in one pass.
+	var sx, sy, sxx, sxy float64
 	offset := 0.0
-	unwrapped[0] = float64(s[0].id)
-	for i := 1; i < len(s); i++ {
-		prev := float64(s[i-1].id)
-		cur := float64(s[i].id)
-		if cur < prev {
+	prev := float64(s[0].id)
+	for i, smp := range s {
+		cur := float64(smp.id)
+		if i > 0 && cur < prev {
 			offset += 65536
 		}
-		unwrapped[i] = cur + offset
-	}
-	// Least-squares slope over time.
-	var sx, sy, sxx, sxy float64
-	for i, v := range unwrapped {
-		sx += s[i].t
+		prev = cur
+		v := cur + offset
+		sx += smp.t
 		sy += v
-		sxx += s[i].t * s[i].t
-		sxy += s[i].t * v
+		sxx += smp.t * smp.t
+		sxy += smp.t * v
 	}
 	n := float64(len(s))
 	den := n*sxx - sx*sx
@@ -194,39 +285,48 @@ func velocity(s []sample) (rate float64, ok bool) {
 
 // mbt runs the Monotonic Bounds Test on two interleaved series: merged
 // by time, the unwrapped sequence must be strictly non-decreasing and
-// consistent with a single linear counter.
-func (r *Resolver) mbt(a, b []sample) bool {
+// consistent with a single linear counter. Both series are already
+// time-ordered, so the merge is a two-pointer walk with no allocation.
+func (r *Resolver) mbt(sa, sb *ifaceSeries) bool {
+	a, b := sa.samples, sb.samples
 	if len(a) < 5 || len(b) < 5 {
 		return false
 	}
-	merged := make([]sample, 0, len(a)+len(b))
-	merged = append(merged, a...)
-	merged = append(merged, b...)
-	sort.Slice(merged, func(i, j int) bool { return merged[i].t < merged[j].t })
-
-	va, okA := velocity(a)
-	vb, okB := velocity(b)
-	if !okA || !okB {
+	if !sa.velOK || !sb.velOK {
 		return false
 	}
+	va, vb := sa.vel, sb.vel
 	// Velocities of a shared counter agree closely.
 	if math.Abs(va-vb) > 0.05*math.Max(va, vb)+2 {
 		return false
 	}
-	// Monotonicity of the merged unwrapped sequence with the common
-	// velocity: successive samples must advance by roughly rate*dt.
+	// Monotonicity of the merged sequence with the common velocity:
+	// successive samples must advance by roughly rate*dt.
 	rate := (va + vb) / 2
-	for i := 1; i < len(merged); i++ {
-		dt := merged[i].t - merged[i-1].t
-		expect := rate * dt
-		diff := float64(merged[i].id) - float64(merged[i-1].id)
-		if diff < 0 {
-			diff += 65536 // wraparound
+	i, j := 0, 0
+	var prev sample
+	for i < len(a) || j < len(b) {
+		var cur sample
+		if j >= len(b) || (i < len(a) && a[i].t <= b[j].t) {
+			cur = a[i]
+			i++
+		} else {
+			cur = b[j]
+			j++
 		}
-		// Allow generous jitter around the expected advance.
-		if math.Abs(diff-expect) > 0.35*expect+25 {
-			return false
+		if i+j > 1 {
+			dt := cur.t - prev.t
+			expect := rate * dt
+			diff := float64(cur.id) - float64(prev.id)
+			if diff < 0 {
+				diff += 65536 // wraparound
+			}
+			// Allow generous jitter around the expected advance.
+			if math.Abs(diff-expect) > 0.35*expect+25 {
+				return false
+			}
 		}
+		prev = cur
 	}
 	return true
 }
@@ -238,33 +338,37 @@ func (r *Resolver) mbt(a, b []sample) bool {
 func (r *Resolver) Resolve(ifaces []netip.Addr) [][]netip.Addr {
 	sorted := append([]netip.Addr(nil), ifaces...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
-
-	series := make(map[netip.Addr][]sample, len(sorted))
-	vel := make(map[netip.Addr]float64, len(sorted))
+	// Dedup so the union-find indexes are one-per-interface.
+	dedup := sorted[:0]
 	for i, ip := range sorted {
-		s := r.series(ip, float64(i%7)*(r.Spacing/7))
-		series[ip] = s
-		if v, ok := velocity(s); ok {
-			vel[ip] = v
+		if i == 0 || ip != sorted[i-1] {
+			dedup = append(dedup, ip)
 		}
+	}
+	sorted = dedup
+
+	series := make([]*ifaceSeries, len(sorted))
+	for i, ip := range sorted {
+		series[i] = r.seriesFor(ip)
 	}
 
-	// Union-find over alias-positive pairs.
-	parent := make(map[netip.Addr]netip.Addr, len(sorted))
-	var find func(netip.Addr) netip.Addr
-	find = func(x netip.Addr) netip.Addr {
-		p, ok := parent[x]
-		if !ok || p == x {
-			return x
-		}
-		root := find(p)
-		parent[x] = root
-		return root
+	// Union-find over alias-positive pairs, by index into sorted.
+	parent := make([]int32, len(sorted))
+	for i := range parent {
+		parent[i] = int32(i)
 	}
-	union := func(a, b netip.Addr) {
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
 		ra, rb := find(a), find(b)
 		if ra != rb {
-			if rb.Less(ra) {
+			if rb < ra {
 				ra, rb = rb, ra
 			}
 			parent[rb] = ra
@@ -272,43 +376,46 @@ func (r *Resolver) Resolve(ifaces []netip.Addr) [][]netip.Addr {
 	}
 
 	for i := 0; i < len(sorted); i++ {
+		si := series[i]
+		if !si.velOK {
+			continue
+		}
 		for j := i + 1; j < len(sorted); j++ {
-			a, b := sorted[i], sorted[j]
-			if find(a) == find(b) {
+			sj := series[j]
+			if !sj.velOK || find(int32(i)) == find(int32(j)) {
 				continue
 			}
-			va, okA := vel[a]
-			vb, okB := vel[b]
-			if !okA || !okB {
-				continue
-			}
+			va, vb := si.vel, sj.vel
 			// Cheap velocity pre-filter before the expensive MBT.
 			if math.Abs(va-vb) > 0.10*math.Max(va, vb)+5 {
 				continue
 			}
 			switch r.Mode {
 			case ModePrecision:
-				if r.mbt(series[a], series[b]) {
-					union(a, b)
+				if r.mbt(si, sj) {
+					union(int32(i), int32(j))
 				}
 			case ModeCoverage:
-				if r.mbt(series[a], series[b]) || math.Abs(va-vb) < 0.02*math.Max(va, vb)+1 {
-					union(a, b)
+				if r.mbt(si, sj) || math.Abs(va-vb) < 0.02*math.Max(va, vb)+1 {
+					union(int32(i), int32(j))
 				}
 			}
 		}
 	}
 
-	groups := make(map[netip.Addr][]netip.Addr)
-	for _, ip := range sorted {
-		root := find(ip)
+	// Emit clusters in ascending order of their smallest member (the
+	// root, since union keeps the lower index as root and indexes are
+	// address-ordered).
+	groups := make(map[int32][]netip.Addr, len(sorted))
+	var roots []int32
+	for i, ip := range sorted {
+		root := find(int32(i))
+		if _, ok := groups[root]; !ok {
+			roots = append(roots, root)
+		}
 		groups[root] = append(groups[root], ip)
 	}
-	var roots []netip.Addr
-	for root := range groups {
-		roots = append(roots, root)
-	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].Less(roots[j]) })
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
 	out := make([][]netip.Addr, 0, len(roots))
 	for _, root := range roots {
 		out = append(out, groups[root])

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
+	"slices"
 	"sort"
 	"sync"
 
 	"rpeer/internal/alias"
 	"rpeer/internal/geo"
 	"rpeer/internal/ident"
+	"rpeer/internal/ip4"
 	"rpeer/internal/netsim"
 	"rpeer/internal/pingsim"
 	"rpeer/internal/registry"
@@ -84,7 +86,6 @@ type Context struct {
 	corpus    *traix.Corpus
 	lans      *traix.LANSet
 	crossings []traix.Crossing
-	privHops  []traix.PrivateHop
 	cross     traix.CrossingTab
 	priv      traix.PrivateTab
 
@@ -210,7 +211,12 @@ func newContext(in Inputs) *Context {
 	// ---- interning phase (serial; everything after assumes a frozen
 	// ID space except where noted) ----
 	c.ixps = ixpNames(in)
-	c.ids = ident.NewTable(len(in.Dataset.IfaceASN)+len(in.Dataset.IfaceASN)/4,
+	// The interface space ultimately holds the dataset's records plus
+	// every world interface the traceroute compaction interns (private
+	// cross-connect and near-side infrastructure addresses); presizing
+	// for both keeps the intern map from rehash-growing through the
+	// compaction phase (at 64x that is ~1M late insertions).
+	c.ids = ident.NewTable(len(in.Dataset.IfaceASN)+in.World.NumIfaces()/8*9,
 		len(in.World.ASNs)+16, len(in.World.Facilities))
 	c.ids.SetIXPs(ixpUnion(in))
 	for _, name := range c.ixps {
@@ -236,12 +242,9 @@ func newContext(in Inputs) *Context {
 	}
 	// Interfaces: the merged dataset's records, ascending by address,
 	// so IfaceID order matches address order over the frozen inputs.
-	dsIfaces := make([]netip.Addr, 0, len(in.Dataset.IfaceASN))
-	for ip := range in.Dataset.IfaceASN {
-		dsIfaces = append(dsIfaces, ip)
-	}
-	sort.Slice(dsIfaces, func(i, j int) bool { return dsIfaces[i].Less(dsIfaces[j]) })
-	for _, ip := range dsIfaces {
+	// Two passes: collect-and-sort (integer-keyed for the all-IPv4
+	// common case), then fill the table in one sweep.
+	for _, ip := range sortedDatasetIfaces(in.Dataset) {
 		c.ids.AddIface(ip)
 	}
 	// Facilities: the world roster (already dense, interned for the
@@ -268,15 +271,11 @@ func newContext(in Inputs) *Context {
 		if in.Ping == nil {
 			return
 		}
-		idx := in.Ping.IfaceIndex()
-		keys := make([]netip.Addr, 0, len(idx))
-		for ip := range idx {
-			keys = append(keys, ip)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
-		for _, ip := range keys {
-			a := idx[ip]
-			id := c.ids.AddIface(ip)
+		// The campaign pre-folds its per-interface aggregates into
+		// address-ordered rows; the fold here is one linear sweep.
+		for _, row := range in.Ping.AggRows() {
+			a := row.Agg
+			id := c.ids.AddIface(row.Iface)
 			c.growColumns()
 			c.rtt[id] = a.RTTMinMs
 			c.bestVP[id] = c.vpSlotOf(a.BestVP)
@@ -296,7 +295,7 @@ func newContext(in Inputs) *Context {
 			// that Detect re-evaluates against the current dataset —
 			// both now and after every membership delta (see Apply).
 			c.corpus = traix.NewCorpus(in.Paths, c.lans, c.ipmap)
-			c.crossings, c.privHops = c.corpus.Detect(c.det)
+			c.crossings = c.corpus.DetectCrossings(c.det)
 		}
 	}()
 	go func() {
@@ -323,12 +322,44 @@ func newContext(in Inputs) *Context {
 	// (interning crossing participants), project the colocation and
 	// port tables, and index the private neighbours. ----
 	c.cross.CompactCrossings(c.crossings, c.ids)
-	c.priv.CompactPrivate(c.privHops, c.ids)
+	if c.corpus != nil {
+		c.corpus.CompactStaticInto(&c.priv, c.ids)
+	}
 	c.growColumns()
 	c.colo = registry.NewColoIndex(in.Colo, in.Dataset, c.ids)
 	c.rebuildByASPriv()
 
 	return c
+}
+
+// sortedDatasetIfaces returns the dataset's interface addresses in
+// ascending order. All-IPv4 datasets (every input this system
+// generates) sort in the integer domain — one uint32 compare per
+// element instead of a 24-byte netip compare under reflection.
+func sortedDatasetIfaces(ds *registry.Dataset) []netip.Addr {
+	u32 := make([]uint32, 0, len(ds.IfaceASN))
+	for ip := range ds.IfaceASN {
+		if !ip.Is4() {
+			return sortedDatasetIfacesGeneric(ds)
+		}
+		u32 = append(u32, ip4.U32(ip))
+	}
+	slices.Sort(u32)
+	out := make([]netip.Addr, len(u32))
+	for i, u := range u32 {
+		out[i] = ip4.Addr(u)
+	}
+	return out
+}
+
+// sortedDatasetIfacesGeneric is the mixed-family fallback.
+func sortedDatasetIfacesGeneric(ds *registry.Dataset) []netip.Addr {
+	out := make([]netip.Addr, 0, len(ds.IfaceASN))
+	for ip := range ds.IfaceASN {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
 }
 
 // ixpUnion lists every IXP name the dataset mentions — the prefix
@@ -354,14 +385,34 @@ func ixpUnion(in Inputs) []string {
 }
 
 // growColumns pads the interface-indexed columns to the current ID
-// space (NaN / -1 sentinel for unmeasured interfaces).
+// space (NaN / -1 sentinel for unmeasured interfaces), extending in
+// bulk rather than element-by-element.
 func (c *Context) growColumns() {
 	n := c.ids.NumIfaces()
-	for len(c.rtt) < n {
-		c.rtt = append(c.rtt, math.NaN())
+	if old := len(c.rtt); old < n {
+		if cap(c.rtt) < n {
+			next := make([]float64, n, n+n/8)
+			copy(next, c.rtt)
+			c.rtt = next
+		} else {
+			c.rtt = c.rtt[:n]
+		}
+		nan := math.NaN()
+		for i := old; i < n; i++ {
+			c.rtt[i] = nan
+		}
 	}
-	for len(c.bestVP) < n {
-		c.bestVP = append(c.bestVP, -1)
+	if old := len(c.bestVP); old < n {
+		if cap(c.bestVP) < n {
+			next := make([]int32, n, n+n/8)
+			copy(next, c.bestVP)
+			c.bestVP = next
+		} else {
+			c.bestVP = c.bestVP[:n]
+		}
+		for i := old; i < n; i++ {
+			c.bestVP[i] = -1
+		}
 	}
 }
 
@@ -607,21 +658,32 @@ func groupKey(m ident.MemberID, x ident.IXPID) uint64 {
 }
 
 // buildDomainLocked builds the domain and its (member, IXP) grouping;
-// the caller holds domMu.
+// the caller holds domMu. One pass over the dataset's interface
+// records groups them per roster IXP (the old per-IXP MembersOf scans
+// walked the whole record map once per exchange — O(records x IXPs));
+// the per-IXP buckets then sort by address and emit in roster-name
+// order, which is interned-IXPID order.
 func (c *Context) buildDomainLocked() {
 	if c.domBuilt {
 		return
 	}
-	seen := make(map[Key]bool)
-	for _, ixpName := range c.ixps {
-		for _, rec := range c.in.Dataset.MembersOf(ixpName) {
-			k := Key{IXP: ixpName, Iface: rec.IP}
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			c.domain = append(c.domain, c.newDomEntry(k, rec.ASN))
+	buckets := make([][]domEntry, c.ids.NumIXPs())
+	for ip, name := range c.in.Dataset.IfaceIXP {
+		id, ok := c.ids.IXP(name)
+		if !ok || !c.roster.Get(uint32(id)) {
+			continue
 		}
+		buckets[id] = append(buckets[id],
+			c.newDomEntry(Key{IXP: name, Iface: ip}, c.in.Dataset.IfaceASN[ip]))
+	}
+	n := 0
+	for _, b := range buckets {
+		n += len(b)
+	}
+	c.domain = make([]domEntry, 0, n)
+	for _, b := range buckets {
+		slices.SortFunc(b, func(x, y domEntry) int { return x.key.Iface.Compare(y.key.Iface) })
+		c.domain = append(c.domain, b...)
 	}
 	c.rebuildGroupsLocked()
 	c.domBuilt = true

@@ -9,7 +9,6 @@ import (
 	"rpeer/internal/netsim"
 	"rpeer/internal/pingsim"
 	"rpeer/internal/registry"
-	"rpeer/internal/traix"
 )
 
 // Join is one membership appearing in the registry dataset: a member
@@ -133,7 +132,13 @@ func (c *Context) Apply(d Delta) error {
 	}
 
 	// ---- registry dataset + intern table ----
+	// The detector's member-set refcounts adjust in step with the
+	// dataset records (O(churn); the old path rebuilt the detector over
+	// the whole dataset per delta).
 	for _, k := range d.Leaves {
+		if c.det != nil {
+			c.det.NoteLeave(k.IXP, ds.IfaceASN[k.Iface])
+		}
 		delete(ds.IfaceASN, k.Iface)
 		delete(ds.IfaceIXP, k.Iface)
 		if id, ok := c.ids.Iface(k.Iface); ok {
@@ -141,6 +146,9 @@ func (c *Context) Apply(d Delta) error {
 		}
 	}
 	for _, j := range d.Joins {
+		if c.det != nil {
+			c.det.NoteJoin(j.IXP, j.ASN)
+		}
 		ds.IfaceASN[j.Iface] = j.ASN
 		ds.IfaceIXP[j.Iface] = j.IXP
 		c.ids.AddIface(j.Iface) // appends or revives the tombstoned ID
@@ -170,19 +178,26 @@ func (c *Context) Apply(d Delta) error {
 
 	// ---- membership-dependent substrate ----
 	if len(d.Joins)+len(d.Leaves) > 0 {
-		// The detector's member-set cache is one cheap scan; the
-		// expensive part — walking every traceroute hop — stays inside
-		// the corpus and is not repeated.
-		c.det = traix.NewDetector(ds, c.ipmap)
+		// Only the crossing plane re-evaluates, and only where the
+		// delta can reach: candidates anchored on changed addresses
+		// re-resolve their address assignments, the rest re-check
+		// membership (rule 3) against the incrementally-maintained
+		// member sets. The private plane is fully static (see
+		// traix.Corpus) and keeps its cold-build columns.
 		if c.corpus != nil {
-			c.crossings, c.privHops = c.corpus.Detect(c.det)
+			changed := make(map[netip.Addr]bool, len(d.Joins)+len(d.Leaves))
+			for ip := range leaving {
+				changed[ip] = true
+			}
+			for _, j := range d.Joins {
+				changed[j.Iface] = true
+			}
+			c.crossings = c.corpus.DetectDelta(c.det, changed)
 		}
 		c.cross.CompactCrossings(c.crossings, c.ids)
-		c.priv.CompactPrivate(c.privHops, c.ids)
 		c.growColumns()
 		c.colo.Grow(c.ids)
 		c.growByASPriv()
-		c.rebuildByASPriv()
 		c.patchDomain(d, leaving)
 
 		// Step 4's observation and cluster memos fold crossings and
@@ -209,35 +224,48 @@ func (c *Context) Apply(d Delta) error {
 // patchDomain applies membership churn to the built domain, keeping
 // the deterministic (IXP name, interface) order a cold build would
 // produce and swapping between two retained buffers so repeated deltas
-// stop reallocating the table. An unbuilt domain needs no patching —
-// it will be built from the post-delta dataset on first use.
+// stop reallocating the table. The surviving domain is already in
+// order, so the patch is a drop-filter merged with the (small) sorted
+// join batch — O(domain + churn log churn), not a full re-sort. An
+// unbuilt domain needs no patching — it will be built from the
+// post-delta dataset on first use.
 func (c *Context) patchDomain(d Delta, leaving map[netip.Addr]bool) {
 	c.domMu.Lock()
 	defer c.domMu.Unlock()
 	if !c.domBuilt {
 		return
 	}
-	out := c.domSpare[:0]
-	if need := len(c.domain) + len(d.Joins); cap(out) < need {
-		out = make([]domEntry, 0, need+need/4)
-	}
-	for _, e := range c.domain {
-		if !leaving[e.key.Iface] {
-			out = append(out, e)
-		}
-	}
+	joins := make([]domEntry, 0, len(d.Joins))
 	for _, j := range d.Joins {
-		out = append(out, c.newDomEntry(Key{IXP: j.IXP, Iface: j.Iface}, j.ASN))
+		joins = append(joins, c.newDomEntry(Key{IXP: j.IXP, Iface: j.Iface}, j.ASN))
 	}
 	// Interned IXPID order equals name order (the IXP space is fixed
-	// and was interned sorted), so the rank sort of the pre-interning
-	// code is one integer compare.
-	sort.Slice(out, func(i, k int) bool {
-		if out[i].ixp != out[k].ixp {
-			return out[i].ixp < out[k].ixp
+	// and was interned sorted), so the rank compare of the pre-
+	// interning code is one integer compare.
+	less := func(a, b domEntry) bool {
+		if a.ixp != b.ixp {
+			return a.ixp < b.ixp
 		}
-		return out[i].key.Iface.Less(out[k].key.Iface)
-	})
+		return a.key.Iface.Less(b.key.Iface)
+	}
+	sort.Slice(joins, func(i, k int) bool { return less(joins[i], joins[k]) })
+
+	out := c.domSpare[:0]
+	if need := len(c.domain) + len(joins); cap(out) < need {
+		out = make([]domEntry, 0, need+need/4)
+	}
+	ji := 0
+	for _, e := range c.domain {
+		if leaving[e.key.Iface] {
+			continue
+		}
+		for ji < len(joins) && less(joins[ji], e) {
+			out = append(out, joins[ji])
+			ji++
+		}
+		out = append(out, e)
+	}
+	out = append(out, joins[ji:]...)
 	c.domSpare = c.domain
 	c.domain = out
 	c.rebuildGroupsLocked()

@@ -144,7 +144,6 @@ type pipeline struct {
 	traceDerived *ident.Bits
 
 	crossings []traix.Crossing
-	privHops  []traix.PrivateHop
 
 	// domFor / domInfs / domEntries bind the report produced by
 	// newDomain to its backing inference array and the context's
@@ -243,7 +242,6 @@ func (p *pipeline) bind() {
 		p.rtt, p.bestVP, p.rounds, p.traceDerived = c.rtt, c.bestVP, &c.rounds, nil
 	}
 	p.crossings = c.crossings
-	p.privHops = c.privHops
 }
 
 // rttFor reports an interface's bound RTT minimum at the address edge

@@ -65,13 +65,16 @@ func NewEnv(seed int64, opts ...rpi.Option) (*Env, error) {
 
 // NewEnvWithConfig builds the environment over an explicit world
 // configuration (the scaling suite feeds it netsim.ScaledConfig
-// presets); cfg.Seed is overridden by seed. Independent build stages
-// overlap: once the world is generated, the registry, colocation DB,
-// ping campaign (hashed-RNG parallel path), traceroute corpus and
-// validation split are produced concurrently; the engine's shared
-// context then builds its indexes in parallel. The result is identical
-// to a fully sequential build — every stage is seeded independently
-// and no stage reads another's output.
+// presets); cfg.Seed is overridden by seed. The build is a dataflow
+// DAG, not a barrier pipeline: once the world is generated, the
+// registry, colocation DB, ping campaign, traceroute corpus and
+// validation split all start concurrently, the engine (whose shared
+// context again shards its own index construction) starts as soon as
+// its four inputs — dataset, colo, campaign, corpus — are ready, and
+// the validation split (pure experiment metadata no inference stage
+// reads) only joins at the very end. The result is identical to a
+// fully sequential build — every stage draws from its own seeded
+// streams and no stage reads another's output.
 func NewEnvWithConfig(cfg netsim.Config, seed int64, opts ...rpi.Option) (*Env, error) {
 	cfg.Seed = seed
 	w, err := netsim.Generate(cfg)
@@ -80,7 +83,8 @@ func NewEnvWithConfig(cfg netsim.Config, seed int64, opts ...rpi.Option) (*Env, 
 	}
 
 	var (
-		wg    sync.WaitGroup
+		wgIn  sync.WaitGroup // the engine's input stages
+		wgVal sync.WaitGroup // validation: joins last
 		ds    *registry.Dataset
 		colo  *registry.ColoDB
 		vps   []*pingsim.VP
@@ -88,35 +92,36 @@ func NewEnvWithConfig(cfg netsim.Config, seed int64, opts ...rpi.Option) (*Env, 
 		paths []*traix.Path
 		val   *core.Validation
 	)
-	wg.Add(5)
+	wgIn.Add(4)
 	go func() {
-		defer wg.Done()
+		defer wgIn.Done()
 		ds = registry.Build(w, registry.DefaultNoise(), seed+1)
 	}()
 	go func() {
-		defer wg.Done()
+		defer wgIn.Done()
 		colo = registry.BuildColo(w, registry.DefaultColoNoise(), seed+2)
 	}()
 	go func() {
-		defer wg.Done()
+		defer wgIn.Done()
 		vps = pingsim.DeriveVPs(w, seed+3)
 		pcfg := pingsim.DefaultCampaign()
 		pcfg.Seed = seed + 4
 		ping = pingsim.RunParallel(w, vps, pcfg, 0)
 	}()
 	go func() {
-		defer wg.Done()
+		defer wgIn.Done()
 		tcfg := tracesim.DefaultConfig()
 		tcfg.Seed = seed + 5
 		paths = tracesim.Generate(w, tcfg)
 	}()
+	wgVal.Add(1)
 	go func() {
-		defer wg.Done()
+		defer wgVal.Done()
 		vcfg := core.DefaultValidationConfig()
 		vcfg.Seed = seed + 7
 		val = core.BuildValidation(w, vcfg)
 	}()
-	wg.Wait()
+	wgIn.Wait()
 
 	in := core.Inputs{
 		World: w, Dataset: ds, Colo: colo, Ping: ping, Paths: paths,
@@ -130,6 +135,7 @@ func NewEnvWithConfig(cfg netsim.Config, seed int64, opts ...rpi.Option) (*Env, 
 	if err != nil {
 		return nil, fmt.Errorf("exp: baseline: %w", err)
 	}
+	wgVal.Wait()
 
 	// The engine owns a private dataset clone; expose its view so
 	// experiment reads and applied deltas stay coherent.
@@ -191,12 +197,14 @@ type Result struct {
 	Notes      []string
 }
 
-// artefact couples one constructor with its measured serial cost on
-// the default world (rough microseconds, first touch of the shared
-// caches; see DESIGN.md section 7). Only the relative order matters:
-// AllWorkers hands expensive artefacts out first, so a straggler like
-// Table 4 (which re-runs the pipeline once per step) starts immediately
-// instead of gating the suite from the tail of the queue.
+// artefact couples one constructor with its measured warm-cache serial
+// cost on the default world (rough microseconds; re-measure with
+// TestMeasureArtefactCosts, see DESIGN.md section 7). Only the
+// relative order matters: AllWorkers hands expensive artefacts out
+// first, so the straggler — Sec 6.4, even after its PR 5 distance-
+// memoization cut it 618 -> ~59 ms; Table 4 collapsed from 2.6 s to
+// ~40 ms with the PR 4/PR 5 speedups — starts immediately instead of
+// gating the suite from the tail of the queue.
 type artefact struct {
 	fn     func(*Env) Result
 	costUs int
@@ -205,32 +213,32 @@ type artefact struct {
 // artefacts lists every artefact in paper order (the output order of
 // All and friends, regardless of the execution schedule).
 var artefacts = []artefact{
-	{Table1, 20},
-	{Table2, 1250},
-	{Fig1a, 160},
-	{Fig1b, 3800},
-	{Fig2a, 180},
-	{Fig2b, 280},
-	{Fig4, 1270},
-	{Fig5, 1140},
-	{Fig6, 550},
-	{Table4, 2626000},
-	{Fig8, 850},
-	{Table5, 2300},
-	{Fig9a, 150},
-	{Fig9b, 920},
-	{Fig9c, 490},
-	{Fig9d, 20},
-	{Fig10a, 1090},
-	{Fig10b, 3160},
-	{Fig11a, 2520},
-	{Fig11b, 1270},
-	{Fig12a, 210},
-	{Fig12b, 1120},
-	{Sec64, 608000},
-	{Sec7, 5470},
-	{Sec8, 70000},
-	{Sec8Longitudinal, 430},
+	{Table1, 8},
+	{Table2, 2812},
+	{Fig1a, 163},
+	{Fig1b, 6406},
+	{Fig2a, 107},
+	{Fig2b, 208},
+	{Fig4, 2125},
+	{Fig5, 1195},
+	{Fig6, 401},
+	{Table4, 41293},
+	{Fig8, 642},
+	{Table5, 2251},
+	{Fig9a, 32},
+	{Fig9b, 794},
+	{Fig9c, 220},
+	{Fig9d, 4},
+	{Fig10a, 377},
+	{Fig10b, 3028},
+	{Fig11a, 2159},
+	{Fig11b, 958},
+	{Fig12a, 136},
+	{Fig12b, 878},
+	{Sec64, 58610},
+	{Sec7, 5009},
+	{Sec8, 7834},
+	{Sec8Longitudinal, 326},
 }
 
 // schedule is the execution order of the worker pool: artefact indexes

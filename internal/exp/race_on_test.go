@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector instruments this
+// build (wall-clock assertions are meaningless under its
+// serialization).
+const raceEnabled = true

@@ -31,6 +31,7 @@ package ident
 import (
 	"net/netip"
 
+	"rpeer/internal/ip4"
 	"rpeer/internal/netsim"
 )
 
@@ -55,10 +56,18 @@ const NoMember = MemberID(^uint32(0))
 // Table is the interning table. It is not safe for concurrent
 // mutation; the owning core.Context serializes Apply against runs, and
 // lookups during runs are read-only.
+//
+// The interface index is split by address family: IPv4 addresses — the
+// overwhelming majority in every input this system ingests — key a
+// map[uint32]IfaceID (one integer hash per lookup instead of hashing a
+// 24-byte netip.Addr), and everything else spills into a netip.Addr
+// map. The hot loops of context construction and corpus compaction
+// run entirely on the uint32 path.
 type Table struct {
 	addrs    []netip.Addr // column: IfaceID -> address
-	ifaceIDs map[netip.Addr]IfaceID
-	dead     Bits // tombstones (departed memberships)
+	iface4   map[uint32]IfaceID
+	ifaceGen map[netip.Addr]IfaceID // non-IPv4 spill
+	dead     Bits                   // tombstones (departed memberships)
 
 	asns      []netsim.ASN // column: MemberID -> ASN
 	memberIDs map[netsim.ASN]MemberID
@@ -75,7 +84,7 @@ type Table struct {
 func NewTable(ifaceCap, memberCap, facCap int) *Table {
 	return &Table{
 		addrs:     make([]netip.Addr, 0, ifaceCap),
-		ifaceIDs:  make(map[netip.Addr]IfaceID, ifaceCap),
+		iface4:    make(map[uint32]IfaceID, ifaceCap),
 		asns:      make([]netsim.ASN, 0, memberCap),
 		memberIDs: make(map[netsim.ASN]MemberID, memberCap),
 		facs:      make([]netsim.FacilityID, 0, facCap),
@@ -90,20 +99,38 @@ func NewTable(ifaceCap, memberCap, facCap int) *Table {
 // AddIface interns an address, returning its stable ID. Re-adding a
 // known address revives its tombstoned ID (and returns it unchanged).
 func (t *Table) AddIface(a netip.Addr) IfaceID {
-	if id, ok := t.ifaceIDs[a]; ok {
+	if a.Is4() {
+		k := ip4.U32(a)
+		if id, ok := t.iface4[k]; ok {
+			t.dead.Clear(uint32(id))
+			return id
+		}
+		id := IfaceID(len(t.addrs))
+		t.addrs = append(t.addrs, a)
+		t.iface4[k] = id
+		return id
+	}
+	if id, ok := t.ifaceGen[a]; ok {
 		t.dead.Clear(uint32(id))
 		return id
 	}
+	if t.ifaceGen == nil {
+		t.ifaceGen = make(map[netip.Addr]IfaceID)
+	}
 	id := IfaceID(len(t.addrs))
 	t.addrs = append(t.addrs, a)
-	t.ifaceIDs[a] = id
+	t.ifaceGen[a] = id
 	return id
 }
 
 // Iface resolves an address to its ID (tombstoned IDs still resolve:
 // a departed interface keeps its identity).
 func (t *Table) Iface(a netip.Addr) (IfaceID, bool) {
-	id, ok := t.ifaceIDs[a]
+	if a.Is4() {
+		id, ok := t.iface4[ip4.U32(a)]
+		return id, ok
+	}
+	id, ok := t.ifaceGen[a]
 	return id, ok
 }
 

@@ -1,0 +1,21 @@
+// Package ip4 holds the one conversion the columnar substrate leans
+// on everywhere: IPv4 addresses as uint32 words. Interning tables,
+// prefix planes, stream keys and sort fast paths all move addresses
+// through this package so the byte-shift arithmetic exists exactly
+// once.
+package ip4
+
+import "net/netip"
+
+// U32 converts an IPv4 address to its integer form. The caller
+// guarantees a.Is4() (every address this repository's simulators and
+// datasets produce).
+func U32(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// Addr is the inverse of U32.
+func Addr(u uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u)})
+}

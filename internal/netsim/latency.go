@@ -1,11 +1,11 @@
 package netsim
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 
 	"rpeer/internal/geo"
+	"rpeer/internal/rng"
 )
 
 // Latency is the world's delay oracle. It produces propagation-model
@@ -36,24 +36,14 @@ func newLatency(w *World, seed int64) *Latency {
 }
 
 // pairHash derives a deterministic 64-bit value for an unordered pair
-// of path endpoints, mixed with the world seed.
+// of path endpoints, mixed with the world seed. The mix is inline
+// splitmix chaining (this runs once per simulated measurement; the
+// old fnv-over-buffer hash was a top-ten CPU line of the cold start).
 func (l *Latency) pairHash(a, b uint64) uint64 {
 	if a > b {
 		a, b = b, a
 	}
-	h := fnv.New64a()
-	var buf [24]byte
-	putU64(buf[0:], a)
-	putU64(buf[8:], b)
-	putU64(buf[16:], uint64(l.seed))
-	_, _ = h.Write(buf[:])
-	return h.Sum64()
-}
-
-func putU64(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * (7 - i)))
-	}
+	return rng.Key3(l.seed, 0x17, a, b)
 }
 
 // unit converts a hash to a float in [0, 1).

@@ -229,6 +229,9 @@ type World struct {
 	asMembers   map[ASN][]*Member
 	asPrefixes  map[ASN][]netip.Prefix
 	facByID     map[FacilityID]*Facility
+	// routerByID is the dense fast path behind Router (router IDs are
+	// assigned sequentially by the generator and loader).
+	routerByID []*Router
 
 	lat *Latency
 }
@@ -248,10 +251,20 @@ func (w *World) IXP(id IXPID) *IXP {
 func (w *World) AS(asn ASN) *AS { return w.ASes[asn] }
 
 // Router returns the router with the given id, or nil.
-func (w *World) Router(id RouterID) *Router { return w.Routers[id] }
+func (w *World) Router(id RouterID) *Router {
+	if id >= 0 && int(id) < len(w.routerByID) {
+		return w.routerByID[id]
+	}
+	return w.Routers[id]
+}
 
 // MembersOf returns the ground-truth membership list of an IXP.
 func (w *World) MembersOf(id IXPID) []*Member { return w.memberByIXP[id] }
+
+// NumIfaces returns the total number of router interface addresses in
+// the world — the capacity bound consumers interning world addresses
+// (peering-LAN and infrastructure alike) should presize for.
+func (w *World) NumIfaces() int { return len(w.ifaceOwner) }
 
 // MembershipsOf returns all IXP memberships of an AS.
 func (w *World) MembershipsOf(asn ASN) []*Member { return w.asMembers[asn] }
@@ -324,15 +337,25 @@ func CommonFacilities(a, b []FacilityID) []FacilityID {
 
 // buildIndices populates the lookup maps after generation.
 func (w *World) buildIndices() {
-	w.ifaceOwner = make(map[netip.Addr]ASN)
-	w.ifaceRouter = make(map[netip.Addr]RouterID)
-	w.memberByIXP = make(map[IXPID][]*Member)
-	w.asMembers = make(map[ASN][]*Member)
+	nIfaces := 0
+	maxRtr := RouterID(-1)
+	for _, r := range w.Routers {
+		nIfaces += len(r.Ifaces)
+		if r.ID > maxRtr {
+			maxRtr = r.ID
+		}
+	}
+	w.ifaceOwner = make(map[netip.Addr]ASN, nIfaces)
+	w.ifaceRouter = make(map[netip.Addr]RouterID, nIfaces)
+	w.memberByIXP = make(map[IXPID][]*Member, len(w.IXPs))
+	w.asMembers = make(map[ASN][]*Member, len(w.ASes))
 	w.facByID = make(map[FacilityID]*Facility, len(w.Facilities))
 	for _, f := range w.Facilities {
 		w.facByID[f.ID] = f
 	}
+	w.routerByID = make([]*Router, maxRtr+1)
 	for _, r := range w.Routers {
+		w.routerByID[r.ID] = r
 		for _, ip := range r.Ifaces {
 			w.ifaceOwner[ip] = r.Owner
 			w.ifaceRouter[ip] = r.ID

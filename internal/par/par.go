@@ -1,0 +1,53 @@
+// Package par holds the one worker-pool primitive the cold-start
+// fan-out phases share: an index-parallel loop whose tasks write only
+// to slots owned by their index, so scheduling can never affect the
+// output. netsim's world generation, tracesim's corpus generation and
+// traix's hop scan / candidate settle all ride on it.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// chunk is the number of consecutive indexes a worker claims per
+// cursor bump: large enough to amortize the atomic and keep writes
+// cache-friendly, small enough to balance skewed per-index costs.
+const chunk = 64
+
+// Do runs f(i) for every i in [0, n) across a pool of workers
+// (workers <= 1 runs inline). Every f(i) must touch only state owned
+// by index i; Do returns when all calls have completed.
+func Do(workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					f(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

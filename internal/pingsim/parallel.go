@@ -1,24 +1,33 @@
 package pingsim
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
+	"net/netip"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
+	"rpeer/internal/ip4"
 	"rpeer/internal/netsim"
+	"rpeer/internal/rng"
+)
+
+// Stream salts for the campaign's per-entity RNG streams.
+const (
+	streamRouteServer uint64 = iota + 0x50
+	streamPair
 )
 
 // RunParallel executes the campaign across a worker pool, one VP per
-// task. Every (VP, target) pair derives its own RNG from a stable hash
-// of (seed, VP id, interface), so scheduling order cannot leak into
-// the measurements: results are bit-identical for every worker count,
-// including the single-worker path Run delegates to.
+// task. Every (VP, target) pair draws from its own stream keyed by
+// (seed, VP id, interface), so scheduling order cannot leak into the
+// measurements: results are bit-identical for every worker count,
+// including the single-worker path Run delegates to. Workers keep one
+// generator and re-key it between pairs, and each VP's measurements
+// live in one slab, so the campaign allocates O(VPs), not O(pairs).
 //
-// Use workers > 1 (or 0 = GOMAXPROCS) for large worlds; the default
-// world campaign is ~3x faster on 8 cores.
+// Use workers > 1 (or 0 = GOMAXPROCS) for large worlds.
 func RunParallel(w *netsim.World, vps []*VP, cfg CampaignConfig, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -42,18 +51,22 @@ func RunParallel(w *netsim.World, vps []*VP, cfg CampaignConfig, workers int) *R
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			src := &rng.Source{}
+			r := rand.New(src)
 			for vp := range tasks {
-				rng := pairRand(cfg.Seed, vp.ID, 0, 0)
-				rsRTT := routeServerRTT(w, vp, rng)
+				src.SetKey(rng.Key3(cfg.Seed, streamRouteServer, uint64(vp.ID), 0))
+				rsRTT := routeServerRTT(w, vp, r)
 				usable := !vp.dead && !math.IsNaN(rsRTT) && rsRTT < 1.0
 
 				members := w.MembersOf(vp.IXP)
-				ms := make([]*Measurement, 0, len(members))
-				for _, mem := range members {
-					prng := pairRandAddr(cfg.Seed, vp.ID, mem.Iface)
-					ms = append(ms, pingTarget(w, vp, mem, cfg, prng))
+				slab := make([]Measurement, len(members))
+				ms := make([]*Measurement, len(members))
+				for i, mem := range members {
+					src.SetKey(pairKey(cfg.Seed, vp.ID, mem.Iface))
+					pingTarget(&slab[i], w, vp, mem, cfg, r)
+					ms[i] = &slab[i]
 				}
-				sort.Slice(ms, func(i, j int) bool { return ms[i].Iface.Less(ms[j].Iface) })
+				slices.SortFunc(ms, func(a, b *Measurement) int { return a.Iface.Compare(b.Iface) })
 				outs <- vpOut{vp: vp, rsRTT: rsRTT, ms: ms, usable: usable}
 			}
 		}()
@@ -75,32 +88,17 @@ func RunParallel(w *netsim.World, vps []*VP, cfg CampaignConfig, workers int) *R
 		}
 	}
 	// Deterministic order regardless of completion order.
-	sort.Slice(res.UsableVPs, func(i, j int) bool { return res.UsableVPs[i].ID < res.UsableVPs[j].ID })
+	slices.SortFunc(res.UsableVPs, func(a, b *VP) int { return a.ID - b.ID })
+	// Fold the per-interface aggregates eagerly: the campaign is the
+	// stage that runs on the worker pool, so downstream consumers
+	// (core's context build) read finished columns instead of paying
+	// the fold serially.
+	res.IfaceIndex()
+	res.AggRows()
 	return res
 }
 
-// pairRand derives a deterministic RNG for a (seed, vp, lo, hi) tuple.
-func pairRand(seed int64, vpID int, lo, hi uint64) *rand.Rand {
-	h := fnv.New64a()
-	var buf [32]byte
-	put64(buf[0:], uint64(seed))
-	put64(buf[8:], uint64(vpID))
-	put64(buf[16:], lo)
-	put64(buf[24:], hi)
-	_, _ = h.Write(buf[:])
-	return rand.New(rand.NewSource(int64(h.Sum64())))
-}
-
-// pairRandAddr derives a deterministic RNG for a (seed, vp, address)
-// tuple.
-func pairRandAddr(seed int64, vpID int, ip interface{ As4() [4]byte }) *rand.Rand {
-	b := ip.As4()
-	lo := uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
-	return pairRand(seed, vpID, lo, 0x9e3779b97f4a7c15)
-}
-
-func put64(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
-	}
+// pairKey derives the stream key for one (seed, vp, target) pair.
+func pairKey(seed int64, vpID int, ip netip.Addr) uint64 {
+	return rng.Key3(seed, streamPair, uint64(vpID), uint64(ip4.U32(ip)))
 }

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
+	"sort"
 	"sync"
 
 	"rpeer/internal/geo"
@@ -199,6 +200,34 @@ type Result struct {
 
 	idxOnce sync.Once
 	idx     map[netip.Addr]*IfaceAgg
+
+	rowsOnce sync.Once
+	rows     []AggRow
+}
+
+// AggRow is one interface's campaign aggregate in the address-ordered
+// columnar view (see AggRows).
+type AggRow struct {
+	Iface netip.Addr
+	Agg   *IfaceAgg
+}
+
+// AggRows returns the per-interface aggregates as rows sorted
+// ascending by address — the form bulk consumers (core's context
+// build) ingest without re-sorting map keys. Built once per Result;
+// the campaign builds it eagerly so the cost lands in the campaign
+// stage, not in the consumer.
+func (r *Result) AggRows() []AggRow {
+	r.rowsOnce.Do(func() {
+		idx := r.IfaceIndex()
+		rows := make([]AggRow, 0, len(idx))
+		for ip, a := range idx {
+			rows = append(rows, AggRow{Iface: ip, Agg: a})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Iface.Less(rows[j].Iface) })
+		r.rows = rows
+	})
+	return r.rows
 }
 
 // IfaceAgg is the campaign aggregate for one member interface across
@@ -342,18 +371,20 @@ func routeServerRTT(w *netsim.World, vp *VP, rng *rand.Rand) float64 {
 	return base
 }
 
-// pingTarget runs the per-pair sample loop with reply-TTL modelling.
-func pingTarget(w *netsim.World, vp *VP, mem *netsim.Member, cfg CampaignConfig, rng *rand.Rand) *Measurement {
-	m := &Measurement{VP: vp, Iface: mem.Iface, ASN: mem.ASN, RTTMinMs: math.NaN()}
+// pingTarget runs the per-pair sample loop with reply-TTL modelling,
+// filling the caller-owned measurement in place (campaign measurements
+// live in per-VP slabs).
+func pingTarget(m *Measurement, w *netsim.World, vp *VP, mem *netsim.Member, cfg CampaignConfig, rng *rand.Rand) {
+	*m = Measurement{VP: vp, Iface: mem.Iface, ASN: mem.ASN, RTTMinMs: math.NaN()}
 	if vp.dead {
-		return m
+		return
 	}
 	respond := cfg.TargetResponseLG
 	if vp.Kind == KindAtlas {
 		respond = cfg.TargetResponseAtlas
 	}
 	if rng.Float64() >= respond {
-		return m // interface filters this VP's pings entirely
+		return // interface filters this VP's pings entirely
 	}
 
 	r := w.Router(mem.Router)
@@ -417,7 +448,6 @@ func pingTarget(w *netsim.World, vp *VP, mem *netsim.Member, cfg CampaignConfig,
 		}
 	}
 	m.RTTMinMs = min
-	return m
 }
 
 // MinRTTByIface folds a campaign result into the per-interface RTTmin

@@ -4,19 +4,19 @@ import (
 	"net/netip"
 	"sort"
 
+	"rpeer/internal/ip4"
 	"rpeer/internal/netsim"
 )
 
 // IPMap performs longest-prefix IP-to-AS mapping, the analogue of the
 // CAIDA Routeviews prefix2as dataset the paper uses for traceroute
-// interpretation (Section 5.2, Step 5).
+// interpretation (Section 5.2, Step 5). Entries are columnar over the
+// IPv4 integer domain: a lookup is one binary search over a []uint32
+// with no netip comparisons on the hot path.
 type IPMap struct {
-	entries []ipMapEntry
-}
-
-type ipMapEntry struct {
-	prefix netip.Prefix
-	asn    netsim.ASN
+	base []uint32 // masked prefix base addresses, ascending
+	last []uint32 // inclusive last address per prefix
+	asn  []netsim.ASN
 }
 
 // BuildIPMap compiles the map from the world's per-AS infrastructure
@@ -26,34 +26,50 @@ func BuildIPMap(w *netsim.World) *IPMap {
 	m := &IPMap{}
 	for _, asn := range w.ASNs {
 		for _, p := range w.ASPrefixes(asn) {
-			m.entries = append(m.entries, ipMapEntry{p, asn})
+			base := ip4.U32(p.Masked().Addr())
+			size := uint32(1) << (32 - p.Bits())
+			m.base = append(m.base, base)
+			m.last = append(m.last, base+size-1)
+			m.asn = append(m.asn, asn)
 		}
 	}
-	sort.Slice(m.entries, func(i, j int) bool {
-		a, b := m.entries[i].prefix, m.entries[j].prefix
-		if a.Addr() != b.Addr() {
-			return a.Addr().Less(b.Addr())
-		}
-		return a.Bits() < b.Bits()
-	})
+	order := make([]int, len(m.base))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return m.base[order[i]] < m.base[order[j]] })
+	base := make([]uint32, len(order))
+	last := make([]uint32, len(order))
+	asns := make([]netsim.ASN, len(order))
+	for i, o := range order {
+		base[i], last[i], asns[i] = m.base[o], m.last[o], m.asn[o]
+	}
+	m.base, m.last, m.asn = base, last, asns
 	return m
 }
 
 // ASOf returns the AS originating the longest matching prefix for ip.
 func (m *IPMap) ASOf(ip netip.Addr) (netsim.ASN, bool) {
-	// The world's infrastructure prefixes never overlap, so the first
-	// containing prefix is the answer. Binary search for the last entry
-	// whose base address is <= ip, then check containment.
-	i := sort.Search(len(m.entries), func(i int) bool {
-		return ip.Less(m.entries[i].prefix.Addr())
-	})
-	for j := i - 1; j >= 0 && j >= i-2; j-- {
-		if m.entries[j].prefix.Contains(ip) {
-			return m.entries[j].asn, true
+	if !ip.Is4() {
+		return 0, false
+	}
+	u := ip4.U32(ip)
+	// The world's infrastructure prefixes never overlap, so the last
+	// entry whose base is <= u decides.
+	lo, hi := 0, len(m.base)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.base[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo > 0 && u <= m.last[lo-1] {
+		return m.asn[lo-1], true
 	}
 	return 0, false
 }
 
 // Len returns the number of mapped prefixes.
-func (m *IPMap) Len() int { return len(m.entries) }
+func (m *IPMap) Len() int { return len(m.base) }

@@ -13,9 +13,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"sort"
+	"sync"
 
 	"rpeer/internal/netsim"
+	"rpeer/internal/rng"
 )
 
 // Source identifies an IXP data source.
@@ -131,50 +134,56 @@ func DefaultNoise() NoiseConfig {
 // seeded generator.
 func BuildSnapshot(w *netsim.World, src Source, n NoiseConfig, rng *rand.Rand) *Snapshot {
 	s := &Snapshot{Source: src, MinPortMbps: make(map[string]int)}
+	for _, ix := range w.IXPs {
+		snapshotIXP(s, w, ix, src, n, rng)
+	}
+	return s
+}
+
+// snapshotIXP projects one IXP into a source snapshot, drawing from
+// rng. The per-IXP record order is the ground-truth membership order.
+func snapshotIXP(s *Snapshot, w *netsim.World, ix *netsim.IXP, src Source, n NoiseConfig, rng *rand.Rand) {
 	cov := n.Coverage[src]
 	wrong := n.WrongASN[src]
 	portCov := n.PortCoverage[src]
 	stale := n.StalePort[src]
 
-	for _, ix := range w.IXPs {
-		published := true
-		if src == SrcWebsite {
-			published = ix.ID < 10 || rng.Float64() < n.WebsiteIXPFrac
-		}
-		if !published {
+	published := true
+	if src == SrcWebsite {
+		published = ix.ID < 10 || rng.Float64() < n.WebsiteIXPFrac
+	}
+	if !published {
+		return
+	}
+	if rng.Float64() < cov {
+		s.Prefixes = append(s.Prefixes, PrefixRecord{Prefix: ix.PeeringLAN, IXP: ix.Name})
+	}
+	if src == SrcWebsite {
+		s.MinPortMbps[ix.Name] = ix.MinPortMbps
+	}
+	for _, m := range w.MembersOf(ix.ID) {
+		if rng.Float64() >= cov {
 			continue
 		}
-		if rng.Float64() < cov {
-			s.Prefixes = append(s.Prefixes, PrefixRecord{Prefix: ix.PeeringLAN, IXP: ix.Name})
+		asn := m.ASN
+		if rng.Float64() < wrong {
+			// Conflicting entry: attribute the interface to a random
+			// other member of the same IXP (the typical real-world
+			// artefact: stale reassignment).
+			others := w.MembersOf(ix.ID)
+			asn = others[rng.Intn(len(others))].ASN
 		}
-		if src == SrcWebsite {
-			s.MinPortMbps[ix.Name] = ix.MinPortMbps
-		}
-		for _, m := range w.MembersOf(ix.ID) {
-			if rng.Float64() >= cov {
-				continue
+		s.Interfaces = append(s.Interfaces, InterfaceRecord{IP: m.Iface, ASN: asn, IXP: ix.Name})
+		if portCov > 0 && rng.Float64() < portCov {
+			p := m.PortMbps
+			if rng.Float64() < stale {
+				// Stale record: report the IXP's base physical port
+				// instead of the member's true capacity.
+				p = ix.MinPortMbps
 			}
-			asn := m.ASN
-			if rng.Float64() < wrong {
-				// Conflicting entry: attribute the interface to a random
-				// other member of the same IXP (the typical real-world
-				// artefact: stale reassignment).
-				others := w.MembersOf(ix.ID)
-				asn = others[rng.Intn(len(others))].ASN
-			}
-			s.Interfaces = append(s.Interfaces, InterfaceRecord{IP: m.Iface, ASN: asn, IXP: ix.Name})
-			if portCov > 0 && rng.Float64() < portCov {
-				p := m.PortMbps
-				if rng.Float64() < stale {
-					// Stale record: report the IXP's base physical port
-					// instead of the member's true capacity.
-					p = ix.MinPortMbps
-				}
-				s.Ports = append(s.Ports, PortRecord{IXP: ix.Name, ASN: m.ASN, PortMbps: p})
-			}
+			s.Ports = append(s.Ports, PortRecord{IXP: ix.Name, ASN: m.ASN, PortMbps: p})
 		}
 	}
-	return s
 }
 
 // SourceStats summarises one source's contribution to the merged
@@ -226,6 +235,20 @@ func Merge(snaps []*Snapshot) *Dataset {
 	}
 	ordered := append([]*Snapshot(nil), snaps...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Source < ordered[j].Source })
+
+	// Presize the merged maps to the largest single source: lower-
+	// preference sources mostly re-cover the same records, so the
+	// largest contributor approximates the final cardinality.
+	maxIfaces, maxPrefixes, maxPorts := 0, 0, 0
+	for _, s := range ordered {
+		maxIfaces = max(maxIfaces, len(s.Interfaces))
+		maxPrefixes = max(maxPrefixes, len(s.Prefixes))
+		maxPorts = max(maxPorts, len(s.Ports))
+	}
+	d.PrefixIXP = make(map[netip.Prefix]string, maxPrefixes)
+	d.IfaceASN = make(map[netip.Addr]netsim.ASN, maxIfaces)
+	d.IfaceIXP = make(map[netip.Addr]string, maxIfaces)
+	d.Ports = make(map[PortKey]int, maxPorts)
 
 	for _, s := range ordered {
 		st := SourceStats{Source: s.Source}
@@ -322,13 +345,85 @@ func (d *Dataset) MembersOf(ixp string) []InterfaceRecord {
 	return out
 }
 
+// streamSnapshot salts the per-(source, IXP) RNG streams of Build.
+const streamSnapshot uint64 = 0x40
+
 // Build generates all four source snapshots from the world and merges
 // them. It is the one-call entry point used by the experiments.
+// Snapshot synthesis fans out over (source, IXP) tasks, each drawing
+// from a stream keyed by (seed, source, IXP), so the dataset is
+// bit-identical for every worker count.
 func Build(w *netsim.World, n NoiseConfig, seed int64) *Dataset {
-	rng := rand.New(rand.NewSource(seed))
-	var snaps []*Snapshot
+	return BuildWorkers(w, n, seed, 0)
+}
+
+// BuildWorkers is Build with an explicit worker count (<= 0 uses
+// GOMAXPROCS).
+func BuildWorkers(w *netsim.World, n NoiseConfig, seed int64, workers int) *Dataset {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nIXPs := len(w.IXPs)
+	// One fragment snapshot per (source, IXP) task; assembled in
+	// (source, IXP rank) order afterwards.
+	frags := make([]*Snapshot, int(numSources)*nIXPs)
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	nw := workers
+	if nw > len(frags) {
+		nw = len(frags)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := &rng.Source{}
+			r := rand.New(src)
+			for ti := range tasks {
+				s := Source(ti / nIXPs)
+				ix := w.IXPs[ti%nIXPs]
+				src.SetKey(rng.Key3(seed, streamSnapshot, uint64(s), uint64(ix.ID)))
+				f := &Snapshot{Source: s, MinPortMbps: make(map[string]int, 1)}
+				snapshotIXP(f, w, ix, s, n, r)
+				frags[ti] = f
+			}
+		}()
+	}
+	for ti := range frags {
+		tasks <- ti
+	}
+	close(tasks)
+	wg.Wait()
+
+	snaps := make([]*Snapshot, 0, numSources)
 	for s := SrcWebsite; s < numSources; s++ {
-		snaps = append(snaps, BuildSnapshot(w, s, n, rng))
+		nPre, nIf, nPort := 0, 0, 0
+		for rank := 0; rank < nIXPs; rank++ {
+			f := frags[int(s)*nIXPs+rank]
+			nPre += len(f.Prefixes)
+			nIf += len(f.Interfaces)
+			nPort += len(f.Ports)
+		}
+		snap := &Snapshot{
+			Source:      s,
+			Prefixes:    make([]PrefixRecord, 0, nPre),
+			Interfaces:  make([]InterfaceRecord, 0, nIf),
+			Ports:       make([]PortRecord, 0, nPort),
+			MinPortMbps: make(map[string]int, nIXPs),
+		}
+		for rank := 0; rank < nIXPs; rank++ {
+			f := frags[int(s)*nIXPs+rank]
+			snap.Prefixes = append(snap.Prefixes, f.Prefixes...)
+			snap.Interfaces = append(snap.Interfaces, f.Interfaces...)
+			snap.Ports = append(snap.Ports, f.Ports...)
+			for name, min := range f.MinPortMbps {
+				snap.MinPortMbps[name] = min
+			}
+		}
+		snaps = append(snaps, snap)
 	}
 	return Merge(snaps)
 }

@@ -111,15 +111,44 @@ func Analyze(w *netsim.World, flagship netsim.IXPID, remoteASNs []netsim.ASN, cf
 		}
 		ixpsOf[asn] = set
 	}
+	// Facility locations per IXP, resolved once — the pair loop used to
+	// re-assemble this slice (one allocation plus a haversine per
+	// facility) for every candidate exchange of every pair, which made
+	// this artefact the whole experiment suite's straggler.
+	facLocs := make([][]geo.Point, len(w.IXPs))
+	for _, ix := range w.IXPs {
+		facLocs[ix.ID] = w.FacilityLocs(ix.ID)
+	}
 
 	sortedMembers := append([]*netsim.Member(nil), members...)
 	sort.Slice(sortedMembers, func(i, j int) bool { return sortedMembers[i].ASN < sortedMembers[j].ASN })
 
+	// distTo caches the remote member's distance to each IXP (-1 =
+	// not yet computed); it only depends on the member's router, so one
+	// fill serves all of the member's pairs.
+	distTo := make([]float64, len(w.IXPs))
 	for _, mr := range sortedMembers {
 		if !remoteSet[mr.ASN] {
 			continue
 		}
 		rLoc := w.Router(mr.Router).Loc
+		for i := range distTo {
+			distTo[i] = -1
+		}
+		dist := func(ix netsim.IXPID) float64 {
+			if d := distTo[ix]; d >= 0 {
+				return d
+			}
+			best := math.Inf(1)
+			for _, p := range facLocs[ix] {
+				if d := geo.DistanceKm(rLoc, p); d < best {
+					best = d
+				}
+			}
+			distTo[ix] = best
+			return best
+		}
+		flagD := dist(flagship)
 		for _, mx := range sortedMembers {
 			if mx.ASN == mr.ASN {
 				continue
@@ -128,11 +157,20 @@ func Analyze(w *netsim.World, flagship netsim.IXPID, remoteASNs []netsim.ASN, cf
 				return finish(a)
 			}
 			// Closest other common IXP (besides the flagship).
-			other, otherD, ok := closestCommonIXP(w, ixpsOf, mr.ASN, mx.ASN, flagship, rLoc)
-			if !ok {
+			other := netsim.IXPID(-1)
+			otherD := math.Inf(1)
+			bSet := ixpsOf[mx.ASN]
+			for ix := range ixpsOf[mr.ASN] {
+				if ix == flagship || !bSet[ix] {
+					continue
+				}
+				if d := dist(ix); d < otherD {
+					other, otherD = ix, d
+				}
+			}
+			if other < 0 {
 				continue
 			}
-			flagD := distToIXP(w, flagship, rLoc)
 			closest, closestD := flagship, flagD
 			if otherD < flagD {
 				closest, closestD = other, otherD
@@ -186,31 +224,4 @@ func finish(a *Analysis) *Analysis {
 		}
 	}
 	return a
-}
-
-// closestCommonIXP finds the common IXP (excluding the flagship) whose
-// nearest facility is closest to the member location.
-func closestCommonIXP(w *netsim.World, ixpsOf map[netsim.ASN]map[netsim.IXPID]bool, a, b netsim.ASN, flagship netsim.IXPID, loc geo.Point) (netsim.IXPID, float64, bool) {
-	best := netsim.IXPID(-1)
-	bestD := math.Inf(1)
-	for ix := range ixpsOf[a] {
-		if ix == flagship || !ixpsOf[b][ix] {
-			continue
-		}
-		if d := distToIXP(w, ix, loc); d < bestD {
-			best, bestD = ix, d
-		}
-	}
-	return best, bestD, best >= 0
-}
-
-// distToIXP is the distance from loc to the IXP's nearest facility.
-func distToIXP(w *netsim.World, ix netsim.IXPID, loc geo.Point) float64 {
-	best := math.Inf(1)
-	for _, p := range w.FacilityLocs(ix) {
-		if d := geo.DistanceKm(loc, p); d < best {
-			best = d
-		}
-	}
-	return best
 }

@@ -9,9 +9,12 @@ package tracesim
 import (
 	"math/rand"
 	"net/netip"
+	"runtime"
 
 	"rpeer/internal/geo"
 	"rpeer/internal/netsim"
+	"rpeer/internal/par"
+	"rpeer/internal/rng"
 	"rpeer/internal/traix"
 )
 
@@ -41,45 +44,101 @@ func DefaultConfig() Config {
 	}
 }
 
+// Stream salts for the corpus's per-entity RNG streams.
+const (
+	streamCrossing uint64 = iota + 0x60
+	streamPrivate
+)
+
 // Generate builds the corpus. The output is deterministic for a given
-// world and config.
+// world and config, regardless of worker count.
 func Generate(w *netsim.World, cfg Config) []*traix.Path {
-	g := &pathGen{w: w, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
-	var paths []*traix.Path
+	return GenerateWorkers(w, cfg, 0)
+}
+
+// GenerateWorkers is Generate with an explicit worker count for the
+// fan-out (workers <= 0 uses GOMAXPROCS). Crossing paths are planned
+// one IXP per task and private-link paths one link chunk per task;
+// every membership and link draws from its own stream keyed by (seed,
+// entity), so the corpus is bit-identical for every worker count. The
+// batches concatenate in (IXP rank, membership, path) then (link,
+// direction) order — the order the serial generator produced.
+func GenerateWorkers(w *netsim.World, cfg Config, workers int) []*traix.Path {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	// Crossing paths: each membership acts as the near member entering
 	// its IXP towards randomly chosen far members.
-	for _, ix := range w.IXPs {
+	ixpBatches := make([][]*traix.Path, len(w.IXPs))
+	par.Do(workers, len(w.IXPs), func(rank int) {
+		ix := w.IXPs[rank]
 		members := w.MembersOf(ix.ID)
 		if len(members) < 2 {
-			continue
+			return
 		}
-		for _, near := range members {
+		g := &pathGen{w: w, cfg: cfg}
+		g.src = &rng.Source{}
+		g.r = rand.New(g.src)
+		batch := make([]*traix.Path, 0, len(members)*cfg.PathsPerMembership)
+		for mi, near := range members {
+			g.src.SetKey(rng.Key3(cfg.Seed, streamCrossing, uint64(rank), uint64(mi)))
 			for k := 0; k < cfg.PathsPerMembership; k++ {
-				far := members[g.rng.Intn(len(members))]
+				far := members[g.r.Intn(len(members))]
 				if far == near {
 					continue
 				}
 				if p := g.crossingPath(near, far); p != nil {
-					paths = append(paths, p)
+					batch = append(batch, p)
 				}
 			}
 		}
-	}
+		ixpBatches[rank] = batch
+	})
 
-	// Private-interconnect paths, both directions.
-	for i := range w.Private {
-		pl := &w.Private[i]
-		if g.rng.Float64() < cfg.PrivatePathProb {
-			if p := g.privatePath(pl, false); p != nil {
-				paths = append(paths, p)
+	// Private-interconnect paths, both directions, one stream per link.
+	const linkChunk = 512
+	nChunks := (len(w.Private) + linkChunk - 1) / linkChunk
+	privBatches := make([][]*traix.Path, nChunks)
+	par.Do(workers, nChunks, func(ci int) {
+		lo, hi := ci*linkChunk, (ci+1)*linkChunk
+		if hi > len(w.Private) {
+			hi = len(w.Private)
+		}
+		g := &pathGen{w: w, cfg: cfg}
+		g.src = &rng.Source{}
+		g.r = rand.New(g.src)
+		var batch []*traix.Path
+		for i := lo; i < hi; i++ {
+			pl := &w.Private[i]
+			g.src.SetKey(rng.Key2(cfg.Seed, streamPrivate, uint64(i)))
+			if g.r.Float64() < cfg.PrivatePathProb {
+				if p := g.privatePath(pl, false); p != nil {
+					batch = append(batch, p)
+				}
+			}
+			if g.r.Float64() < cfg.PrivatePathProb {
+				if p := g.privatePath(pl, true); p != nil {
+					batch = append(batch, p)
+				}
 			}
 		}
-		if g.rng.Float64() < cfg.PrivatePathProb {
-			if p := g.privatePath(pl, true); p != nil {
-				paths = append(paths, p)
-			}
-		}
+		privBatches[ci] = batch
+	})
+
+	total := 0
+	for _, b := range ixpBatches {
+		total += len(b)
+	}
+	for _, b := range privBatches {
+		total += len(b)
+	}
+	paths := make([]*traix.Path, 0, total)
+	for _, b := range ixpBatches {
+		paths = append(paths, b...)
+	}
+	for _, b := range privBatches {
+		paths = append(paths, b...)
 	}
 	return paths
 }
@@ -87,12 +146,13 @@ func Generate(w *netsim.World, cfg Config) []*traix.Path {
 type pathGen struct {
 	w   *netsim.World
 	cfg Config
-	rng *rand.Rand
+	src *rng.Source
+	r   *rand.Rand
 }
 
 // probeLoc picks a random probe location (anywhere in the world).
 func (g *pathGen) probeLoc() geo.Point {
-	c := g.w.Cities[g.rng.Intn(len(g.w.Cities))]
+	c := g.w.Cities[g.r.Intn(len(g.w.Cities))]
 	return c.Loc
 }
 
@@ -109,7 +169,7 @@ func (g *pathGen) synthIP(asn netsim.ASN) (netip.Addr, bool) {
 	// Last /24 of the prefix, random final octet >= 1.
 	size := uint32(1) << (32 - p.Bits())
 	base := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
-	off := size - 256 + uint32(1+g.rng.Intn(250))
+	off := size - 256 + uint32(1+g.r.Intn(250))
 	u := base + off
 	return netip.AddrFrom4([4]byte{byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u)}), true
 }
@@ -118,7 +178,7 @@ func (g *pathGen) synthIP(asn netsim.ASN) (netip.Addr, bool) {
 // noise than pings: traceroute samples once).
 func (g *pathGen) hopRTT(src geo.Point, srcKey uint64, r *netsim.Router) float64 {
 	base := g.w.Latency().PointToRouterRTT(src, srcKey, r)
-	return g.w.Latency().Sample(g.rng, base) + g.rng.ExpFloat64()*0.5
+	return g.w.Latency().Sample(g.r, base) + g.r.ExpFloat64()*0.5
 }
 
 // nextHopRTT extends a path to the next router: hop RTTs accumulate
@@ -128,11 +188,11 @@ func (g *pathGen) hopRTT(src geo.Point, srcKey uint64, r *netsim.Router) float64
 // estimates — the "Beyond Pings" idea of the paper's Section 8.
 func (g *pathGen) nextHopRTT(prevRTT float64, prev, cur *netsim.Router) float64 {
 	seg := g.w.Latency().RouterRTT(prev, cur)
-	return prevRTT + g.w.Latency().Sample(g.rng, seg) + g.rng.ExpFloat64()*0.4
+	return prevRTT + g.w.Latency().Sample(g.r, seg) + g.r.ExpFloat64()*0.4
 }
 
 func (g *pathGen) star(h traix.Hop) traix.Hop {
-	if g.rng.Float64() < g.cfg.StarProb {
+	if g.r.Float64() < g.cfg.StarProb {
 		return traix.Hop{}
 	}
 	return h
@@ -152,12 +212,12 @@ func (g *pathGen) crossingPath(near, far *netsim.Member) *traix.Path {
 		return nil
 	}
 	src := g.probeLoc()
-	srcKey := uint64(g.rng.Int63()) | 1<<58
+	srcKey := uint64(g.r.Int63()) | 1<<58
 
-	var hops []traix.Hop
-	if g.rng.Float64() < g.cfg.LeadInProb {
+	hops := make([]traix.Hop, 0, 4)
+	if g.r.Float64() < g.cfg.LeadInProb {
 		if tip, ok := g.leadInHop(near.ASN); ok {
-			hops = append(hops, g.star(traix.Hop{IP: tip, RTTMs: g.rng.Float64() * 20}))
+			hops = append(hops, g.star(traix.Hop{IP: tip, RTTMs: g.r.Float64() * 20}))
 		}
 	}
 	// Near member's router: replies with its infrastructure interface.
@@ -182,7 +242,7 @@ func (g *pathGen) leadInHop(asn netsim.ASN) (netip.Addr, bool) {
 	if as == nil || len(as.Providers) == 0 {
 		return netip.Addr{}, false
 	}
-	p := as.Providers[g.rng.Intn(len(as.Providers))]
+	p := as.Providers[g.r.Intn(len(as.Providers))]
 	return g.synthIP(p)
 }
 
@@ -204,15 +264,15 @@ func (g *pathGen) privatePath(pl *netsim.PrivateLink, reverse bool) *traix.Path 
 		return nil
 	}
 	src := g.probeLoc()
-	srcKey := uint64(g.rng.Int63()) | 1<<57
+	srcKey := uint64(g.r.Int63()) | 1<<57
 
 	aRTT := g.hopRTT(src, srcKey, ra)
 	bRTT := g.nextHopRTT(aRTT, ra, rb)
-	hops := []traix.Hop{
-		// The near router replies with its side of the cross-connect.
-		{IP: aIface, RTTMs: aRTT},
-		{IP: bIface, RTTMs: bRTT},
-	}
+	hops := make([]traix.Hop, 0, 3)
+	// The near router replies with its side of the cross-connect.
+	hops = append(hops,
+		traix.Hop{IP: aIface, RTTMs: aRTT},
+		traix.Hop{IP: bIface, RTTMs: bRTT})
 	hops = append(hops, g.star(traix.Hop{IP: dst, RTTMs: bRTT + 0.2}))
 	return &traix.Path{Dst: dst, Hops: hops}
 }
@@ -222,18 +282,18 @@ func (g *pathGen) privatePath(pl *netsim.PrivateLink, reverse bool) *traix.Path 
 // reproducing the Fig 12b comparison (traceroute-derived RTTs carry
 // more noise than the ping campaign minimums).
 func FromVP(w *netsim.World, ixp netsim.IXPID, vpLoc geo.Point, seed int64) map[netip.Addr]float64 {
-	rng := rand.New(rand.NewSource(seed))
+	r := rand.New(rng.NewSource(rng.Key(seed, 0x66)))
 	out := make(map[netip.Addr]float64)
 	vpKey := uint64(seed)<<32 | 1<<56
 	for _, m := range w.MembersOf(ixp) {
-		r := w.Router(m.Router)
-		if r == nil {
+		rt := w.Router(m.Router)
+		if rt == nil {
 			continue
 		}
-		base := w.Latency().PointToRouterRTT(vpLoc, vpKey, r)
+		base := w.Latency().PointToRouterRTT(vpLoc, vpKey, rt)
 		// One-shot sample + traceroute artefacts (load balancing,
 		// reverse-path asymmetry).
-		rtt := w.Latency().Sample(rng, base) + rng.ExpFloat64()*0.8
+		rtt := w.Latency().Sample(r, base) + r.ExpFloat64()*0.8
 		out[m.Iface] = rtt
 	}
 	return out

@@ -33,6 +33,11 @@ func (t *CrossingTab) Len() int { return len(t.IXP) }
 // (Apply re-detects after every membership delta; the columns must not
 // be reallocated from zero each time). Rows keep detection order.
 func (t *CrossingTab) CompactCrossings(cs []Crossing, tab *ident.Table) {
+	if cap(t.IXP) < len(cs) {
+		t.IXP = make([]ident.IXPID, 0, len(cs))
+		t.Near = make([]ident.IfaceID, 0, len(cs))
+		t.NearAS = make([]ident.MemberID, 0, len(cs))
+	}
 	t.IXP = t.IXP[:0]
 	t.Near = t.Near[:0]
 	t.NearAS = t.NearAS[:0]
@@ -61,6 +66,12 @@ func (t *PrivateTab) Len() int { return len(t.A) }
 // previously unseen entities and reusing column capacity. Rows keep
 // detection order.
 func (t *PrivateTab) CompactPrivate(hs []PrivateHop, tab *ident.Table) {
+	if cap(t.A) < len(hs) {
+		t.A = make([]ident.IfaceID, 0, len(hs))
+		t.B = make([]ident.IfaceID, 0, len(hs))
+		t.AAS = make([]ident.MemberID, 0, len(hs))
+		t.BAS = make([]ident.MemberID, 0, len(hs))
+	}
 	t.A = t.A[:0]
 	t.B = t.B[:0]
 	t.AAS = t.AAS[:0]

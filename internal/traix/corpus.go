@@ -2,178 +2,408 @@ package traix
 
 import (
 	"net/netip"
+	"runtime"
 	"sort"
+	"sync"
 
+	"rpeer/internal/ident"
+	"rpeer/internal/ip4"
 	"rpeer/internal/netsim"
+	"rpeer/internal/par"
 	"rpeer/internal/registry"
 )
 
 // Corpus is a detection-ready index over a fixed traceroute path set.
 //
-// Crossing and private-hop detection read two kinds of state: the
-// corpus itself (immutable) and the IXP membership dataset (which
-// churns — members join and leave between inference runs). The corpus
-// splits each path's detection work along that line once, so that a
-// membership change never forces a full re-scan of every hop:
+// Crossing detection reads three kinds of state, and the corpus splits
+// the work along those lines so that a membership delta re-does only
+// the sliver it can reach:
 //
-//   - hops whose address lies on a peering-LAN prefix are *dynamic*
-//     candidates: whether they form an IXP crossing, or poison a
-//     private-hop pair, depends on the current membership maps;
-//   - consecutive-hop pairs touching no peering-LAN address are
-//     *static*: member interfaces only ever carry peering-LAN
-//     addresses, so no dataset state can change how these pairs
-//     classify. Their private-hop verdicts are computed once here,
-//     from the prefix-to-AS map alone.
+//   - the corpus itself (immutable): which hops lie on a peering-LAN
+//     prefix at all. These are the only hops that can anchor an IXP
+//     crossing; they are indexed once, in NewCorpus.
+//   - the address assignments of the dataset (which churn only at
+//     join/leave addresses): rules 1 and 2 of the traIXroute triplet —
+//     the IXP owning the anchor address, the far AS holding it, the
+//     near/far neighbour ASes. Settled once per candidate (Settle / the
+//     first Detect) and re-resolved per delta only for candidates
+//     touching a changed address (DetectDelta).
+//   - the per-IXP member AS sets (which churn with every delta): rule 3.
+//     Re-evaluated on every Detect from the detector's refcounted sets —
+//     two set probes per surviving candidate.
 //
-// Detect then re-evaluates only the dynamic candidates against a
-// Detector (typically after a membership delta) and merges the static
-// results back in path-and-hop order, producing slices identical to a
-// cold DetectAll / DetectPrivateAll pass over the same dataset state.
+// Private-hop detection is *fully static*: a consecutive-hop pair with
+// a peering-LAN address can never classify as a private interconnect
+// (a LAN address known to the dataset is rejected as an IXP interface,
+// and one unknown to the dataset resolves through neither the dataset
+// nor the infrastructure prefix-to-AS map, so the pair's ASes cannot
+// both be established), and a pair without one cannot be affected by
+// membership state. The static verdicts are computed once in NewCorpus
+// from the prefix-to-AS map alone and shared by every Detect call.
 type Corpus struct {
 	paths []*Path
-	per   []pathCands
-}
+	set   *LANSet
 
-// pathCands is one path's split detection state.
-type pathCands struct {
-	// cross lists hop indexes i (>= 1) whose address is on a
-	// peering-LAN prefix: the only hops that can anchor a crossing.
-	cross []int
-	// priv lists second-hop indexes i of consecutive responsive pairs
-	// where at least one address is on a peering-LAN prefix: the only
-	// pairs whose private-hop verdict depends on membership state.
-	priv []int
-	// static holds the membership-independent private hops, ascending
-	// by Index.
-	static []PrivateHop
+	// The static private-hop verdicts in path-then-hop order, columnar
+	// (no per-row pointers for the garbage collector to chase): path
+	// and hop index, the IPv4 endpoint words, and the two ASes. The
+	// endpoints are always IPv4: a static pair's ASes resolve through
+	// the prefix-to-AS map, which only maps IPv4 infrastructure
+	// prefixes (the whole detection plane is IPv4, like the simulators
+	// and datasets feeding it).
+	sPath, sHop []int32
+	sA, sB      []uint32
+	sAAS, sBAS  []netsim.ASN
+
+	// staticOnce materializes the []PrivateHop view on demand (the
+	// compatibility surface of Detect; core consumes the columns).
+	staticOnce sync.Once
+	staticRows []PrivateHop
+
+	// Crossing candidates in path-then-hop order (columnar).
+	candPath []int32
+	candHop  []int32
+
+	// Settled per-candidate stage-1 state (rules 1+2, address-
+	// assignment-dependent): whether the triplet resolves, and to
+	// whom. setIdx is the detector's dense name index — the rule-3
+	// probes in emit are integer-keyed, no string hashing.
+	settled     bool
+	settledWith *Detector
+	ok12        []bool
+	setIdx      []int32
+	nearAS      []netsim.ASN
+	farAS       []netsim.ASN
+
+	// byLAN maps each candidate's peering-LAN addresses (the anchor,
+	// plus LAN-resident neighbours, whose AS resolution also rides on
+	// the dataset) to candidate indexes. Built lazily on the first
+	// DetectDelta — cold starts never pay for it.
+	byLANOnce sync.Once
+	byLAN     map[netip.Addr][]int32
 }
 
 // LANSet answers "is this address on any peering-LAN prefix?" with a
-// binary search over a sorted base-address column per distinct prefix
-// length — no per-query prefix hashing. The corpus split relies on the
-// invariant that member interfaces only ever carry peering-LAN
-// addresses; callers that grow the dataset (membership joins) use a
-// LANSet to uphold it.
+// single binary search over sorted, merged address intervals in the
+// IPv4 integer domain (peering-LAN plans are disjoint prefixes). The
+// corpus split relies on the invariant that member interfaces only
+// ever carry peering-LAN addresses; callers that grow the dataset
+// (membership joins) use a LANSet to uphold it.
 type LANSet struct {
-	bits []int
-	// bases[i] holds the masked base addresses of the bits[i]-long
-	// prefixes, sorted ascending.
-	bases [][]netip.Addr
+	// base and last are the inclusive interval bounds, base ascending.
+	base []uint32
+	last []uint32
 }
 
 // NewLANSet indexes a peering-LAN prefix plan.
 func NewLANSet(lans []netip.Prefix) *LANSet {
-	byBits := make(map[int][]netip.Addr)
+	type iv struct{ base, last uint32 }
+	ivs := make([]iv, 0, len(lans))
 	for _, p := range lans {
-		if !p.IsValid() {
+		if !p.IsValid() || !p.Addr().Is4() {
 			continue
 		}
-		byBits[p.Bits()] = append(byBits[p.Bits()], p.Masked().Addr())
+		u := ip4.U32(p.Masked().Addr())
+		size := uint32(1) << (32 - p.Bits())
+		ivs = append(ivs, iv{u, u + size - 1})
 	}
-	s := &LANSet{}
-	for b := range byBits {
-		s.bits = append(s.bits, b)
-	}
-	sort.Ints(s.bits)
-	for _, b := range s.bits {
-		col := byBits[b]
-		sort.Slice(col, func(i, j int) bool { return col[i].Less(col[j]) })
-		// Dedup: duplicate prefixes collapse to one base.
-		out := col[:0]
-		for i, a := range col {
-			if i == 0 || a != col[i-1] {
-				out = append(out, a)
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].base < ivs[j].base })
+	s := &LANSet{base: make([]uint32, 0, len(ivs)), last: make([]uint32, 0, len(ivs))}
+	for _, v := range ivs {
+		// Merge duplicates and (defensively) overlaps.
+		if n := len(s.base); n > 0 && v.base <= s.last[n-1] {
+			if v.last > s.last[n-1] {
+				s.last[n-1] = v.last
 			}
+			continue
 		}
-		s.bases = append(s.bases, out)
+		s.base = append(s.base, v.base)
+		s.last = append(s.last, v.last)
 	}
 	return s
 }
 
 // Contains reports whether ip lies on any indexed prefix.
 func (s *LANSet) Contains(ip netip.Addr) bool {
-	for i, b := range s.bits {
-		p, err := ip.Prefix(b)
-		if err != nil {
-			continue
-		}
-		base := p.Addr()
-		col := s.bases[i]
-		j := sort.Search(len(col), func(k int) bool { return !col[k].Less(base) })
-		if j < len(col) && col[j] == base {
-			return true
+	if !ip.Is4() {
+		return false
+	}
+	u := ip4.U32(ip)
+	lo, hi := 0, len(s.base)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.base[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return false
+	return lo > 0 && u <= s.last[lo-1]
 }
 
 // NewCorpus indexes a path corpus. set must index every peering-LAN
 // prefix member interfaces can be drawn from (the world's LAN plan, a
 // superset of whatever the registry dataset happens to cover — see
 // LANPrefixes), and ipmap is the membership-independent prefix-to-AS
-// map used to settle the static pairs.
+// map used to settle the static private pairs. The hop scan fans out
+// over path chunks; the result is independent of worker count.
 func NewCorpus(paths []*Path, set *LANSet, ipmap *registry.IPMap) *Corpus {
-	c := &Corpus{paths: paths, per: make([]pathCands, len(paths))}
-	for pi, p := range paths {
-		pc := &c.per[pi]
-		onLAN := make([]bool, len(p.Hops))
-		for i, h := range p.Hops {
-			onLAN[i] = h.IP.IsValid() && set.Contains(h.IP)
+	c := &Corpus{paths: paths, set: set}
+
+	const chunk = 2048
+	nChunks := (len(paths) + chunk - 1) / chunk
+	type chunkOut struct {
+		candPath []int32
+		candHop  []int32
+		sPath    []int32
+		sHop     []int32
+		sA, sB   []uint32
+		sAAS     []netsim.ASN
+		sBAS     []netsim.ASN
+	}
+	outs := make([]chunkOut, nChunks)
+	par.Do(runtime.GOMAXPROCS(0), nChunks, func(ci int) {
+		lo, hi := ci*chunk, (ci+1)*chunk
+		if hi > len(paths) {
+			hi = len(paths)
 		}
-		for i := 1; i < len(p.Hops); i++ {
-			if onLAN[i] {
-				pc.cross = append(pc.cross, i)
+		var o chunkOut
+		var onLAN []bool
+		for pi := lo; pi < hi; pi++ {
+			p := paths[pi]
+			onLAN = onLAN[:0]
+			for _, h := range p.Hops {
+				onLAN = append(onLAN, h.IP.IsValid() && set.Contains(h.IP))
 			}
-			a, b := p.Hops[i-1].IP, p.Hops[i].IP
-			if !a.IsValid() || !b.IsValid() {
-				continue
+			for i := 1; i < len(p.Hops); i++ {
+				if onLAN[i] {
+					o.candPath = append(o.candPath, int32(pi))
+					o.candHop = append(o.candHop, int32(i))
+				}
+				a, b := p.Hops[i-1].IP, p.Hops[i].IP
+				if !a.IsValid() || !b.IsValid() {
+					continue
+				}
+				if onLAN[i-1] || onLAN[i] {
+					continue // can never classify (see type comment)
+				}
+				// Static pair: no peering-LAN address involved, so the
+				// dataset's exclusion and AS maps can never apply.
+				aAS, okA := ipmap.ASOf(a)
+				bAS, okB := ipmap.ASOf(b)
+				if !okA || !okB || aAS == bAS {
+					continue
+				}
+				o.sPath = append(o.sPath, int32(pi))
+				o.sHop = append(o.sHop, int32(i))
+				o.sA = append(o.sA, ip4.U32(a))
+				o.sB = append(o.sB, ip4.U32(b))
+				o.sAAS = append(o.sAAS, aAS)
+				o.sBAS = append(o.sBAS, bAS)
 			}
-			if onLAN[i-1] || onLAN[i] {
-				pc.priv = append(pc.priv, i)
-				continue
-			}
-			// Static pair: no peering-LAN address involved, so the
-			// dataset's exclusion and AS maps can never apply.
-			aAS, okA := ipmap.ASOf(a)
-			bAS, okB := ipmap.ASOf(b)
-			if !okA || !okB || aAS == bAS {
-				continue
-			}
-			pc.static = append(pc.static, PrivateHop{Path: p, Index: i, AIP: a, BIP: b, AAS: aAS, BAS: bAS})
 		}
+		outs[ci] = o
+	})
+	nc, ns := 0, 0
+	for _, o := range outs {
+		nc += len(o.candPath)
+		ns += len(o.sPath)
+	}
+	c.candPath = make([]int32, 0, nc)
+	c.candHop = make([]int32, 0, nc)
+	c.sPath = make([]int32, 0, ns)
+	c.sHop = make([]int32, 0, ns)
+	c.sA = make([]uint32, 0, ns)
+	c.sB = make([]uint32, 0, ns)
+	c.sAAS = make([]netsim.ASN, 0, ns)
+	c.sBAS = make([]netsim.ASN, 0, ns)
+	for _, o := range outs {
+		c.candPath = append(c.candPath, o.candPath...)
+		c.candHop = append(c.candHop, o.candHop...)
+		c.sPath = append(c.sPath, o.sPath...)
+		c.sHop = append(c.sHop, o.sHop...)
+		c.sA = append(c.sA, o.sA...)
+		c.sB = append(c.sB, o.sB...)
+		c.sAAS = append(c.sAAS, o.sAAS...)
+		c.sBAS = append(c.sBAS, o.sBAS...)
 	}
 	return c
 }
 
-// Detect evaluates the corpus against the detector's current dataset
-// state. The returned slices are freshly allocated and ordered exactly
-// as DetectAll / DetectPrivateAll over the same paths would order
-// them: by path, then by hop index.
-func (c *Corpus) Detect(d *Detector) ([]Crossing, []PrivateHop) {
-	var crossings []Crossing
-	var priv []PrivateHop
-	for pi, p := range c.paths {
-		pc := &c.per[pi]
-		for _, i := range pc.cross {
-			if cr, ok := d.crossingAt(p, i); ok {
-				crossings = append(crossings, cr)
-			}
-		}
-		// Merge static results with the dynamic pair verdicts in hop
-		// order; both lists are ascending and disjoint.
-		si := 0
-		for _, i := range pc.priv {
-			for si < len(pc.static) && pc.static[si].Index < i {
-				priv = append(priv, pc.static[si])
-				si++
-			}
-			if ph, ok := d.privateAt(p, i); ok {
-				priv = append(priv, ph)
-			}
-		}
-		priv = append(priv, pc.static[si:]...)
+// settleAll resolves stage 1 (rules 1+2) for every candidate against
+// the detector's current dataset, fanning out over candidate chunks.
+func (c *Corpus) settleAll(d *Detector) {
+	n := len(c.candPath)
+	if cap(c.ok12) < n {
+		c.ok12 = make([]bool, n)
+		c.setIdx = make([]int32, n)
+		c.nearAS = make([]netsim.ASN, n)
+		c.farAS = make([]netsim.ASN, n)
 	}
-	return crossings, priv
+	c.ok12 = c.ok12[:n]
+	c.setIdx = c.setIdx[:n]
+	c.nearAS = c.nearAS[:n]
+	c.farAS = c.farAS[:n]
+	const chunk = 4096
+	nChunks := (n + chunk - 1) / chunk
+	par.Do(runtime.GOMAXPROCS(0), nChunks, func(ci int) {
+		lo, hi := ci*chunk, (ci+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			c.settleOne(d, i)
+		}
+	})
+	c.settled = true
+	c.settledWith = d
+}
+
+// settleOne resolves one candidate's stage-1 state.
+func (c *Corpus) settleOne(d *Detector, i int) {
+	p := c.paths[c.candPath[i]]
+	hop := int(c.candHop[i])
+	idx, nearAS, farAS, ok := d.resolveTriplet(p, hop)
+	c.ok12[i] = ok
+	c.setIdx[i] = idx
+	c.nearAS[i] = nearAS
+	c.farAS[i] = farAS
+}
+
+// Detect evaluates the corpus against the detector's current dataset
+// state. The returned crossing slice is freshly allocated and ordered
+// exactly as DetectAll over the same paths would order it: by path,
+// then by hop index. The private-hop slice is the corpus's static
+// verdict list (identical to DetectPrivateAll; shared, read-only).
+//
+// The first Detect settles the per-candidate stage-1 state against d;
+// later calls with the same detector only re-evaluate rule 3. A call
+// with a *different* detector re-settles everything (a corpus follows
+// one detector's dataset; core contexts pair them one-to-one).
+func (c *Corpus) Detect(d *Detector) ([]Crossing, []PrivateHop) {
+	return c.DetectCrossings(d), c.StaticPrivate()
+}
+
+// DetectCrossings is Detect without materializing the static private
+// rows (bulk consumers read those through CompactStaticInto).
+func (c *Corpus) DetectCrossings(d *Detector) []Crossing {
+	if !c.settled || c.settledWith != d {
+		c.settleAll(d)
+	}
+	return c.emit(d)
+}
+
+// DetectDelta is DetectCrossings after a membership delta: candidates
+// whose peering-LAN addresses appear in changed are re-settled (their
+// address assignments moved); everything else keeps its stage-1 state
+// and only rule 3 is re-evaluated during the emit walk.
+func (c *Corpus) DetectDelta(d *Detector, changed map[netip.Addr]bool) []Crossing {
+	if !c.settled || c.settledWith != d {
+		c.settleAll(d)
+		return c.emit(d)
+	}
+	if len(changed) > 0 {
+		c.byLANOnce.Do(c.buildByLAN)
+		seen := make(map[int32]bool)
+		for ip := range changed {
+			for _, i := range c.byLAN[ip] {
+				if !seen[i] {
+					seen[i] = true
+					c.settleOne(d, int(i))
+				}
+			}
+		}
+	}
+	return c.emit(d)
+}
+
+// buildByLAN indexes candidates by the peering-LAN addresses their
+// stage-1 resolution reads: the anchor hop, plus neighbours that are
+// themselves LAN addresses (their AS resolves through the dataset).
+// Infrastructure neighbours resolve through the static prefix-to-AS
+// map and need no index.
+func (c *Corpus) buildByLAN() {
+	idx := make(map[netip.Addr][]int32, len(c.candPath))
+	for i := range c.candPath {
+		p := c.paths[c.candPath[i]]
+		hop := int(c.candHop[i])
+		add := func(ip netip.Addr) {
+			if ip.IsValid() && c.set.Contains(ip) {
+				idx[ip] = append(idx[ip], int32(i))
+			}
+		}
+		add(p.Hops[hop].IP)
+		add(p.Hops[hop-1].IP)
+		if hop+1 < len(p.Hops) {
+			add(p.Hops[hop+1].IP)
+		}
+	}
+	c.byLAN = idx
+}
+
+// emit assembles the crossing list from the settled candidates,
+// applying rule 3 (both ASes are current members of the exchange).
+func (c *Corpus) emit(d *Detector) []Crossing {
+	out := make([]Crossing, 0, len(c.candPath)/2)
+	for i := range c.candPath {
+		if !c.ok12[i] {
+			continue
+		}
+		if set := d.sets[c.setIdx[i]]; set[c.nearAS[i]] == 0 || set[c.farAS[i]] == 0 {
+			continue
+		}
+		p := c.paths[c.candPath[i]]
+		hop := int(c.candHop[i])
+		out = append(out, Crossing{
+			Path: p, Index: hop, IXP: d.names[c.setIdx[i]],
+			NearIP: p.Hops[hop-1].IP, NearAS: c.nearAS[i],
+			IXPIP: p.Hops[hop].IP, FarAS: c.farAS[i],
+		})
+	}
+	return out
+}
+
+// StaticPrivate materializes the static private hops as rows
+// (identical to DetectPrivateAll over the corpus paths). The rows are
+// built once and shared; callers must treat them as read-only. Bulk
+// consumers should prefer CompactStaticInto, which feeds the columnar
+// form straight into an intern table without materializing rows.
+func (c *Corpus) StaticPrivate() []PrivateHop {
+	c.staticOnce.Do(func() {
+		rows := make([]PrivateHop, len(c.sPath))
+		for i := range c.sPath {
+			rows[i] = PrivateHop{
+				Path: c.paths[c.sPath[i]], Index: int(c.sHop[i]),
+				AIP: ip4.Addr(c.sA[i]), BIP: ip4.Addr(c.sB[i]),
+				AAS: c.sAAS[i], BAS: c.sBAS[i],
+			}
+		}
+		c.staticRows = rows
+	})
+	return c.staticRows
+}
+
+// CompactStaticInto fills a PrivateTab from the static columns,
+// interning endpoints as it goes — the cold-build path that never
+// materializes a []PrivateHop.
+func (c *Corpus) CompactStaticInto(t *PrivateTab, tab *ident.Table) {
+	n := len(c.sPath)
+	if cap(t.A) < n {
+		t.A = make([]ident.IfaceID, 0, n)
+		t.B = make([]ident.IfaceID, 0, n)
+		t.AAS = make([]ident.MemberID, 0, n)
+		t.BAS = make([]ident.MemberID, 0, n)
+	}
+	t.A = t.A[:0]
+	t.B = t.B[:0]
+	t.AAS = t.AAS[:0]
+	t.BAS = t.BAS[:0]
+	for i := 0; i < n; i++ {
+		t.A = append(t.A, tab.AddIface(ip4.Addr(c.sA[i])))
+		t.B = append(t.B, tab.AddIface(ip4.Addr(c.sB[i])))
+		t.AAS = append(t.AAS, tab.AddMember(c.sAAS[i]))
+		t.BAS = append(t.BAS, tab.AddMember(c.sBAS[i]))
+	}
 }
 
 // LANPrefixes extracts the peering-LAN plan of a world, the lans input

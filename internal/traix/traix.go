@@ -49,27 +49,112 @@ type Crossing struct {
 	FarAS netsim.ASN
 }
 
-// Detector holds the datasets needed to interpret paths.
+// Detector holds the datasets needed to interpret paths. Its per-IXP
+// member sets are refcounted (one count per dataset interface record)
+// and name-indexed — corpus candidates reference a set by dense int32
+// index, not by string — and membership deltas adjust the counts
+// incrementally through NoteJoin / NoteLeave instead of rebuilding the
+// detector over the full dataset.
 type Detector struct {
 	ds    *registry.Dataset
 	ipmap *registry.IPMap
-	// members caches IXP name -> member AS set.
-	members map[string]map[netsim.ASN]bool
+	// names / byName assign dense indexes to IXP names; sets holds the
+	// member AS -> interface-record refcounts per index.
+	names  []string
+	byName map[string]int32
+	sets   []map[netsim.ASN]int
 }
 
 // NewDetector builds a Detector over the merged IXP dataset and the
 // IP-to-AS map.
 func NewDetector(ds *registry.Dataset, ipmap *registry.IPMap) *Detector {
-	d := &Detector{ds: ds, ipmap: ipmap, members: make(map[string]map[netsim.ASN]bool)}
+	d := &Detector{ds: ds, ipmap: ipmap, byName: make(map[string]int32)}
 	for ip, name := range ds.IfaceIXP {
-		set, ok := d.members[name]
-		if !ok {
-			set = make(map[netsim.ASN]bool)
-			d.members[name] = set
-		}
-		set[ds.IfaceASN[ip]] = true
+		idx := d.nameIndex(name) // hoisted: nameIndex may grow d.sets
+		d.sets[idx][ds.IfaceASN[ip]]++
 	}
 	return d
+}
+
+// nameIndex returns the dense index of an IXP name, assigning one (and
+// an empty member set) on first sight. Indexes are stable for the
+// detector's lifetime, which is what lets a corpus cache them.
+func (d *Detector) nameIndex(name string) int32 {
+	if i, ok := d.byName[name]; ok {
+		return i
+	}
+	i := int32(len(d.names))
+	d.names = append(d.names, name)
+	d.sets = append(d.sets, make(map[netsim.ASN]int))
+	d.byName[name] = i
+	return i
+}
+
+// NoteJoin records one interface record appearing at (ixp, asn). The
+// caller updates the underlying dataset; the detector only maintains
+// its member-set refcounts (O(1) per note, vs. NewDetector's full
+// dataset scan).
+func (d *Detector) NoteJoin(ixp string, asn netsim.ASN) {
+	idx := d.nameIndex(ixp) // hoisted: nameIndex may grow d.sets
+	d.sets[idx][asn]++
+}
+
+// NoteLeave records one interface record departing from (ixp, asn).
+func (d *Detector) NoteLeave(ixp string, asn netsim.ASN) {
+	if i, ok := d.byName[ixp]; ok {
+		set := d.sets[i]
+		if set[asn] > 1 {
+			set[asn]--
+		} else {
+			delete(set, asn)
+		}
+	}
+}
+
+// resolveTriplet applies rules 1 and 2 to the triplet centred on hop i
+// of p: the anchor must be a known IXP interface whose AS matches the
+// next hop's and differs from the previous hop's. It returns the IXP's
+// dense name index and the two ASes; rule 3 (both ASes members of the
+// exchange) is the caller's to apply against current membership state.
+func (d *Detector) resolveTriplet(p *Path, i int) (ixp int32, nearAS, farAS netsim.ASN, ok bool) {
+	ixpIP := p.Hops[i].IP
+	if !ixpIP.IsValid() {
+		return -1, 0, 0, false
+	}
+	ixpName, known := d.ds.IfaceIXP[ixpIP]
+	if !known {
+		return -1, 0, 0, false // not a known IXP interface
+	}
+	far, known := d.ds.IfaceASN[ixpIP]
+	if !known {
+		return -1, 0, 0, false
+	}
+	// Rule 1 second half: the hop after the IXP IP must belong to
+	// the same AS, when present and responsive.
+	if i+1 >= len(p.Hops) || !p.Hops[i+1].IP.IsValid() {
+		// IXP IP as last hop, or unresponsive far hop: cannot confirm.
+		return -1, 0, 0, false
+	}
+	if asn, known := d.asOf(p.Hops[i+1].IP); !known || asn != far {
+		return -1, 0, 0, false
+	}
+	// Rule 2: the preceding hop belongs to a different AS.
+	nearIP := p.Hops[i-1].IP
+	if !nearIP.IsValid() {
+		return -1, 0, 0, false
+	}
+	near, known := d.asOf(nearIP)
+	if !known || near == far {
+		return -1, 0, 0, false
+	}
+	// Every dataset record's name was indexed at construction (or by
+	// the NoteJoin that introduced it), so this is a read-only lookup —
+	// resolveTriplet runs inside the corpus's parallel settle.
+	idx, known := d.byName[ixpName]
+	if !known {
+		return -1, 0, 0, false
+	}
+	return idx, near, far, true
 }
 
 // asOf resolves an address to an AS: member interfaces on peering LANs
@@ -96,45 +181,19 @@ func (d *Detector) Detect(p *Path) []Crossing {
 // crossingAt applies the crossing rules to the triplet centred on hop
 // i (which must be >= 1).
 func (d *Detector) crossingAt(p *Path, i int) (Crossing, bool) {
-	ixpIP := p.Hops[i].IP
-	if !ixpIP.IsValid() {
-		return Crossing{}, false
-	}
-	ixpName, ok := d.ds.IfaceIXP[ixpIP]
+	idx, nearAS, farAS, ok := d.resolveTriplet(p, i)
 	if !ok {
-		return Crossing{}, false // not a known IXP interface
-	}
-	farAS, ok := d.ds.IfaceASN[ixpIP]
-	if !ok {
-		return Crossing{}, false
-	}
-	// Rule 1 second half: the hop after the IXP IP must belong to
-	// the same AS, when present and responsive.
-	if i+1 >= len(p.Hops) || !p.Hops[i+1].IP.IsValid() {
-		// IXP IP as last hop, or unresponsive far hop: cannot confirm.
-		return Crossing{}, false
-	}
-	if asn, ok := d.asOf(p.Hops[i+1].IP); !ok || asn != farAS {
-		return Crossing{}, false
-	}
-	// Rule 2: the preceding hop belongs to a different AS.
-	nearIP := p.Hops[i-1].IP
-	if !nearIP.IsValid() {
-		return Crossing{}, false
-	}
-	nearAS, ok := d.asOf(nearIP)
-	if !ok || nearAS == farAS {
 		return Crossing{}, false
 	}
 	// Rule 3: both ASes are members of the exchange.
-	set := d.members[ixpName]
-	if !set[nearAS] || !set[farAS] {
+	set := d.sets[idx]
+	if set[nearAS] == 0 || set[farAS] == 0 {
 		return Crossing{}, false
 	}
 	return Crossing{
-		Path: p, Index: i, IXP: ixpName,
-		NearIP: nearIP, NearAS: nearAS,
-		IXPIP: ixpIP, FarAS: farAS,
+		Path: p, Index: i, IXP: d.names[idx],
+		NearIP: p.Hops[i-1].IP, NearAS: nearAS,
+		IXPIP: p.Hops[i].IP, FarAS: farAS,
 	}, true
 }
 

@@ -55,9 +55,19 @@ func sampleDelta(in Inputs, nJoin, nLeave int, seed int64) Delta {
 	rng := rand.New(rand.NewSource(seed))
 	ds := in.Dataset
 
+	// Only memberships on exchanges the prefix plane knows can churn
+	// round-trippably: a leave of an interface whose IXP lost its
+	// prefix record to source noise could never re-join (joins are
+	// validated against the prefix plane).
+	ixpSet := make(map[string]bool)
+	for _, name := range ds.PrefixIXP {
+		ixpSet[name] = true
+	}
 	known := make([]netip.Addr, 0, len(ds.IfaceIXP))
-	for ip := range ds.IfaceIXP {
-		known = append(known, ip)
+	for ip, name := range ds.IfaceIXP {
+		if ixpSet[name] {
+			known = append(known, ip)
+		}
 	}
 	sort.Slice(known, func(i, j int) bool { return known[i].Less(known[j]) })
 
@@ -73,10 +83,6 @@ func sampleDelta(in Inputs, nJoin, nLeave int, seed int64) Delta {
 	}
 
 	// Joiners: ground-truth members the registry noise hid...
-	ixpSet := make(map[string]bool)
-	for _, name := range ds.PrefixIXP {
-		ixpSet[name] = true
-	}
 	var hidden []*netsim.Member
 	for _, m := range in.World.Members {
 		if _, ok := ds.IfaceIXP[m.Iface]; ok {
