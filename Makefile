@@ -2,7 +2,7 @@ GO ?= go
 # PR number stamped into the benchmark snapshot file name; bump (or
 # override: `make bench-snapshot PR=5`) each PR so trajectories of all
 # PRs stay side by side.
-PR ?= 5
+PR ?= 6
 
 # Pipelines (bench-snapshot) must fail when any stage fails, not just
 # the last one, or a broken benchmark run would silently overwrite the
@@ -10,7 +10,7 @@ PR ?= 5
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet test test-race bench bench-smoke bench-snapshot bench-compare examples-smoke
+.PHONY: all build vet test test-race soak crash-matrix bench bench-smoke bench-snapshot bench-compare examples-smoke
 
 all: vet build test
 
@@ -29,6 +29,20 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Churn soak: 1000 randomized join/leave/re-join deltas through one
+# persistent engine under the race detector, with the incremental
+# report checked byte-for-byte against a cold rebuild every 100
+# deltas. Env-gated so the tier-1 suite stays fast.
+soak:
+	RPEER_SOAK=1 $(GO) test -race -run 'TestChurnSoak' ./pkg/rpi -count=1 -v
+
+# The fault-injection matrix: kill the simulated machine at every
+# filesystem operation across an engine lifetime and prove recovery
+# lands on the acknowledged prefix with byte-identical reports, plus
+# the torn-tail / interior-corruption / replay suites around it.
+crash-matrix:
+	$(GO) test -run 'TestCrashRecovery|TestTornTail|TestInteriorCorruption|TestOpenCloseReopen|TestOpenBaseMismatch|TestReplayToAnyIndex|TestBrokenPersistence|TestCheckpointRotates' ./pkg/rpi ./internal/wal ./internal/snapshot -count=1
+
 # Full benchmark sweep (slow).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem
@@ -40,7 +54,7 @@ bench:
 # of surfacing at the next snapshot. The heavy scaling rungs (4x+)
 # stay out — they build multi-gigabyte worlds.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkContextBuild|BenchmarkEngineApply/1x|BenchmarkServeHTTP|BenchmarkScaleWorld/1x' -benchmem -benchtime=1x
+	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkContextBuild|BenchmarkEngineApply/1x|BenchmarkServeHTTP|BenchmarkScaleWorld/1x|BenchmarkRecovery/1x' -benchmem -benchtime=1x
 
 # Compare a fresh run of the fast headline benchmarks against a
 # committed baseline snapshot and fail on >20% ns/op regression
@@ -71,7 +85,7 @@ examples-smoke:
 # the failing stage; the EXIT trap cleans the temp file up).
 bench-snapshot:
 	tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign|BenchmarkEngineApply|BenchmarkServeHTTP' \
+	$(GO) test -run '^$$' -timeout 30m -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign|BenchmarkEngineApply|BenchmarkServeHTTP' \
 		-benchmem -benchtime=3x > $$tmp; \
-	$(GO) test -run '^$$' -bench 'BenchmarkScaleWorld' -benchmem -benchtime=1x >> $$tmp; \
+	$(GO) test -run '^$$' -timeout 30m -bench 'BenchmarkScaleWorld|BenchmarkRecovery' -benchmem -benchtime=1x >> $$tmp; \
 	$(GO) run ./cmd/rpi-benchsnap -o BENCH_PR$(PR).json < $$tmp

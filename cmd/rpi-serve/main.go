@@ -5,19 +5,33 @@
 // Endpoints:
 //
 //	GET  /healthz          liveness + applied-delta sequence
+//	GET  /readyz           readiness (503 until recovery finishes)
 //	GET  /v1/infer         full inference report
 //	GET  /v1/report/{ixp}  one IXP's report
 //	POST /v1/apply         membership joins/leaves + RTT refreshes
 //
 // Usage:
 //
-//	rpi-serve [-seed N] [-scale N] [-addr :8090] [-workers N] [-debug-addr :8091]
+//	rpi-serve [-seed N] [-scale N] [-addr :8090] [-workers N]
+//	          [-data-dir DIR] [-fsync every|interval|off] [-snapshot-every N]
+//	          [-debug-addr :8091] [-shutdown-timeout 10s]
+//
+// With -data-dir set the engine is crash-safe: every applied delta is
+// journaled to a checksummed write-ahead log in DIR before it is
+// acknowledged, columnar snapshots bound replay, and a restart
+// recovers the exact pre-crash state (see pkg/rpi.Open). The listener
+// binds immediately and /healthz answers while recovery replays;
+// /readyz (and the /v1 endpoints) go green when the engine is up.
+//
+// SIGINT/SIGTERM shut the service down gracefully: in-flight requests
+// drain (bounded by -shutdown-timeout), then the engine closes,
+// publishing a final snapshot so the next start replays nothing.
 //
 // With -debug-addr set, a second listener exposes the Go runtime
 // diagnostics — /debug/pprof/ (heap, CPU, goroutine profiles) and
-// /debug/vars (expvar: engine sequence, inference counts, apply
-// totals) — kept off the service address so the profiling surface is
-// never reachable from the API network.
+// /debug/vars (expvar: engine sequence, inference counts, dropped
+// subscriber updates) — kept off the service address so the profiling
+// surface is never reachable from the API network.
 //
 // Example session:
 //
@@ -27,11 +41,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"rpeer/pkg/rpi"
@@ -45,18 +64,137 @@ func main() {
 	scale := flag.Int("scale", 1, "world scale factor (1 = paper-sized)")
 	addr := flag.String("addr", ":8090", "listen address")
 	workers := flag.Int("workers", 0, "inference shard workers (0 = one per CPU)")
+	dataDir := flag.String("data-dir", "", "durable state directory: delta WAL + snapshots (empty = in-memory engine)")
+	fsync := flag.String("fsync", "every", "WAL fsync policy: every (per record), interval, off")
+	fsyncInterval := flag.Duration("fsync-interval", time.Second, "flush period for -fsync interval")
+	snapEvery := flag.Int("snapshot-every", rpi.DefaultSnapshotEvery, "deltas between automatic snapshots (0 = only on shutdown)")
 	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof and expvar (empty = disabled)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
 
-	log.Printf("assembling inputs (seed %d, scale %dx)...", *seed, *scale)
-	in, err := rpi.SyntheticInputs(*seed, *scale)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Bind the service port before the (possibly long) engine build:
+	// orchestrators see liveness immediately, readiness when recovery
+	// completes.
+	front := serve.NewPending()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           front,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.ListenAndServe() }()
+	log.Printf("serving /v1 on %s (pending until engine is ready)", *addr)
+
+	var dbg *http.Server
+	dbgErr := make(chan error, 1)
+	if *debugAddr != "" {
+		dbg = debugServer(*debugAddr)
+		go func() { dbgErr <- dbg.ListenAndServe() }()
+		log.Printf("serving /debug/pprof and /debug/vars on %s", *debugAddr)
+	}
+
+	eng, err := buildEngine(*seed, *scale, *workers, *dataDir, *fsync, *fsyncInterval, *snapEvery)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		srv.Close()
+		os.Exit(1)
+	}
+	publishEngineVars(eng)
+	front.SetEngine(eng)
+	log.Printf("ready: serving at seq %d", eng.Seq())
+
+	// Wait for a shutdown signal or a listener failure.
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received, draining connections (up to %s)...", *shutdownTimeout)
+	case err := <-srvErr:
+		log.Printf("service listener stopped: %v", err)
+	case err := <-dbgErr:
+		// Diagnostics are auxiliary: a busy port must not take the
+		// healthy /v1 API down with it.
+		log.Printf("debug listener stopped: %v", err)
+		dbg = nil
+		waitShutdown(ctx, srvErr)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if dbg != nil {
+		_ = dbg.Shutdown(drainCtx)
+	}
+	// Close after the listeners stop: no request can race the final
+	// snapshot, and the last acknowledged delta is on disk.
+	if err := eng.Close(); err != nil {
+		log.Printf("engine close: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("shut down cleanly at seq %d", eng.Seq())
+}
+
+// waitShutdown keeps serving after a debug-listener failure until a
+// real stop condition arrives.
+func waitShutdown(ctx context.Context, srvErr chan error) {
+	select {
+	case <-ctx.Done():
+	case err := <-srvErr:
+		log.Printf("service listener stopped: %v", err)
+	}
+}
+
+// buildEngine assembles the inputs and builds either an in-memory
+// engine or, with a data directory, a crash-safe persistent one.
+func buildEngine(seed int64, scale, workers int, dataDir, fsync string, fsyncInterval time.Duration, snapEvery int) (*rpi.Engine, error) {
+	log.Printf("assembling inputs (seed %d, scale %dx)...", seed, scale)
+	in, err := rpi.SyntheticInputs(seed, scale)
+	if err != nil {
+		return nil, err
 	}
 	log.Printf("building engine over %d memberships...", len(in.Dataset.IfaceIXP))
-	eng, err := rpi.New(in, rpi.WithWorkers(*workers))
+	opts := []rpi.Option{rpi.WithWorkers(workers)}
+	var eng *rpi.Engine
+	if dataDir == "" {
+		eng, err = rpi.New(in, opts...)
+	} else {
+		switch fsync {
+		case "every":
+			opts = append(opts, rpi.WithSync(rpi.SyncEveryDelta))
+		case "interval":
+			opts = append(opts, rpi.WithSyncInterval(fsyncInterval))
+		case "off":
+			opts = append(opts, rpi.WithSync(rpi.SyncOff))
+		default:
+			return nil, errors.New("bad -fsync: want every, interval or off")
+		}
+		opts = append(opts, rpi.WithSnapshotEvery(snapEvery))
+		var info *rpi.RecoveryInfo
+		eng, info, err = rpi.Open(dataDir, in, opts...)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case info.SnapshotName != "":
+			log.Printf("recovered %s: snapshot %s (seq %d) + %d replayed deltas",
+				dataDir, info.SnapshotName, info.SnapshotSeq, info.Replayed)
+		case info.Replayed > 0:
+			log.Printf("recovered %s: %d replayed deltas", dataDir, info.Replayed)
+		default:
+			log.Printf("fresh data directory %s", dataDir)
+		}
+		if info.TornTail {
+			log.Printf("truncated torn log tail at byte %d (%s) — crash artifact, state is consistent",
+				info.TruncatedAt, info.TornReason)
+		}
+	}
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	rep := eng.Snapshot()
 	var local, remote int
@@ -68,27 +206,15 @@ func main() {
 			remote++
 		}
 	}
-	log.Printf("engine ready: %d memberships (%d local, %d remote), %d multi-IXP routers",
-		len(rep.Inferences), local, remote, len(rep.MultiRouters))
-
-	if *debugAddr != "" {
-		go serveDebug(*debugAddr, eng)
-	}
-
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           serve.New(eng),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	log.Printf("serving /v1 on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	log.Printf("engine ready: %d memberships (%d local, %d remote), %d multi-IXP routers, seq %d",
+		len(rep.Inferences), local, remote, len(rep.MultiRouters), eng.Seq())
+	return eng, nil
 }
 
-// serveDebug runs the diagnostics listener: the pprof handlers plus
-// expvar gauges over the live engine (delta sequence, domain size,
-// verdict mix), so heap and wall-time effects of substrate changes are
-// observable on the serving binary without instrumenting the API.
-func serveDebug(addr string, eng *rpi.Engine) {
+// publishEngineVars exposes live engine gauges through expvar (served
+// on the debug listener): delta sequence, domain size, verdict mix,
+// and the slow-subscriber drop counter.
+func publishEngineVars(eng *rpi.Engine) {
 	counts := func(want rpi.PeerClass) func() interface{} {
 		return func() interface{} {
 			n := 0
@@ -106,7 +232,14 @@ func serveDebug(addr string, eng *rpi.Engine) {
 	}))
 	expvar.Publish("rpi.local", expvar.Func(counts(rpi.ClassLocal)))
 	expvar.Publish("rpi.remote", expvar.Func(counts(rpi.ClassRemote)))
+	expvar.Publish("rpi.dropped_updates", expvar.Func(func() interface{} {
+		return eng.DroppedUpdates()
+	}))
+}
 
+// debugServer builds the diagnostics listener: pprof + expvar, with
+// the same timeout hygiene as the service listener.
+func debugServer(addr string) *http.Server {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -114,15 +247,10 @@ func serveDebug(addr string, eng *rpi.Engine) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	dbg := &http.Server{
+	return &http.Server{
 		Addr:              addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
-	}
-	log.Printf("serving /debug/pprof and /debug/vars on %s", addr)
-	// Diagnostics are auxiliary: a busy port or a later listener error
-	// must not take the healthy /v1 API down with it.
-	if err := dbg.ListenAndServe(); err != nil {
-		log.Printf("debug listener on %s stopped: %v", addr, err)
+		IdleTimeout:       2 * time.Minute,
 	}
 }

@@ -75,60 +75,14 @@ func (d *Delta) Empty() bool {
 func (c *Context) Apply(d Delta) error {
 	ds := c.in.Dataset
 
-	// ---- validate (no mutation before this block completes) ----
-	leaving := make(map[netip.Addr]bool, len(d.Leaves))
-	for _, k := range d.Leaves {
-		if !k.Iface.IsValid() {
-			return fmt.Errorf("core: leave of invalid interface")
-		}
-		if leaving[k.Iface] {
-			return fmt.Errorf("core: duplicate leave of %s", k.Iface)
-		}
-		if ixp, ok := ds.IfaceIXP[k.Iface]; !ok || ixp != k.IXP {
-			return fmt.Errorf("core: leave of unknown membership %s/%s", k.IXP, k.Iface)
-		}
-		leaving[k.Iface] = true
-	}
-	joining := make(map[netip.Addr]bool, len(d.Joins))
-	for _, j := range d.Joins {
-		if !j.Iface.IsValid() || j.ASN == 0 {
-			return fmt.Errorf("core: join needs a valid interface and ASN")
-		}
-		if !c.HasIXP(j.IXP) {
-			return fmt.Errorf("core: join at unknown IXP %q", j.IXP)
-		}
-		if joining[j.Iface] {
-			return fmt.Errorf("core: duplicate join of %s", j.Iface)
-		}
-		if _, exists := ds.IfaceIXP[j.Iface]; exists && !leaving[j.Iface] {
-			return fmt.Errorf("core: join of already-known interface %s", j.Iface)
-		}
-		// The interface must sit on the peering LAN of the IXP it
-		// claims to join: a foreign-LAN join would leave IfaceIXP and
-		// the prefix plane permanently disagreeing, and an off-LAN
-		// join would break the invariant the incremental detection
-		// split (traix.Corpus) relies on.
-		if name, ok := ds.IXPOf(j.Iface); !ok || name != j.IXP {
-			return fmt.Errorf("core: join of %s: interface is not on the peering LAN of %q", j.Iface, j.IXP)
-		}
-		joining[j.Iface] = true
-	}
-	if len(d.Ping) > 0 && c.in.Ping == nil {
-		return fmt.Errorf("core: ping overrides without a campaign")
-	}
-	for ip, ov := range d.Ping {
-		if !ip.IsValid() {
-			return fmt.Errorf("core: ping override for invalid interface")
-		}
-		if math.IsNaN(ov.RTTMinMs) {
-			continue // measurement revocation
-		}
-		if ov.RTTMinMs <= 0 || math.IsInf(ov.RTTMinMs, 0) {
-			return fmt.Errorf("core: ping override for %s has non-positive RTT %v", ip, ov.RTTMinMs)
-		}
-		if ov.BestVP == nil {
-			return fmt.Errorf("core: measured ping override for %s needs a vantage point", ip)
-		}
+	// Validation completes before any mutation: a delta that fails
+	// leaves the context untouched, and a delta that passes cannot
+	// make the mutation phase below fail — the property the write-
+	// ahead log relies on (a validated delta is safe to mutate with
+	// after its log record is durable).
+	leaving, err := c.validateDelta(d)
+	if err != nil {
+		return err
 	}
 
 	// ---- registry dataset + intern table ----
@@ -219,6 +173,80 @@ func (c *Context) Apply(d Delta) error {
 	c.traceMu.Unlock()
 
 	return nil
+}
+
+// ValidateDelta runs Apply's validation phase without mutating
+// anything: joins must introduce new peering-LAN interfaces on IXPs
+// the dataset knows, leaves must name existing memberships, and
+// measured overrides must carry a vantage point. A delta that passes
+// is guaranteed to Apply cleanly against the current context state —
+// the contract the persistence layer needs to log a delta before
+// mutating with it.
+func (c *Context) ValidateDelta(d Delta) error {
+	_, err := c.validateDelta(d)
+	return err
+}
+
+// validateDelta checks the whole delta against the current dataset and
+// returns the set of leaving interfaces (Apply reuses it to build the
+// changed-address set). It performs no mutation.
+func (c *Context) validateDelta(d Delta) (leaving map[netip.Addr]bool, err error) {
+	ds := c.in.Dataset
+	leaving = make(map[netip.Addr]bool, len(d.Leaves))
+	for _, k := range d.Leaves {
+		if !k.Iface.IsValid() {
+			return nil, fmt.Errorf("core: leave of invalid interface")
+		}
+		if leaving[k.Iface] {
+			return nil, fmt.Errorf("core: duplicate leave of %s", k.Iface)
+		}
+		if ixp, ok := ds.IfaceIXP[k.Iface]; !ok || ixp != k.IXP {
+			return nil, fmt.Errorf("core: leave of unknown membership %s/%s", k.IXP, k.Iface)
+		}
+		leaving[k.Iface] = true
+	}
+	joining := make(map[netip.Addr]bool, len(d.Joins))
+	for _, j := range d.Joins {
+		if !j.Iface.IsValid() || j.ASN == 0 {
+			return nil, fmt.Errorf("core: join needs a valid interface and ASN")
+		}
+		if !c.HasIXP(j.IXP) {
+			return nil, fmt.Errorf("core: join at unknown IXP %q", j.IXP)
+		}
+		if joining[j.Iface] {
+			return nil, fmt.Errorf("core: duplicate join of %s", j.Iface)
+		}
+		if _, exists := ds.IfaceIXP[j.Iface]; exists && !leaving[j.Iface] {
+			return nil, fmt.Errorf("core: join of already-known interface %s", j.Iface)
+		}
+		// The interface must sit on the peering LAN of the IXP it
+		// claims to join: a foreign-LAN join would leave IfaceIXP and
+		// the prefix plane permanently disagreeing, and an off-LAN
+		// join would break the invariant the incremental detection
+		// split (traix.Corpus) relies on.
+		if name, ok := ds.IXPOf(j.Iface); !ok || name != j.IXP {
+			return nil, fmt.Errorf("core: join of %s: interface is not on the peering LAN of %q", j.Iface, j.IXP)
+		}
+		joining[j.Iface] = true
+	}
+	if len(d.Ping) > 0 && c.in.Ping == nil {
+		return nil, fmt.Errorf("core: ping overrides without a campaign")
+	}
+	for ip, ov := range d.Ping {
+		if !ip.IsValid() {
+			return nil, fmt.Errorf("core: ping override for invalid interface")
+		}
+		if math.IsNaN(ov.RTTMinMs) {
+			continue // measurement revocation
+		}
+		if ov.RTTMinMs <= 0 || math.IsInf(ov.RTTMinMs, 0) {
+			return nil, fmt.Errorf("core: ping override for %s has non-positive RTT %v", ip, ov.RTTMinMs)
+		}
+		if ov.BestVP == nil {
+			return nil, fmt.Errorf("core: measured ping override for %s needs a vantage point", ip)
+		}
+	}
+	return leaving, nil
 }
 
 // patchDomain applies membership churn to the built domain, keeping

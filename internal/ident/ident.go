@@ -155,6 +155,14 @@ func (t *Table) IfaceRetired(id IfaceID) bool { return t.dead.Get(uint32(id)) }
 // (ID order itself is only address-ordered over the frozen inputs).
 func (t *Table) AddrLess(a, b IfaceID) bool { return t.addrs[a].Less(t.addrs[b]) }
 
+// Ifaces returns the interface address column (IfaceID -> address,
+// tombstones included) — the column-dump hook the snapshot layer walks
+// to persist membership state in a deterministic order without
+// sorting: ID order is append order, which is fixed by the delta
+// history. The slice is the table's live backing array and must be
+// treated as read-only.
+func (t *Table) Ifaces() []netip.Addr { return t.addrs }
+
 // ---------------------------------------------------------------------------
 // Members
 

@@ -323,6 +323,19 @@ func (r *Result) WithOverrides(ov map[netip.Addr]Override) *Result {
 	}
 }
 
+// Overlay returns a copy of the cumulative per-interface overrides
+// layered over the campaign by WithOverrides — the mutable slice of a
+// campaign's state, and therefore exactly what the engine's snapshot
+// persists (the underlying measurements are regenerable from the base
+// inputs; the overrides are not).
+func (r *Result) Overlay() map[netip.Addr]Override {
+	out := make(map[netip.Addr]Override, len(r.overrides))
+	for ip, o := range r.overrides {
+		out[ip] = o
+	}
+	return out
+}
+
 // Overrides folds a re-campaign result into the override form
 // WithOverrides consumes: every interface the refresh measured usably
 // gets its refreshed aggregate (latest campaign wins). Interfaces the

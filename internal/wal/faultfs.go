@@ -1,0 +1,403 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the error returned by a FaultError / FaultShortWrite
+// injection (wrapped with op detail).
+var ErrInjected = errors.New("wal: injected fault")
+
+// ErrCrashed is returned by every mutating operation after a
+// FaultCrash injection fired: the simulated machine is down until
+// PowerFail resets it.
+var ErrCrashed = errors.New("wal: simulated machine crash")
+
+// FaultMode selects what an injection does when its operation index is
+// reached.
+type FaultMode int
+
+const (
+	// FaultError fails the operation (nothing is applied) and lets the
+	// process continue — a transient EIO.
+	FaultError FaultMode = iota
+	// FaultShortWrite applies only Partial bytes of a write, then
+	// fails it — a disk-full or interrupted write.
+	FaultShortWrite
+	// FaultCrash applies Partial bytes of the operation (writes only),
+	// then takes the machine down: the op and every later mutating op
+	// return ErrCrashed until PowerFail.
+	FaultCrash
+)
+
+// Fault is one injected failure.
+type Fault struct {
+	Mode FaultMode
+	// Partial is the number of bytes of a write to apply before
+	// failing (FaultShortWrite / FaultCrash).
+	Partial int
+	// Err overrides the returned error (FaultError / FaultShortWrite).
+	Err error
+}
+
+// MemFS is an in-memory FS that models the durability semantics of a
+// real disk for crash testing:
+//
+//   - file data is durable only up to the last Sync; a power failure
+//     discards unsynced bytes (PowerFail can be told to keep a prefix
+//     of them, modeling pages that hit the platter before the cord was
+//     pulled — the torn-record case);
+//   - directory entries (creates, renames, removes) are durable only
+//     after SyncDir on the parent; a power failure rolls unsynced
+//     entry operations back.
+//
+// Mutating operations (Create, Write, Sync, Rename, Remove, Truncate,
+// SyncDir) are counted, and a Fault can be injected at any 1-based
+// operation index — the lever the crash-point matrix tests turn.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirs    map[string]bool
+	ops     int
+	faults  map[int]Fault
+	crashed bool
+
+	// entry ops since the last SyncDir, newest last, for crash rollback.
+	pending []entryOp
+}
+
+type memFile struct {
+	data    []byte
+	durable int // bytes guaranteed to survive PowerFail
+}
+
+type entryOp struct {
+	kind     string // "create", "rename", "remove"
+	path     string
+	from     string   // rename source
+	prev     *memFile // overwritten/removed file state, if any
+	prevWas  bool
+	fromPrev *memFile // rename: source file object
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: make(map[string]bool), faults: make(map[int]Fault)}
+}
+
+// InjectAt arms a fault at the n-th mutating operation from now
+// (1-based). Multiple injections may be armed at distinct indexes.
+func (m *MemFS) InjectAt(n int, f Fault) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults[m.ops+n] = f
+}
+
+// Ops returns the number of mutating operations performed so far.
+func (m *MemFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Crashed reports whether a FaultCrash has fired.
+func (m *MemFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// PowerFail simulates the power cut that follows a crash: unsynced
+// file bytes are discarded — except the first keepUnsynced bytes of
+// each file's unsynced tail, modeling pages that reached the platter
+// — and entry operations not covered by a SyncDir are rolled back.
+// The machine then "reboots": the crashed flag and all armed faults
+// are cleared, so recovery code can run against the surviving state.
+func (m *MemFS) PowerFail(keepUnsynced int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Roll back entry ops newest-first.
+	for i := len(m.pending) - 1; i >= 0; i-- {
+		op := m.pending[i]
+		switch op.kind {
+		case "create":
+			if op.prevWas {
+				m.files[op.path] = op.prev
+			} else {
+				delete(m.files, op.path)
+			}
+		case "rename":
+			if op.prevWas {
+				m.files[op.path] = op.prev
+			} else {
+				delete(m.files, op.path)
+			}
+			m.files[op.from] = op.fromPrev
+		case "remove":
+			m.files[op.path] = op.prev
+		}
+	}
+	m.pending = nil
+	for _, f := range m.files {
+		keep := f.durable + keepUnsynced
+		if keep < len(f.data) {
+			f.data = f.data[:keep]
+		}
+		if f.durable > len(f.data) {
+			f.durable = len(f.data)
+		}
+	}
+	m.crashed = false
+	m.faults = make(map[int]Fault)
+}
+
+// step accounts one mutating operation and returns the fault to apply,
+// if any. Caller holds the lock.
+func (m *MemFS) step(op string) (Fault, bool, error) {
+	if m.crashed {
+		return Fault{}, false, fmt.Errorf("%w (%s)", ErrCrashed, op)
+	}
+	m.ops++
+	f, ok := m.faults[m.ops]
+	if ok {
+		delete(m.faults, m.ops)
+		if f.Mode == FaultCrash {
+			m.crashed = true
+		}
+	}
+	return f, ok, nil
+}
+
+func faultErr(f Fault, op string) error {
+	if f.Err != nil {
+		return f.Err
+	}
+	if f.Mode == FaultCrash {
+		return fmt.Errorf("%w (%s)", ErrCrashed, op)
+	}
+	return fmt.Errorf("%w (%s)", ErrInjected, op)
+}
+
+// MkdirAll implements FS (not fault-counted: directory creation
+// happens once at open, before any interesting crash window).
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[dir] = true
+	return nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok, err := m.step("create " + path)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return nil, faultErr(f, "create "+path)
+	}
+	prev, was := m.files[path]
+	m.pending = append(m.pending, entryOp{kind: "create", path: path, prev: prev, prevWas: was})
+	nf := &memFile{}
+	m.files[path] = nf
+	return &memHandle{fs: m, f: nf, path: path}, nil
+}
+
+// Open implements FS. Reads see the current (possibly unsynced) state,
+// like a live filesystem.
+func (m *MemFS) Open(path string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: path, Err: os.ErrNotExist}
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), f.data...))), nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for p := range m.files {
+		if strings.HasPrefix(p, prefix) && !strings.Contains(p[len(prefix):], "/") {
+			names = append(names, p[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok, err := m.step("rename " + oldPath)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return faultErr(f, "rename "+oldPath)
+	}
+	src, has := m.files[oldPath]
+	if !has {
+		return &os.PathError{Op: "rename", Path: oldPath, Err: os.ErrNotExist}
+	}
+	prev, was := m.files[newPath]
+	m.pending = append(m.pending, entryOp{kind: "rename", path: newPath, from: oldPath, prev: prev, prevWas: was, fromPrev: src})
+	m.files[newPath] = src
+	delete(m.files, oldPath)
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok, err := m.step("remove " + path)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return faultErr(f, "remove "+path)
+	}
+	prev, has := m.files[path]
+	if !has {
+		return &os.PathError{Op: "remove", Path: path, Err: os.ErrNotExist}
+	}
+	m.pending = append(m.pending, entryOp{kind: "remove", path: path, prev: prev})
+	delete(m.files, path)
+	return nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok, err := m.step("truncate " + path)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return faultErr(f, "truncate "+path)
+	}
+	file, has := m.files[path]
+	if !has {
+		return &os.PathError{Op: "truncate", Path: path, Err: os.ErrNotExist}
+	}
+	if int(size) < len(file.data) {
+		file.data = file.data[:size]
+	}
+	if file.durable > len(file.data) {
+		file.durable = len(file.data)
+	}
+	return nil
+}
+
+// SyncDir implements FS: all pending entry operations become durable.
+// (Entry durability is modeled filesystem-wide rather than per
+// directory — the WAL keeps everything in one directory.)
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok, err := m.step("syncdir " + dir)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return faultErr(f, "syncdir "+dir)
+	}
+	m.pending = nil
+	return nil
+}
+
+// ReadFile returns a copy of a file's current content (test helper).
+func (m *MemFS) ReadFile(path string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// WriteFile replaces a file's content and marks it durable (test
+// helper for corruption injection).
+func (m *MemFS) WriteFile(path string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path] = &memFile{data: append([]byte(nil), data...), durable: len(data)}
+}
+
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	path   string
+	closed bool
+}
+
+// Write implements io.Writer with fault injection.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	f, ok, err := h.fs.step("write " + h.path)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		switch f.Mode {
+		case FaultError:
+			return 0, faultErr(f, "write "+h.path)
+		case FaultShortWrite, FaultCrash:
+			k := f.Partial
+			if k > len(p) {
+				k = len(p)
+			}
+			h.f.data = append(h.f.data, p[:k]...)
+			return k, faultErr(f, "write "+h.path)
+		}
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+// Sync implements File with fault injection.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	f, ok, err := h.fs.step("sync " + h.path)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return faultErr(f, "sync "+h.path)
+	}
+	h.f.durable = len(h.f.data)
+	return nil
+}
+
+// Close implements File (not fault-counted).
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

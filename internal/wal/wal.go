@@ -1,0 +1,345 @@
+// Package wal is the append-only delta log underneath the persistent
+// inference engine: length-prefixed, CRC32C-checksummed frames in
+// append-only segment files, written through a pluggable filesystem
+// seam (FS) so that crash behavior is testable, not hoped for.
+//
+// A segment file is
+//
+//	header frame | record frame | record frame | ...
+//
+// where every frame is
+//
+//	u32 payload length | u32 CRC32C(payload) | payload
+//
+// (little-endian). The header frame carries the segment magic, the
+// format version, the owner's base-world fingerprint and the sequence
+// number of the segment's first record; record payloads are opaque to
+// this package (the rpi layer serializes one engine delta per record).
+//
+// Crash anatomy on scan: a frame that runs past the end of the file,
+// or whose checksum fails on the very last bytes of the file, is a
+// torn tail — the half-written victim of a crash mid-append — and is
+// reported for truncate-and-continue recovery. A checksum failure with
+// intact data after it is silent corruption and fails the scan with a
+// typed *CorruptError naming the byte offset: recovery must stop,
+// because records past the damage cannot be trusted to be the records
+// that were written.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Magic identifies a WAL segment file (8 bytes, versioned separately).
+const Magic = "RPIWAL01"
+
+// FormatVersion is the current frame/header format. Readers reject
+// segments from a newer format instead of misparsing them.
+const FormatVersion = 1
+
+// MaxFrameLen bounds a single frame payload. A length prefix beyond it
+// is treated as corruption outright (no real record is this large; an
+// insane length is almost always a damaged length field).
+const MaxFrameLen = 64 << 20
+
+const frameHeader = 8 // u32 length + u32 crc
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncMode selects when appended records are fsynced.
+type SyncMode int
+
+const (
+	// SyncEveryRecord fsyncs after every append: an append that
+	// returned is durable. The zero delta loss mode.
+	SyncEveryRecord SyncMode = iota
+	// SyncEveryInterval fsyncs at most once per Policy.Interval (and on
+	// Close). A crash can lose up to one interval of acknowledged
+	// records.
+	SyncEveryInterval
+	// SyncNever leaves flushing to the OS (and Close). Benchmarks and
+	// replay tooling only.
+	SyncNever
+)
+
+// Policy is a sync mode plus its interval.
+type Policy struct {
+	Mode     SyncMode
+	Interval time.Duration
+}
+
+// String renders the policy for logs and flags.
+func (p Policy) String() string {
+	switch p.Mode {
+	case SyncEveryRecord:
+		return "per-record"
+	case SyncEveryInterval:
+		return fmt.Sprintf("interval(%s)", p.Interval)
+	default:
+		return "off"
+	}
+}
+
+// SegmentName renders the canonical file name of a segment whose
+// first record carries sequence firstSeq+1. The fixed-width hex means
+// lexical directory order equals sequence order.
+func SegmentName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstSeq)
+}
+
+// ParseSegmentName extracts the FirstSeq a segment file name encodes,
+// rejecting foreign files (snapshots, temp files) sharing the
+// directory.
+func ParseSegmentName(name string) (uint64, bool) {
+	if len(name) != len("wal-")+16+len(".log") ||
+		!strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[4:20], 16, 64)
+	if err != nil || name != SegmentName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// CorruptError reports unrecoverable damage inside a segment: a frame
+// whose checksum fails (or whose length field is insane) with intact
+// data after it. Offset is the byte offset of the damaged frame.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt segment %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Header is the decoded segment header frame.
+type Header struct {
+	Version     int
+	Fingerprint uint64
+	// FirstSeq is the sequence number the segment's first record will
+	// carry (records are appended contiguously).
+	FirstSeq uint64
+}
+
+func encodeHeader(h Header) []byte {
+	b := make([]byte, 0, len(Magic)+2+8+8)
+	b = append(b, Magic...)
+	b = append(b, byte(h.Version), 0)
+	b = binary.LittleEndian.AppendUint64(b, h.Fingerprint)
+	b = binary.LittleEndian.AppendUint64(b, h.FirstSeq)
+	return b
+}
+
+func decodeHeader(payload []byte) (Header, error) {
+	if len(payload) != len(Magic)+2+8+8 || string(payload[:len(Magic)]) != Magic {
+		return Header{}, errors.New("not a WAL segment header")
+	}
+	h := Header{Version: int(payload[len(Magic)])}
+	if h.Version > FormatVersion {
+		return Header{}, fmt.Errorf("segment format v%d is newer than supported v%d", h.Version, FormatVersion)
+	}
+	h.Fingerprint = binary.LittleEndian.Uint64(payload[len(Magic)+2:])
+	h.FirstSeq = binary.LittleEndian.Uint64(payload[len(Magic)+10:])
+	return h, nil
+}
+
+// Writer appends framed records to one segment file.
+type Writer struct {
+	fs       FS
+	f        File
+	path     string
+	pol      Policy
+	lastSync time.Time
+	buf      []byte
+	// unsynced counts appends since the last fsync (interval mode).
+	unsynced int
+}
+
+// Create starts a new segment at path (truncating any leftover file of
+// the same name — the caller guarantees, via its naming scheme, that a
+// colliding file holds nothing that is not already recovered). The
+// header frame is written and, unless the policy is SyncNever, synced
+// along with the parent directory before Create returns.
+func Create(fsys FS, dir, name string, h Header, pol Policy) (*Writer, error) {
+	h.Version = FormatVersion
+	path := dir + "/" + name
+	f, err := fsys.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create segment: %w", err)
+	}
+	w := &Writer{fs: fsys, f: f, path: path, pol: pol, lastSync: time.Now()}
+	if err := w.append(encodeHeader(h)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write segment header: %w", err)
+	}
+	if pol.Mode != SyncNever {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync segment header: %w", err)
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync segment directory: %w", err)
+		}
+	}
+	return w, nil
+}
+
+// Path returns the segment's file path.
+func (w *Writer) Path() string { return w.path }
+
+// append frames and writes one payload (no sync-policy handling).
+func (w *Writer) append(payload []byte) error {
+	if len(payload) > MaxFrameLen {
+		return fmt.Errorf("wal: record of %d bytes exceeds frame limit", len(payload))
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(payload)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.Checksum(payload, castagnoli))
+	w.buf = append(w.buf, payload...)
+	// One Write call per frame: a frame is either fully handed to the
+	// OS or not written at all, so only a crash below the syscall (a
+	// partially persisted page) can tear it.
+	_, err := w.f.Write(w.buf)
+	return err
+}
+
+// Append frames, writes and — per the sync policy — fsyncs one record.
+// When Append returns nil under SyncEveryRecord, the record is
+// durable.
+func (w *Writer) Append(payload []byte) error {
+	if err := w.append(payload); err != nil {
+		return err
+	}
+	switch w.pol.Mode {
+	case SyncEveryRecord:
+		return w.f.Sync()
+	case SyncEveryInterval:
+		w.unsynced++
+		if time.Since(w.lastSync) >= w.pol.Interval {
+			return w.Sync()
+		}
+	}
+	return nil
+}
+
+// Sync flushes outstanding appends to stable storage.
+func (w *Writer) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.lastSync = time.Now()
+	w.unsynced = 0
+	return nil
+}
+
+// Close syncs and closes the segment.
+func (w *Writer) Close() error {
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// ScanInfo summarises one segment scan.
+type ScanInfo struct {
+	Header Header
+	// Records is the number of valid record frames (header excluded).
+	Records int
+	// GoodLen is the byte offset just past the last valid frame — the
+	// truncation point when the tail is torn.
+	GoodLen int64
+	// Torn reports a partial or checksum-failing frame at the very end
+	// of the file: the signature of a crash mid-append. TornReason says
+	// what was wrong with it.
+	Torn       bool
+	TornReason string
+}
+
+// Scan reads a segment, calling fn with every valid record payload (in
+// order, with its byte offset). The payload slice is reused across
+// calls; fn must not retain it.
+//
+// Damage classification: a frame cut off by the end of the file, or a
+// checksum failure on the file's final bytes, is reported as a torn
+// tail in the returned ScanInfo (scan succeeds, the caller truncates);
+// a checksum failure with data after it returns a *CorruptError.
+func Scan(fsys FS, path string, fn func(off int64, payload []byte) error) (ScanInfo, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return ScanInfo{}, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return ScanInfo{}, fmt.Errorf("wal: read segment %s: %w", path, err)
+	}
+
+	info := ScanInfo{}
+	off := int64(0)
+	n := int64(len(data))
+	sawHeader := false
+	for off < n {
+		if off+frameHeader > n {
+			info.Torn, info.TornReason = true, "partial frame header"
+			break
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length > MaxFrameLen {
+			// An insane length is a damaged length field, not a huge
+			// record; there is no way to find the next frame boundary.
+			return info, &CorruptError{Path: path, Offset: off, Reason: fmt.Sprintf("frame length %d exceeds limit", length)}
+		}
+		end := off + frameHeader + length
+		if end > n {
+			info.Torn, info.TornReason = true, "frame runs past end of file"
+			break
+		}
+		payload := data[off+frameHeader : end]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			if end == n {
+				// The final bytes of the file: indistinguishable from a
+				// torn append whose tail pages never hit the platter.
+				info.Torn, info.TornReason = true, "checksum mismatch on final frame"
+				break
+			}
+			return info, &CorruptError{Path: path, Offset: off, Reason: "checksum mismatch"}
+		}
+		if !sawHeader {
+			h, err := decodeHeader(payload)
+			if err != nil {
+				return info, &CorruptError{Path: path, Offset: off, Reason: err.Error()}
+			}
+			info.Header = h
+			sawHeader = true
+		} else {
+			if fn != nil {
+				if err := fn(off, payload); err != nil {
+					return info, err
+				}
+			}
+			info.Records++
+		}
+		off = end
+		info.GoodLen = end
+	}
+	if !sawHeader && !info.Torn {
+		// Zero-length file: a segment created but never header-written.
+		info.Torn, info.TornReason = true, "empty segment"
+	}
+	return info, nil
+}

@@ -126,6 +126,12 @@ func mintJoins(in Inputs, n int, taken map[netip.Addr]bool, rng *rand.Rand) []Jo
 	for _, m := range in.World.Members {
 		used[m.Iface] = true
 	}
+	// Interfaces the dataset already knows are taken too — a member
+	// minted by an earlier delta is not in the world's roster, and
+	// re-minting its address would be an invalid duplicate join.
+	for ip := range ds.IfaceIXP {
+		used[ip] = true
+	}
 	var prefixes []netip.Prefix
 	for p := range ds.PrefixIXP {
 		if p.Addr().Is4() { // lastAddrIn walks IPv4 LANs only

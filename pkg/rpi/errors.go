@@ -20,4 +20,21 @@ var (
 	// ErrWireVersion marks a wire payload with an unsupported schema
 	// version.
 	ErrWireVersion = errors.New("rpi: unsupported wire schema version")
+	// ErrPersistence marks a persistent engine whose write-ahead log
+	// can no longer be appended to (disk failure, fsync error). The
+	// engine keeps serving reads of its last state, but refuses further
+	// Applies: acknowledging an unlogged delta would break the
+	// recovered-state contract.
+	ErrPersistence = errors.New("rpi: persistence failed")
+	// ErrCorruptLog marks recovery finding silent corruption inside the
+	// delta log (a checksummed record damaged with intact data after
+	// it). The wrapped detail names the segment and byte offset.
+	ErrCorruptLog = errors.New("rpi: corrupt delta log")
+	// ErrBadSnapshot marks recovery finding no usable state where some
+	// was expected, or snapshot columns inconsistent with the base.
+	ErrBadSnapshot = errors.New("rpi: bad snapshot")
+	// ErrBaseMismatch marks durable state whose fingerprint does not
+	// match the base inputs offered to Open: the data directory belongs
+	// to a different world (other seed, scale or campaign).
+	ErrBaseMismatch = errors.New("rpi: data directory belongs to different base inputs")
 )

@@ -113,6 +113,13 @@ func SyntheticInputs(seed int64, scale int) (Inputs, error) {
 	if scale > 1 {
 		cfg = netsim.ScaledConfig(scale)
 	}
+	return syntheticInputs(cfg, seed)
+}
+
+// syntheticInputs builds the full input bundle over any world config —
+// the seam the crash-recovery tests use to run real engine histories
+// over a netsim.TinyConfig world in milliseconds.
+func syntheticInputs(cfg netsim.Config, seed int64) (Inputs, error) {
 	cfg.Seed = seed
 	w, err := netsim.Generate(cfg)
 	if err != nil {

@@ -1,7 +1,10 @@
 package rpi
 
 import (
+	"log"
+
 	"rpeer/internal/core"
+	"rpeer/internal/wal"
 )
 
 // config is the resolved engine configuration.
@@ -9,6 +12,13 @@ type config struct {
 	opt       core.Options
 	order     []core.Step // nil = the paper's 1, 2+3, 4, 5 order
 	threshold float64
+
+	// Persistence knobs (Open/Replay only; New ignores them).
+	sync      wal.Policy
+	snapEvery uint64
+	snapSet   bool // WithSnapshotEvery given (0 means "disabled", not "default")
+	logger    *log.Logger
+	walFS     wal.FS
 }
 
 func defaultConfig() config {

@@ -47,11 +47,17 @@ type Engine struct {
 	// (RTT and membership deltas both move it).
 	baseline *core.Report
 	seq      uint64
+	// pers is the durable half of a persistent engine (Open); nil for
+	// the in-memory engines New and Replay build.
+	pers *persister
 
 	subMu   sync.Mutex
 	subs    map[int]chan Update
 	nextSub int
 	closed  bool
+	// dropped counts updates shed from slow subscribers (see
+	// Subscribe); guarded by subMu.
+	dropped uint64
 }
 
 // New validates the inputs, builds the shared inference substrate and
@@ -71,9 +77,14 @@ func New(in Inputs, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrMissingInput, err)
 	}
+	return buildEngine(ctx, cfg)
+}
+
+// buildEngine finishes engine construction over a ready (possibly
+// recovered) context: the initial pipeline run and baseline scan,
+// overlapped (both only read the shared context).
+func buildEngine(ctx *core.Context, cfg config) (*Engine, error) {
 	e := &Engine{ctx: ctx, cfg: cfg, subs: make(map[int]chan Update)}
-	// The baseline scan is independent of the pipeline run; overlap
-	// them (both only read the shared context).
 	var (
 		wg      sync.WaitGroup
 		base    *core.Report
@@ -238,7 +249,23 @@ func (e *Engine) Apply(d Delta) (*Update, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.pers != nil {
+		// Validate → log → mutate: logDelta re-validates the resolved
+		// delta (so the record it journals is guaranteed to apply on
+		// replay) and appends it under the configured fsync policy. If
+		// the append fails, nothing was mutated and persistence is
+		// declared broken — the durable state stays the acknowledged
+		// prefix.
+		if err := e.logDelta(d); err != nil {
+			return nil, err
+		}
+	}
 	if err := e.ctx.Apply(core.Delta(d)); err != nil {
+		if e.pers != nil {
+			// Validated, logged, yet failed to apply: a bug, but the
+			// log now disagrees with memory — freeze the durable state.
+			e.pers.broken = fmt.Errorf("delta %d logged but failed to apply: %v", e.seq+1, err)
+		}
 		return nil, fmt.Errorf("%w: %v", ErrBadDelta, err)
 	}
 	rep, err := e.run()
@@ -249,6 +276,7 @@ func (e *Engine) Apply(d Delta) (*Update, error) {
 	e.report = rep
 	e.baseline = nil
 	e.seq++
+	e.maybeSnapshot()
 	up := diffReports(e.seq, old, rep)
 	up.Joined, up.Left, up.RTTRefreshed = len(d.Joins), len(d.Leaves), len(d.Ping)
 	e.publish(*up)
@@ -292,8 +320,18 @@ func (e *Engine) resolveVPs(d Delta) (Delta, error) {
 // Subscribe registers a verdict-change listener. Every Apply delivers
 // one Update; a subscriber that falls more than buf updates behind has
 // the oldest pending updates dropped (the engine never blocks on a
-// slow consumer). The returned cancel function unregisters and closes
-// the channel; it is safe to call more than once.
+// slow consumer).
+//
+// Drop semantics: shedding is per-subscriber and oldest-first — a slow
+// consumer loses the earliest updates it had not read, and always
+// receives the most recent one. A consumer that must not miss changes
+// should either size buf for its worst-case lag or treat any gap in
+// Update.Seq as a signal to resynchronize from Snapshot(). Every shed
+// update increments the engine-wide counter behind DroppedUpdates
+// (exported as the rpi.dropped_updates expvar by cmd/rpi-serve).
+//
+// The returned cancel function unregisters and closes the channel; it
+// is safe to call more than once.
 func (e *Engine) Subscribe(buf int) (<-chan Update, func()) {
 	if buf < 1 {
 		buf = 1
@@ -320,18 +358,40 @@ func (e *Engine) Subscribe(buf int) (<-chan Update, func()) {
 
 // Close shuts the engine down: subscriber channels are closed and
 // further Apply calls fail with ErrClosed. Queries keep serving the
-// last snapshot.
-func (e *Engine) Close() {
+// last snapshot. A persistent engine publishes a final snapshot (so
+// the next Open replays nothing) and syncs and closes its log; the
+// returned error reports any failure to do so — the log itself is
+// still intact, so recovery replays the tail instead.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.subMu.Lock()
-	defer e.subMu.Unlock()
-	if e.closed {
-		return
-	}
+	alreadyClosed := e.closed
 	e.closed = true
 	for id, ch := range e.subs {
 		delete(e.subs, id)
 		close(ch)
 	}
+	e.subMu.Unlock()
+	if alreadyClosed || e.pers == nil {
+		return nil
+	}
+	var err error
+	if e.pers.broken == nil && e.pers.lastSnap != e.seq {
+		err = e.snapshotLocked(false)
+	}
+	if cerr := e.pers.w.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("%w: close log: %v", ErrPersistence, cerr)
+	}
+	return err
+}
+
+// DroppedUpdates returns the total number of updates shed from slow
+// subscribers since the engine started (see Subscribe).
+func (e *Engine) DroppedUpdates() uint64 {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	return e.dropped
 }
 
 func (e *Engine) isClosed() bool {
@@ -352,6 +412,7 @@ func (e *Engine) publish(up Update) {
 			default:
 				select {
 				case <-ch: // shed the oldest pending update
+					e.dropped++
 				default:
 				}
 				continue

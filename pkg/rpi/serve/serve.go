@@ -6,9 +6,16 @@
 // Endpoints:
 //
 //	GET  /healthz          liveness + delta sequence number
+//	GET  /readyz           readiness: 200 once the engine is built/recovered
 //	GET  /v1/infer         full wire report (current snapshot)
 //	GET  /v1/report/{ixp}  one IXP's wire report
 //	POST /v1/apply         apply a world delta, returns the verdict changes
+//
+// Liveness and readiness are distinct probes: /healthz answers 200 as
+// soon as the listener is up (the process is alive — don't kill it),
+// while /readyz answers 503 until the engine has finished building or
+// recovering from its data directory (don't route traffic yet). Every
+// /v1 endpoint is gated the same way as /readyz.
 package serve
 
 import (
@@ -18,6 +25,7 @@ import (
 	"math"
 	"net/http"
 	"net/netip"
+	"sync/atomic"
 
 	"rpeer/internal/netsim"
 	"rpeer/internal/pingsim"
@@ -28,33 +36,87 @@ import (
 // engine's read lock and scale across connections; applies serialize
 // behind its write lock.
 type Server struct {
-	eng *rpi.Engine
+	// eng is nil until SetEngine: the pending window where the listener
+	// is up but cold start or crash recovery is still running.
+	eng atomic.Pointer[rpi.Engine]
 	mux *http.ServeMux
 }
 
-// New builds the HTTP handler over a shared engine.
+// New builds the HTTP handler over a shared engine, ready immediately.
 func New(eng *rpi.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s := NewPending()
+	s.SetEngine(eng)
+	return s
+}
+
+// NewPending builds the HTTP handler with no engine yet: /healthz
+// reports alive, /readyz and every /v1 endpoint answer 503 until
+// SetEngine. This is how cmd/rpi-serve binds its port before recovery
+// so that orchestrators see liveness during a long replay.
+func NewPending() *Server {
+	s := &Server{mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/infer", s.handleInfer)
 	s.mux.HandleFunc("GET /v1/report/{ixp}", s.handleReport)
 	s.mux.HandleFunc("POST /v1/apply", s.handleApply)
 	return s
 }
 
+// SetEngine publishes the engine and flips the server ready. Safe to
+// call from the recovery goroutine while requests are being served.
+func (s *Server) SetEngine(eng *rpi.Engine) { s.eng.Store(eng) }
+
+// Ready reports whether the engine has been published.
+func (s *Server) Ready() bool { return s.eng.Load() != nil }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// engine returns the published engine, or replies 503 and returns nil
+// while the server is still pending.
+func (s *Server) engine(w http.ResponseWriter) *rpi.Engine {
+	eng := s.eng.Load()
+	if eng == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "error": "engine is recovering"})
+	}
+	return eng
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{"ok": true, "seq": s.eng.Seq()})
+	body := map[string]any{"ok": true}
+	if eng := s.eng.Load(); eng != nil {
+		body["seq"] = eng.Seq()
+	} else {
+		body["recovering"] = true
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	eng := s.eng.Load()
+	if eng == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"ready": true, "seq": eng.Seq()})
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, _ *http.Request) {
-	s.writeReport(w, s.eng.Snapshot())
+	eng := s.engine(w)
+	if eng == nil {
+		return
+	}
+	s.writeReport(w, eng.Snapshot())
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.eng.ReportFor(r.PathValue("ixp"))
+	eng := s.engine(w)
+	if eng == nil {
+		return
+	}
+	rep, err := eng.ReportFor(r.PathValue("ixp"))
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -95,6 +157,10 @@ type WireRTT struct {
 }
 
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	eng := s.engine(w)
+	if eng == nil {
+		return
+	}
 	var wd WireDelta
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
@@ -102,12 +168,12 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad delta body: %v", err), http.StatusBadRequest)
 		return
 	}
-	d, err := s.toDelta(wd)
+	d, err := s.toDelta(eng, wd)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	up, err := s.eng.Apply(d)
+	up, err := eng.Apply(d)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -116,7 +182,7 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 }
 
 // toDelta resolves a wire delta against the engine's current state.
-func (s *Server) toDelta(wd WireDelta) (rpi.Delta, error) {
+func (s *Server) toDelta(eng *rpi.Engine, wd WireDelta) (rpi.Delta, error) {
 	var d rpi.Delta
 	for _, j := range wd.Joins {
 		ip, err := netip.ParseAddr(j.Iface)
@@ -137,7 +203,7 @@ func (s *Server) toDelta(wd WireDelta) (rpi.Delta, error) {
 	if len(wd.RTT) == 0 {
 		return d, nil
 	}
-	in := s.eng.Inputs()
+	in := eng.Inputs()
 	if in.Ping == nil {
 		return d, fmt.Errorf("rtt: engine has no ping campaign")
 	}
@@ -200,6 +266,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, rpi.ErrBadDelta):
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, rpi.ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, rpi.ErrPersistence):
+		// The log is broken: writes are refused (durability can no
+		// longer be promised) while reads keep serving the last state.
 		status = http.StatusServiceUnavailable
 	}
 	http.Error(w, err.Error(), status)

@@ -59,6 +59,59 @@ func get(t *testing.T, url string, wantStatus int) []byte {
 	return b
 }
 
+// TestReadinessGating: a pending server is alive but not ready — every
+// /v1 endpoint and /readyz answer 503 until SetEngine, 200 after.
+func TestReadinessGating(t *testing.T) {
+	s := NewPending()
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	var health struct {
+		OK         bool `json:"ok"`
+		Recovering bool `json:"recovering"`
+	}
+	if err := json.Unmarshal(get(t, srv.URL+"/healthz", http.StatusOK), &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.OK || !health.Recovering {
+		t.Fatalf("pending healthz = %+v", health)
+	}
+	get(t, srv.URL+"/readyz", http.StatusServiceUnavailable)
+	get(t, srv.URL+"/v1/infer", http.StatusServiceUnavailable)
+	get(t, srv.URL+"/v1/report/any", http.StatusServiceUnavailable)
+	resp, err := http.Post(srv.URL+"/v1/apply", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pending apply: status %d, want 503", resp.StatusCode)
+	}
+	if s.Ready() {
+		t.Fatal("Ready() before SetEngine")
+	}
+
+	eng, err := rpi.New(testInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetEngine(eng)
+	if !s.Ready() {
+		t.Fatal("Ready() false after SetEngine")
+	}
+	var ready struct {
+		Ready bool   `json:"ready"`
+		Seq   uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal(get(t, srv.URL+"/readyz", http.StatusOK), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Ready {
+		t.Fatalf("readyz = %+v", ready)
+	}
+	get(t, srv.URL+"/v1/infer", http.StatusOK)
+}
+
 func TestHealthz(t *testing.T) {
 	_, srv := testServer(t)
 	var body struct {
