@@ -2,7 +2,7 @@ GO ?= go
 # PR number stamped into the benchmark snapshot file name; bump (or
 # override: `make bench-snapshot PR=5`) each PR so trajectories of all
 # PRs stay side by side.
-PR ?= 6
+PR ?= 7
 
 # Pipelines (bench-snapshot) must fail when any stage fails, not just
 # the last one, or a broken benchmark run would silently overwrite the
@@ -10,7 +10,7 @@ PR ?= 6
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet test test-race soak crash-matrix bench bench-smoke bench-snapshot bench-compare examples-smoke
+.PHONY: all build vet test test-race soak chaos crash-matrix bench bench-smoke bench-snapshot bench-compare examples-smoke
 
 all: vet build test
 
@@ -36,6 +36,17 @@ test-race:
 soak:
 	RPEER_SOAK=1 $(GO) test -race -run 'TestChurnSoak' ./pkg/rpi -count=1 -v
 
+# Chaos harness for the serving plane: mixed readers, streamers,
+# stalled consumers, appliers and deadline storms against the
+# supervised HTTP front end while engine panics and WAL append
+# failures are injected mid-apply; asserts the liveness SLOs (reads
+# never fail hard, recovery within bound, recovered state
+# byte-identical to a cold rebuild, sequence continuity). Runs under
+# the race detector. Short deterministic mode by default (2 fault
+# cycles); set RPEER_CHAOS=1 for the long soak (8 cycles).
+chaos:
+	$(GO) run -race ./cmd/rpi-chaos
+
 # The fault-injection matrix: kill the simulated machine at every
 # filesystem operation across an engine lifetime and prove recovery
 # lands on the acknowledged prefix with byte-identical reports, plus
@@ -54,7 +65,7 @@ bench:
 # of surfacing at the next snapshot. The heavy scaling rungs (4x+)
 # stay out — they build multi-gigabyte worlds.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkContextBuild|BenchmarkEngineApply/1x|BenchmarkServeHTTP|BenchmarkScaleWorld/1x|BenchmarkRecovery/1x' -benchmem -benchtime=1x
+	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkContextBuild|BenchmarkEngineApply/1x|BenchmarkServeHTTP|BenchmarkServeOverload|BenchmarkScaleWorld/1x|BenchmarkRecovery/1x' -benchmem -benchtime=1x
 
 # Compare a fresh run of the fast headline benchmarks against a
 # committed baseline snapshot and fail on >20% ns/op regression
@@ -85,7 +96,7 @@ examples-smoke:
 # the failing stage; the EXIT trap cleans the temp file up).
 bench-snapshot:
 	tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -run '^$$' -timeout 30m -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign|BenchmarkEngineApply|BenchmarkServeHTTP' \
+	$(GO) test -run '^$$' -timeout 30m -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign|BenchmarkEngineApply|BenchmarkServeHTTP|BenchmarkServeOverload' \
 		-benchmem -benchtime=3x > $$tmp; \
 	$(GO) test -run '^$$' -timeout 30m -bench 'BenchmarkScaleWorld|BenchmarkRecovery' -benchmem -benchtime=1x >> $$tmp; \
 	$(GO) run ./cmd/rpi-benchsnap -o BENCH_PR$(PR).json < $$tmp

@@ -11,20 +11,27 @@ package rpeer
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"rpeer/internal/admission"
 	"rpeer/internal/alias"
 	"rpeer/internal/core"
 	"rpeer/internal/exp"
 	"rpeer/internal/netsim"
 	"rpeer/internal/pingsim"
+	"rpeer/internal/supervisor"
 	"rpeer/internal/tracesim"
 	"rpeer/pkg/rpi"
 	"rpeer/pkg/rpi/serve"
@@ -437,7 +444,7 @@ func BenchmarkEngineApply(b *testing.B) {
 					if i%2 == 1 {
 						d = rev
 					}
-					up, err := eng.Apply(d)
+					up, err := eng.Apply(context.Background(), d)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -451,7 +458,7 @@ func BenchmarkEngineApply(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := eng.Apply(rpi.ChurnDelta(eng.Inputs(), 0.01, 97)); err != nil {
+				if _, err := eng.Apply(context.Background(), rpi.ChurnDelta(eng.Inputs(), 0.01, 97)); err != nil {
 					b.Fatal(err)
 				}
 				post := eng.Inputs() // the post-delta world a cold engine must ingest
@@ -534,6 +541,90 @@ func BenchmarkServeHTTP(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServeOverload prices the admission valve under saturation:
+// each iteration fires a burst of concurrent full-report reads at a
+// server whose Read class is deliberately tiny (2 slots, 2 queued,
+// 2ms max wait), so most of the burst must be shed with a fast 503
+// while the admitted requests keep their latency bounded. The two
+// reported metrics are the serving-plane SLO pair: shed% (how much of
+// the burst was refused — high is correct here, the valve working)
+// and p99-ms (tail latency of the admitted reads — the number the
+// valve exists to protect).
+func BenchmarkServeOverload(b *testing.B) {
+	const burst = 64
+	e := benchEnv(b)
+	eng, err := rpi.New(e.Inputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	quiet := log.New(io.Discard, "", 0)
+	g := supervisor.New(supervisor.Options{Logger: quiet})
+	g.Publish(eng)
+	front := serve.NewSupervised(g, serve.Config{
+		Admission: admission.Config{
+			Read: admission.Limits{Slots: 2, Queue: 2, MaxWait: 2 * time.Millisecond},
+		},
+		Logger: quiet,
+	})
+	srv := httptest.NewServer(front)
+	defer srv.Close()
+	client := srv.Client()
+
+	var (
+		mu       sync.Mutex
+		lat      []time.Duration
+		admitted atomic.Uint64
+		shed     atomic.Uint64
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := 0; j < burst; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start := time.Now()
+				resp, err := client.Get(srv.URL + "/v1/infer")
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					d := time.Since(start)
+					admitted.Add(1)
+					mu.Lock()
+					lat = append(lat, d)
+					mu.Unlock()
+				case http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						b.Error("shed response missing Retry-After")
+					}
+					shed.Add(1)
+				default:
+					b.Errorf("unexpected status %d", resp.StatusCode)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	total := admitted.Load() + shed.Load()
+	if total == 0 {
+		b.Fatal("no requests completed")
+	}
+	if admitted.Load() == 0 {
+		b.Fatal("every request was shed: the valve starved the admitted class")
+	}
+	b.ReportMetric(100*float64(shed.Load())/float64(total), "shed%")
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100]
+	b.ReportMetric(float64(p99)/float64(time.Millisecond), "p99-ms")
 }
 
 // wireDeltaBody renders a churn delta as a /v1/apply request body.
@@ -653,7 +744,7 @@ func BenchmarkRecovery(b *testing.B) {
 					b.Fatal(err)
 				}
 				for k := 0; k < seedDeltas; k++ {
-					if _, err := eng.Apply(rpi.ChurnDelta(eng.Inputs(), 0.01, int64(300+k))); err != nil {
+					if _, err := eng.Apply(context.Background(), rpi.ChurnDelta(eng.Inputs(), 0.01, int64(300+k))); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -9,11 +9,14 @@
 //	GET  /v1/infer         full inference report
 //	GET  /v1/report/{ixp}  one IXP's report
 //	POST /v1/apply         membership joins/leaves + RTT refreshes
+//	GET  /v1/stream        server-sent events: verdict changes as they land
 //
 // Usage:
 //
 //	rpi-serve [-seed N] [-scale N] [-addr :8090] [-workers N]
 //	          [-data-dir DIR] [-fsync every|interval|off] [-snapshot-every N]
+//	          [-request-timeout 0] [-admit-read N] [-admit-cheap N]
+//	          [-admit-write N] [-admit-stream N]
 //	          [-debug-addr :8091] [-shutdown-timeout 10s]
 //
 // With -data-dir set the engine is crash-safe: every applied delta is
@@ -23,6 +26,20 @@
 // binds immediately and /healthz answers while recovery replays;
 // /readyz (and the /v1 endpoints) go green when the engine is up.
 //
+// The serving plane is overload-safe and self-healing. Every /v1
+// endpoint passes through per-class admission control: cheap per-IXP
+// reads, full-report reads, mutating applies and SSE streams are each
+// independently bounded (machine-scaled defaults; override slots with
+// the -admit-* flags), and saturation answers 503 + Retry-After
+// instead of queueing without bound. -request-timeout caps the
+// end-to-end time of non-streaming requests, and the deadline
+// propagates into the engine — an abandoned request stops costing
+// anything. A panic escaping the engine's Apply (or a broken WAL)
+// quarantines the engine instead of killing the process: reads keep
+// serving the last good snapshot, writes answer 503, and with a
+// -data-dir a background re-Open heals the engine from the journal and
+// the plane goes writable again.
+//
 // SIGINT/SIGTERM shut the service down gracefully: in-flight requests
 // drain (bounded by -shutdown-timeout), then the engine closes,
 // publishing a final snapshot so the next start replays nothing.
@@ -30,13 +47,15 @@
 // With -debug-addr set, a second listener exposes the Go runtime
 // diagnostics — /debug/pprof/ (heap, CPU, goroutine profiles) and
 // /debug/vars (expvar: engine sequence, inference counts, dropped
-// subscriber updates) — kept off the service address so the profiling
+// subscriber updates, per-class admission counters, supervisor fault
+// and recovery counts) — kept off the service address so the profiling
 // surface is never reachable from the API network.
 //
 // Example session:
 //
 //	curl localhost:8090/v1/report/Frankfurt-IX
 //	curl -X POST localhost:8090/v1/apply -d '{"leaves":[{"ixp":"Frankfurt-IX","iface":"185.0.0.9"}]}'
+//	curl -N localhost:8090/v1/stream
 //	go tool pprof localhost:8091/debug/pprof/heap
 package main
 
@@ -53,6 +72,8 @@ import (
 	"syscall"
 	"time"
 
+	"rpeer/internal/admission"
+	"rpeer/internal/supervisor"
 	"rpeer/pkg/rpi"
 	"rpeer/pkg/rpi/serve"
 )
@@ -68,6 +89,11 @@ func main() {
 	fsync := flag.String("fsync", "every", "WAL fsync policy: every (per record), interval, off")
 	fsyncInterval := flag.Duration("fsync-interval", time.Second, "flush period for -fsync interval")
 	snapEvery := flag.Int("snapshot-every", rpi.DefaultSnapshotEvery, "deltas between automatic snapshots (0 = only on shutdown)")
+	reqTimeout := flag.Duration("request-timeout", 0, "end-to-end deadline for non-streaming requests (0 = none)")
+	admitCheap := flag.Int("admit-cheap", 0, "concurrent per-IXP report reads (0 = scale to CPUs)")
+	admitRead := flag.Int("admit-read", 0, "concurrent full-report reads (0 = scale to CPUs)")
+	admitWrite := flag.Int("admit-write", 0, "concurrent applies (0 = default 1; applies serialize anyway)")
+	admitStream := flag.Int("admit-stream", 0, "concurrent SSE streams (0 = scale to CPUs)")
 	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof and expvar (empty = disabled)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
@@ -75,10 +101,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The supervisor owns the engine pointer. reopen is bound after the
+	// first engine build (it needs the assembled inputs) and strictly
+	// before the engine is published — no fault can race the binding.
+	var reopen supervisor.Reopen
+	supOpts := supervisor.Options{RetryInterval: time.Second}
+	if *dataDir != "" {
+		supOpts.Reopen = func() (*rpi.Engine, *rpi.RecoveryInfo, error) { return reopen() }
+	}
+	guard := supervisor.New(supOpts)
+
 	// Bind the service port before the (possibly long) engine build:
 	// orchestrators see liveness immediately, readiness when recovery
 	// completes.
-	front := serve.NewPending()
+	front := serve.NewSupervised(guard, serve.Config{
+		Admission:      admissionConfig(*admitCheap, *admitRead, *admitWrite, *admitStream),
+		RequestTimeout: *reqTimeout,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           front,
@@ -98,13 +137,14 @@ func main() {
 		log.Printf("serving /debug/pprof and /debug/vars on %s", *debugAddr)
 	}
 
-	eng, err := buildEngine(*seed, *scale, *workers, *dataDir, *fsync, *fsyncInterval, *snapEvery)
+	eng, reopenFn, err := buildEngine(*seed, *scale, *workers, *dataDir, *fsync, *fsyncInterval, *snapEvery)
 	if err != nil {
 		log.Print(err)
 		srv.Close()
 		os.Exit(1)
 	}
-	publishEngineVars(eng)
+	reopen = reopenFn
+	publishServeVars(front)
 	front.SetEngine(eng)
 	log.Printf("ready: serving at seq %d", eng.Seq())
 
@@ -131,12 +171,36 @@ func main() {
 		_ = dbg.Shutdown(drainCtx)
 	}
 	// Close after the listeners stop: no request can race the final
-	// snapshot, and the last acknowledged delta is on disk.
-	if err := eng.Close(); err != nil {
+	// snapshot, and the last acknowledged delta is on disk. The guard
+	// closes the current engine (a quarantined one was already
+	// abandoned; its durable state is the acknowledged prefix).
+	if err := guard.Close(); err != nil {
 		log.Printf("engine close: %v", err)
 		os.Exit(1)
 	}
-	log.Printf("shut down cleanly at seq %d", eng.Seq())
+	if cur := guard.Engine(); cur != nil {
+		log.Printf("shut down cleanly at seq %d", cur.Seq())
+	}
+}
+
+// admissionConfig translates the -admit-* slot flags into per-class
+// limits: a set flag gets a queue twice its depth and the class's
+// default patience; an unset flag keeps the machine-scaled default.
+func admissionConfig(cheap, read, write, stream int) admission.Config {
+	var cfg admission.Config
+	if cheap > 0 {
+		cfg.Cheap = admission.Limits{Slots: cheap, Queue: 2 * cheap, MaxWait: 2 * time.Second}
+	}
+	if read > 0 {
+		cfg.Read = admission.Limits{Slots: read, Queue: 2 * read, MaxWait: 2 * time.Second}
+	}
+	if write > 0 {
+		cfg.Write = admission.Limits{Slots: write, Queue: 2 * write, MaxWait: 5 * time.Second}
+	}
+	if stream > 0 {
+		cfg.Stream = admission.Limits{Slots: stream}
+	}
+	return cfg
 }
 
 // waitShutdown keeps serving after a debug-listener failure until a
@@ -150,16 +214,21 @@ func waitShutdown(ctx context.Context, srvErr chan error) {
 }
 
 // buildEngine assembles the inputs and builds either an in-memory
-// engine or, with a data directory, a crash-safe persistent one.
-func buildEngine(seed int64, scale, workers int, dataDir, fsync string, fsyncInterval time.Duration, snapEvery int) (*rpi.Engine, error) {
+// engine or, with a data directory, a crash-safe persistent one. For a
+// persistent engine it also returns the reopen closure the supervisor
+// uses to heal a quarantined engine from the same directory.
+func buildEngine(seed int64, scale, workers int, dataDir, fsync string, fsyncInterval time.Duration, snapEvery int) (*rpi.Engine, supervisor.Reopen, error) {
 	log.Printf("assembling inputs (seed %d, scale %dx)...", seed, scale)
 	in, err := rpi.SyntheticInputs(seed, scale)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	log.Printf("building engine over %d memberships...", len(in.Dataset.IfaceIXP))
 	opts := []rpi.Option{rpi.WithWorkers(workers)}
-	var eng *rpi.Engine
+	var (
+		eng    *rpi.Engine
+		reopen supervisor.Reopen
+	)
 	if dataDir == "" {
 		eng, err = rpi.New(in, opts...)
 	} else {
@@ -171,13 +240,16 @@ func buildEngine(seed int64, scale, workers int, dataDir, fsync string, fsyncInt
 		case "off":
 			opts = append(opts, rpi.WithSync(rpi.SyncOff))
 		default:
-			return nil, errors.New("bad -fsync: want every, interval or off")
+			return nil, nil, errors.New("bad -fsync: want every, interval or off")
 		}
 		opts = append(opts, rpi.WithSnapshotEvery(snapEvery))
+		reopen = func() (*rpi.Engine, *rpi.RecoveryInfo, error) {
+			return rpi.Open(dataDir, in, opts...)
+		}
 		var info *rpi.RecoveryInfo
 		eng, info, err = rpi.Open(dataDir, in, opts...)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch {
 		case info.SnapshotName != "":
@@ -194,7 +266,7 @@ func buildEngine(seed int64, scale, workers int, dataDir, fsync string, fsyncInt
 		}
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep := eng.Snapshot()
 	var local, remote int
@@ -208,15 +280,23 @@ func buildEngine(seed int64, scale, workers int, dataDir, fsync string, fsyncInt
 	}
 	log.Printf("engine ready: %d memberships (%d local, %d remote), %d multi-IXP routers, seq %d",
 		len(rep.Inferences), local, remote, len(rep.MultiRouters), eng.Seq())
-	return eng, nil
+	return eng, reopen, nil
 }
 
-// publishEngineVars exposes live engine gauges through expvar (served
-// on the debug listener): delta sequence, domain size, verdict mix,
-// and the slow-subscriber drop counter.
-func publishEngineVars(eng *rpi.Engine) {
+// publishServeVars exposes live serving-plane gauges through expvar
+// (served on the debug listener): delta sequence, domain size, verdict
+// mix, the slow-subscriber drop counter, per-class admission counters,
+// and the supervisor's fault/recovery state. All gauges read through
+// the guard, so they follow the engine across quarantine recoveries.
+func publishServeVars(front *serve.Server) {
+	guard := front.Guard()
+	engine := func() *rpi.Engine { return guard.Engine() }
 	counts := func(want rpi.PeerClass) func() interface{} {
 		return func() interface{} {
+			eng := engine()
+			if eng == nil {
+				return 0
+			}
 			n := 0
 			for _, inf := range eng.Snapshot().Inferences {
 				if inf.Class == want {
@@ -226,15 +306,29 @@ func publishEngineVars(eng *rpi.Engine) {
 			return n
 		}
 	}
-	expvar.Publish("rpi.seq", expvar.Func(func() interface{} { return eng.Seq() }))
+	expvar.Publish("rpi.seq", expvar.Func(func() interface{} {
+		if eng := engine(); eng != nil {
+			return eng.Seq()
+		}
+		return 0
+	}))
 	expvar.Publish("rpi.inferences", expvar.Func(func() interface{} {
-		return len(eng.Snapshot().Inferences)
+		if eng := engine(); eng != nil {
+			return len(eng.Snapshot().Inferences)
+		}
+		return 0
 	}))
 	expvar.Publish("rpi.local", expvar.Func(counts(rpi.ClassLocal)))
 	expvar.Publish("rpi.remote", expvar.Func(counts(rpi.ClassRemote)))
 	expvar.Publish("rpi.dropped_updates", expvar.Func(func() interface{} {
-		return eng.DroppedUpdates()
+		if eng := engine(); eng != nil {
+			return eng.DroppedUpdates()
+		}
+		return uint64(0)
 	}))
+	expvar.Publish("rpi.admission", front.Admission().Expvar())
+	expvar.Publish("rpi.supervisor", expvar.Func(func() interface{} { return guard.Stats() }))
+	expvar.Publish("rpi.handler_panics", expvar.Func(func() interface{} { return front.HandlerPanics() }))
 }
 
 // debugServer builds the diagnostics listener: pprof + expvar, with

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 
 	// 4. The world churns: absorb a 1% membership delta incrementally
 	//    (no context rebuild) and see which verdicts moved.
-	update, err := eng.Apply(rpi.ChurnDelta(eng.Inputs(), 0.01, 42))
+	update, err := eng.Apply(context.Background(), rpi.ChurnDelta(eng.Inputs(), 0.01, 42))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package rpeer
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -53,10 +54,10 @@ func TestReportsBitIdenticalUnderInterning(t *testing.T) {
 				// verdict may move.
 				fwd := rpi.ChurnDelta(eng.Inputs(), 0.02, 1234)
 				rev := rpi.InvertDelta(eng.Inputs(), fwd)
-				if _, err := eng.Apply(fwd); err != nil {
+				if _, err := eng.Apply(context.Background(), fwd); err != nil {
 					t.Fatal(err)
 				}
-				if _, err := eng.Apply(rev); err != nil {
+				if _, err := eng.Apply(context.Background(), rev); err != nil {
 					t.Fatal(err)
 				}
 				wire2, err := rpi.MarshalReport(eng.Snapshot())

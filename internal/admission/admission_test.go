@@ -1,0 +1,203 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// cfg1 is a one-slot, one-queue Read class for deterministic tests.
+func cfg1(maxWait time.Duration) Config {
+	return Config{Read: Limits{Slots: 1, Queue: 1, MaxWait: maxWait}}
+}
+
+func TestAdmitAndRelease(t *testing.T) {
+	c := New(cfg1(time.Second))
+	rel, err := c.Admit(context.Background(), Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats()["read"]; got.Inflight != 1 || got.Admitted != 1 {
+		t.Fatalf("stats after admit: %+v", got)
+	}
+	rel()
+	rel() // double release must be a no-op, not a double slot return
+	if got := c.Stats()["read"]; got.Inflight != 0 {
+		t.Fatalf("stats after release: %+v", got)
+	}
+	if _, err := c.Admit(context.Background(), Read); err != nil {
+		t.Fatalf("slot not reusable after release: %v", err)
+	}
+}
+
+// TestQueueFullSheds: slot busy + queue occupied → third arrival is
+// shed immediately with ErrOverloaded.
+func TestQueueFullSheds(t *testing.T) {
+	c := New(cfg1(time.Minute))
+	rel, err := c.Admit(context.Background(), Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	queuedErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		_, err := c.Admit(ctx, Read) // parks in the queue
+		queuedErr <- err
+	}()
+	// Wait until the second request is visibly queued.
+	for i := 0; c.Stats()["read"].Queued == 0; i++ {
+		if i > 1000 {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Admit(context.Background(), Read); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third arrival: err = %v, want ErrOverloaded", err)
+	}
+	if got := c.Stats()["read"]; got.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", got.Shed)
+	}
+	rel() // free the slot: the queued request gets in
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued request: %v", err)
+	}
+}
+
+// TestQueuedWaitExpires: a queued request is shed after MaxWait.
+func TestQueuedWaitExpires(t *testing.T) {
+	c := New(cfg1(10 * time.Millisecond))
+	rel, err := c.Admit(context.Background(), Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	if _, err := c.Admit(context.Background(), Read); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("wait did not respect MaxWait")
+	}
+}
+
+// TestQueuedCallerCancels: a queued request whose context dies leaves
+// with the context error, counted as canceled, not shed.
+func TestQueuedCallerCancels(t *testing.T) {
+	c := New(cfg1(time.Minute))
+	rel, err := c.Admit(context.Background(), Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, Read)
+		done <- err
+	}()
+	for i := 0; c.Stats()["read"].Queued == 0; i++ {
+		if i > 1000 {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := c.Stats()["read"]; got.Canceled != 1 || got.Shed != 0 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+// TestStreamNeverQueues: the stream class has no queue — a full class
+// sheds instantly.
+func TestStreamNeverQueues(t *testing.T) {
+	c := New(Config{Stream: Limits{Slots: 1}})
+	rel, err := c.Admit(context.Background(), Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	if _, err := c.Admit(context.Background(), Stream); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("no-queue class waited instead of shedding")
+	}
+}
+
+// TestClassesAreIndependent: saturating Read leaves Cheap admitting.
+func TestClassesAreIndependent(t *testing.T) {
+	c := New(Config{
+		Read:  Limits{Slots: 1, Queue: 0, MaxWait: time.Millisecond},
+		Cheap: Limits{Slots: 4, Queue: 4, MaxWait: time.Second},
+	})
+	rel, err := c.Admit(context.Background(), Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, err := c.Admit(context.Background(), Read); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("read not saturated: %v", err)
+	}
+	rel2, err := c.Admit(context.Background(), Cheap)
+	if err != nil {
+		t.Fatalf("cheap class starved by read saturation: %v", err)
+	}
+	rel2()
+}
+
+// TestConcurrentChurn hammers one gate from many goroutines under the
+// race detector: every admit is either released or a typed failure,
+// and the final inflight/queued gauges drain to zero.
+func TestConcurrentChurn(t *testing.T) {
+	c := New(Config{Write: Limits{Slots: 2, Queue: 4, MaxWait: 50 * time.Millisecond}})
+	var wg sync.WaitGroup
+	var admitted, refused atomic64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rel, err := c.Admit(context.Background(), Write)
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+					refused.add(1)
+					continue
+				}
+				admitted.add(1)
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()["write"]
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("gauges did not drain: %+v", st)
+	}
+	if st.Admitted != admitted.load() || st.Shed != refused.load() {
+		t.Fatalf("counters disagree: stats %+v, local admitted=%d refused=%d",
+			st, admitted.load(), refused.load())
+	}
+	if admitted.load() == 0 {
+		t.Fatal("nothing admitted")
+	}
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (a *atomic64) add(d uint64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

@@ -116,6 +116,14 @@ func SyntheticInputs(seed int64, scale int) (Inputs, error) {
 	return syntheticInputs(cfg, seed)
 }
 
+// InputsFromConfig builds the full input bundle over an explicit world
+// config — the seam in-module tooling (cmd/rpi-chaos) uses to run real
+// engine histories over a netsim.TinyConfig world in milliseconds
+// instead of the paper-sized default.
+func InputsFromConfig(cfg netsim.Config, seed int64) (Inputs, error) {
+	return syntheticInputs(cfg, seed)
+}
+
 // syntheticInputs builds the full input bundle over any world config —
 // the seam the crash-recovery tests use to run real engine histories
 // over a netsim.TinyConfig world in milliseconds.

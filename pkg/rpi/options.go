@@ -19,6 +19,10 @@ type config struct {
 	snapSet   bool // WithSnapshotEvery given (0 means "disabled", not "default")
 	logger    *log.Logger
 	walFS     wal.FS
+
+	// applyHook, when set, runs inside Apply after the delta is
+	// journaled and before memory is mutated (WithApplyHook).
+	applyHook func(seq uint64, d Delta)
 }
 
 func defaultConfig() config {
@@ -85,4 +89,22 @@ func WithTracerouteRTT() Option {
 // ring (the vmin ablation).
 func WithoutVminBound() Option {
 	return func(c *config) { c.opt.DisableVminBound = true }
+}
+
+// WithApplyHook installs a fault-injection hook that Apply calls with
+// the sequence number it is about to commit, after the delta is
+// journaled and before memory is mutated. A hook that panics models an
+// engine bug at the worst possible moment (delta durable, state not
+// yet updated) — the lever the supervisor quarantine tests and the
+// chaos harness pull. Production engines leave it nil.
+func WithApplyHook(h func(seq uint64, d Delta)) Option {
+	return func(c *config) { c.applyHook = h }
+}
+
+// WithWALFS swaps the filesystem seam underneath a persistent engine's
+// log and snapshot stores. The fault-injection hook of the crash tests
+// and the chaos harness (wal.NewMemFS); production engines keep the
+// default OS filesystem.
+func WithWALFS(fsys wal.FS) Option {
+	return func(c *config) { c.walFS = fsys }
 }

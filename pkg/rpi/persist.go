@@ -83,12 +83,6 @@ func WithLogger(l *log.Logger) Option {
 	return func(c *config) { c.logger = l }
 }
 
-// withWALFS swaps the filesystem seam underneath the log and snapshot
-// stores — the fault-injection hook of the crash tests.
-func withWALFS(fsys wal.FS) Option {
-	return func(c *config) { c.walFS = fsys }
-}
-
 func walMode(m SyncMode) wal.SyncMode {
 	switch m {
 	case SyncInterval:

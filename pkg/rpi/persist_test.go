@@ -2,6 +2,7 @@ package rpi
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"log"
@@ -77,7 +78,7 @@ func tinyHistory(t testing.TB) *history {
 					pcfg.Seed = int64(500 + k)
 					d.Ping = pingsim.Overrides(pingsim.Run(in.World, in.Ping.VPs, pcfg))
 				}
-				if _, err := eng.Apply(d); err != nil {
+				if _, err := eng.Apply(context.Background(), d); err != nil {
 					return err
 				}
 				h.deltas = append(h.deltas, d)
@@ -115,7 +116,7 @@ func TestOpenCloseReopen(t *testing.T) {
 	h := tinyHistory(t)
 	fsys := wal.NewMemFS()
 
-	eng, info, err := Open("data", in, withWALFS(fsys), WithLogger(quietLogger()))
+	eng, info, err := Open("data", in, WithWALFS(fsys), WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestOpenCloseReopen(t *testing.T) {
 		t.Fatalf("fresh open recovered state: %+v", info)
 	}
 	for _, d := range h.deltas[:2] {
-		if _, err := eng.Apply(d); err != nil {
+		if _, err := eng.Apply(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -134,7 +135,7 @@ func TestOpenCloseReopen(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 
-	re, info, err := Open("data", in, withWALFS(fsys), WithLogger(quietLogger()))
+	re, info, err := Open("data", in, WithWALFS(fsys), WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestOpenCloseReopen(t *testing.T) {
 	// The recovered engine is live: the rest of the history applies and
 	// matches the goldens.
 	for k, d := range h.deltas[2:] {
-		if _, err := re.Apply(d); err != nil {
+		if _, err := re.Apply(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(reportBytes(t, re), h.reports[3+k]) {
@@ -176,11 +177,11 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 		fsys.InjectAt(crashAt, wal.Fault{Mode: wal.FaultCrash})
 
 		acked := 0
-		eng, _, err := Open("data", in, withWALFS(fsys),
+		eng, _, err := Open("data", in, WithWALFS(fsys),
 			WithLogger(quietLogger()), WithSnapshotEvery(2), WithSync(SyncEveryDelta))
 		if err == nil {
 			for _, d := range h.deltas {
-				if _, aerr := eng.Apply(d); aerr != nil {
+				if _, aerr := eng.Apply(context.Background(), d); aerr != nil {
 					if !errors.Is(aerr, ErrPersistence) {
 						t.Fatalf("crash at op %d: apply failed with %v, want ErrPersistence", crashAt, aerr)
 					}
@@ -192,7 +193,7 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 		crashed := fsys.Crashed()
 		fsys.PowerFail(0)
 
-		rec, info, rerr := Open("data", in, withWALFS(fsys),
+		rec, info, rerr := Open("data", in, WithWALFS(fsys),
 			WithLogger(quietLogger()), WithSnapshotEvery(2))
 		if rerr != nil {
 			t.Fatalf("crash at op %d (acked %d): recovery failed: %v", crashAt, acked, rerr)
@@ -225,13 +226,13 @@ func TestTornTailTruncated(t *testing.T) {
 	in := tinyInputs(t)
 	h := tinyHistory(t)
 	fsys := wal.NewMemFS()
-	eng, _, err := Open("data", in, withWALFS(fsys),
+	eng, _, err := Open("data", in, WithWALFS(fsys),
 		WithLogger(quietLogger()), WithSnapshotEvery(0)) // no snapshots: recovery must replay
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range h.deltas[:3] {
-		if _, err := eng.Apply(d); err != nil {
+		if _, err := eng.Apply(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -246,7 +247,7 @@ func TestTornTailTruncated(t *testing.T) {
 	fsys.WriteFile(seg, torn)
 
 	var warnings strings.Builder
-	rec, info, err := Open("data", in, withWALFS(fsys),
+	rec, info, err := Open("data", in, WithWALFS(fsys),
 		WithLogger(log.New(&warnings, "", 0)), WithSnapshotEvery(0))
 	if err != nil {
 		t.Fatalf("torn tail must not fail recovery: %v", err)
@@ -265,7 +266,7 @@ func TestTornTailTruncated(t *testing.T) {
 		t.Fatalf("segment not truncated: %d bytes, want %d", len(got), len(raw))
 	}
 	// A second restart over the truncated log is a clean recovery.
-	re2, info2, err := Open("data", in, withWALFS(fsys),
+	re2, info2, err := Open("data", in, WithWALFS(fsys),
 		WithLogger(quietLogger()), WithSnapshotEvery(0))
 	if err != nil {
 		t.Fatal(err)
@@ -283,13 +284,13 @@ func TestInteriorCorruptionRefused(t *testing.T) {
 	in := tinyInputs(t)
 	h := tinyHistory(t)
 	fsys := wal.NewMemFS()
-	eng, _, err := Open("data", in, withWALFS(fsys),
+	eng, _, err := Open("data", in, WithWALFS(fsys),
 		WithLogger(quietLogger()), WithSnapshotEvery(0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range h.deltas[:3] {
-		if _, err := eng.Apply(d); err != nil {
+		if _, err := eng.Apply(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -309,7 +310,7 @@ func TestInteriorCorruptionRefused(t *testing.T) {
 	raw[offsets[1]+8] ^= 0xff // first payload byte of record 2
 	fsys.WriteFile(seg, raw)
 
-	_, _, err = Open("data", in, withWALFS(fsys), WithLogger(quietLogger()))
+	_, _, err = Open("data", in, WithWALFS(fsys), WithLogger(quietLogger()))
 	if !errors.Is(err, ErrCorruptLog) {
 		t.Fatalf("err = %v, want ErrCorruptLog", err)
 	}
@@ -324,11 +325,11 @@ func TestInteriorCorruptionRefused(t *testing.T) {
 func TestOpenBaseMismatch(t *testing.T) {
 	in := tinyInputs(t)
 	fsys := wal.NewMemFS()
-	eng, _, err := Open("data", in, withWALFS(fsys), WithLogger(quietLogger()))
+	eng, _, err := Open("data", in, WithWALFS(fsys), WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Apply(ChurnDelta(eng.Inputs(), 0.05, 3)); err != nil {
+	if _, err := eng.Apply(context.Background(), ChurnDelta(eng.Inputs(), 0.05, 3)); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.Close(); err != nil {
@@ -338,7 +339,7 @@ func TestOpenBaseMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Open("data", other, withWALFS(fsys), WithLogger(quietLogger())); !errors.Is(err, ErrBaseMismatch) {
+	if _, _, err := Open("data", other, WithWALFS(fsys), WithLogger(quietLogger())); !errors.Is(err, ErrBaseMismatch) {
 		t.Fatalf("err = %v, want ErrBaseMismatch", err)
 	}
 }
@@ -350,13 +351,13 @@ func TestReplayToAnyIndex(t *testing.T) {
 	in := tinyInputs(t)
 	h := tinyHistory(t)
 	fsys := wal.NewMemFS()
-	eng, _, err := Open("data", in, withWALFS(fsys),
+	eng, _, err := Open("data", in, WithWALFS(fsys),
 		WithLogger(quietLogger()), WithSnapshotEvery(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range h.deltas {
-		if _, err := eng.Apply(d); err != nil {
+		if _, err := eng.Apply(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -364,7 +365,7 @@ func TestReplayToAnyIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := 0; k <= len(h.deltas); k++ {
-		rep, info, err := Replay("data", in, uint64(k), withWALFS(fsys), WithLogger(quietLogger()))
+		rep, info, err := Replay("data", in, uint64(k), WithWALFS(fsys), WithLogger(quietLogger()))
 		if err != nil {
 			t.Fatalf("replay to %d: %v", k, err)
 		}
@@ -385,25 +386,25 @@ func TestBrokenPersistenceFreezes(t *testing.T) {
 	in := tinyInputs(t)
 	h := tinyHistory(t)
 	fsys := wal.NewMemFS()
-	eng, _, err := Open("data", in, withWALFS(fsys),
+	eng, _, err := Open("data", in, WithWALFS(fsys),
 		WithLogger(quietLogger()), WithSnapshotEvery(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Apply(h.deltas[0]); err != nil {
+	if _, err := eng.Apply(context.Background(), h.deltas[0]); err != nil {
 		t.Fatal(err)
 	}
 	// Fail the next mutating op (the append's write) without crashing
 	// the "machine": a local disk error, not a power cut.
 	fsys.InjectAt(1, wal.Fault{Mode: wal.FaultError})
-	if _, err := eng.Apply(h.deltas[1]); !errors.Is(err, ErrPersistence) {
+	if _, err := eng.Apply(context.Background(), h.deltas[1]); !errors.Is(err, ErrPersistence) {
 		t.Fatalf("apply after disk error = %v, want ErrPersistence", err)
 	}
 	// Reads still serve the last good state; writes stay refused.
 	if !bytes.Equal(reportBytes(t, eng), h.reports[1]) {
 		t.Fatal("reads must keep serving after persistence breaks")
 	}
-	if _, err := eng.Apply(h.deltas[1]); !errors.Is(err, ErrPersistence) {
+	if _, err := eng.Apply(context.Background(), h.deltas[1]); !errors.Is(err, ErrPersistence) {
 		t.Fatalf("engine must stay broken, got %v", err)
 	}
 	if err := eng.Checkpoint(); !errors.Is(err, ErrPersistence) {
@@ -411,7 +412,7 @@ func TestBrokenPersistenceFreezes(t *testing.T) {
 	}
 	eng.Close()
 
-	rec, _, err := Open("data", in, withWALFS(fsys), WithLogger(quietLogger()))
+	rec, _, err := Open("data", in, WithWALFS(fsys), WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,13 +428,13 @@ func TestCheckpointRotates(t *testing.T) {
 	in := tinyInputs(t)
 	h := tinyHistory(t)
 	fsys := wal.NewMemFS()
-	eng, _, err := Open("data", in, withWALFS(fsys),
+	eng, _, err := Open("data", in, WithWALFS(fsys),
 		WithLogger(quietLogger()), WithSnapshotEvery(0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range h.deltas[:2] {
-		if _, err := eng.Apply(d); err != nil {
+		if _, err := eng.Apply(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -444,7 +445,7 @@ func TestCheckpointRotates(t *testing.T) {
 		t.Fatal(err) // idempotent at the same seq
 	}
 	_ = eng // killed without Close: recovery must come entirely from the checkpoint
-	rec, info, err := Open("data", in, withWALFS(fsys), WithLogger(quietLogger()))
+	rec, info, err := Open("data", in, WithWALFS(fsys), WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +472,7 @@ func TestSubscribeDropCount(t *testing.T) {
 	ch, cancel := eng.Subscribe(1)
 	defer cancel()
 	for _, d := range h.deltas[:3] {
-		if _, err := eng.Apply(d); err != nil {
+		if _, err := eng.Apply(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -17,7 +17,7 @@
 //	...
 //	rep := eng.Snapshot()
 //	updates, cancel := eng.Subscribe(16)
-//	res, err := eng.Apply(delta)
+//	res, err := eng.Apply(ctx, delta)
 //
 // Reports cross process boundaries through the versioned JSON wire
 // schema (MarshalReport / UnmarshalReport); cmd/rpi-serve serves it
@@ -25,6 +25,8 @@
 package rpi
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"net/netip"
@@ -201,15 +203,25 @@ func (e *Engine) RunStep(s Step) (*Report, error) {
 
 // ReportFor returns the current verdicts of one IXP. The returned
 // report shares inference values with the snapshot and must be treated
-// as read-only.
-func (e *Engine) ReportFor(ixp string) (*Report, error) {
+// as read-only. The walk over a large snapshot honors ctx: a canceled
+// caller gets ErrCanceled instead of the rest of the scan.
+func (e *Engine) ReportFor(ctx context.Context, ixp string) (*Report, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if !e.ctx.HasIXP(ixp) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownIXP, ixp)
 	}
 	out := &Report{Inferences: make(map[Key]*Inference)}
+	scanned := 0
 	for k, inf := range e.report.Inferences {
+		if scanned++; scanned&0x3fff == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		if k.IXP == ixp {
 			out.Inferences[k] = inf
 		}
@@ -225,6 +237,19 @@ func (e *Engine) ReportFor(ixp string) (*Report, error) {
 	return out, nil
 }
 
+// ctxErr converts a context cancellation into the SDK's typed error.
+// A nil context means "no deadline" (package-internal callers only;
+// the public methods always receive one).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	return nil
+}
+
 // Apply absorbs a world delta — membership joins and leaves, refreshed
 // RTT aggregates — into the engine: the affected substrate is patched
 // in place (see core.Context.Apply for the invalidation rules), the
@@ -235,9 +260,20 @@ func (e *Engine) ReportFor(ixp string) (*Report, error) {
 // a cold New over the post-delta Inputs would produce, at a fraction
 // of the cost: the corpus scan, campaign fold, geometry and memo
 // warm-up are not repeated.
-func (e *Engine) Apply(d Delta) (*Update, error) {
+//
+// ctx bounds the commitment point, not the mutation: a caller that is
+// already gone when the write lock is finally acquired gets ErrCanceled
+// and the engine state (memory and log) is untouched — the 30ms–500ms
+// re-inference is never started for a dead request. Once the delta is
+// journaled the apply runs to completion regardless of ctx, because a
+// logged delta must be reflected in memory (the durability contract of
+// persist.go).
+func (e *Engine) Apply(ctx context.Context, d Delta) (*Update, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if e.isClosed() {
 		return nil, ErrClosed
 	}
@@ -259,6 +295,13 @@ func (e *Engine) Apply(d Delta) (*Update, error) {
 		if err := e.logDelta(d); err != nil {
 			return nil, err
 		}
+	}
+	if e.cfg.applyHook != nil {
+		// Fault-injection seam (WithApplyHook): runs at the riskiest
+		// point of the lifecycle — delta journaled, memory not yet
+		// mutated — so a hook-raised panic models an engine bug whose
+		// delta is already durable.
+		e.cfg.applyHook(e.seq+1, d)
 	}
 	if err := e.ctx.Apply(core.Delta(d)); err != nil {
 		if e.pers != nil {
@@ -384,6 +427,37 @@ func (e *Engine) Close() error {
 		err = fmt.Errorf("%w: close log: %v", ErrPersistence, cerr)
 	}
 	return err
+}
+
+// Abandon kills the engine after an internal fault without trusting
+// any of its in-memory state: no final snapshot is published (the
+// columns may be half-mutated by the panicking Apply), the write-ahead
+// log is closed so a successor engine can recover the directory, every
+// subscriber channel closes, and all further Applies fail with
+// ErrClosed. Queries keep serving the last published report — by
+// construction the report pointer is only ever swapped after a fully
+// successful apply, so it is the last good state. This is the
+// quarantine path of internal/supervisor; orderly shutdown wants Close.
+func (e *Engine) Abandon() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.subMu.Lock()
+	already := e.closed
+	e.closed = true
+	for id, ch := range e.subs {
+		delete(e.subs, id)
+		close(ch)
+	}
+	e.subMu.Unlock()
+	if already || e.pers == nil {
+		return
+	}
+	if e.pers.broken == nil {
+		e.pers.broken = errors.New("engine abandoned after internal fault")
+	}
+	// Best-effort close; the durable state is whatever the log already
+	// acknowledged, and recovery truncates any torn tail.
+	_ = e.pers.w.Close()
 }
 
 // DroppedUpdates returns the total number of updates shed from slow

@@ -2,6 +2,7 @@ package rpi
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net/netip"
 	"sync"
@@ -52,7 +53,7 @@ func TestEngineSnapshotShape(t *testing.T) {
 	if len(base.Inferences) != len(rep.Inferences) {
 		t.Fatal("baseline domain differs from pipeline domain")
 	}
-	if _, err := eng.ReportFor("no-such-ixp"); !errors.Is(err, ErrUnknownIXP) {
+	if _, err := eng.ReportFor(context.Background(), "no-such-ixp"); !errors.Is(err, ErrUnknownIXP) {
 		t.Fatalf("err = %v, want ErrUnknownIXP", err)
 	}
 }
@@ -66,7 +67,7 @@ func TestEngineDoesNotMutateCallerInputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Apply(ChurnDelta(eng.Inputs(), 0.01, 7)); err != nil {
+	if _, err := eng.Apply(context.Background(), ChurnDelta(eng.Inputs(), 0.01, 7)); err != nil {
 		t.Fatal(err)
 	}
 	if len(in.Dataset.IfaceIXP) != before {
@@ -87,7 +88,7 @@ func TestApplyMatchesColdEngine(t *testing.T) {
 	if len(d.Joins) == 0 || len(d.Leaves) == 0 {
 		t.Fatalf("degenerate churn delta: %d joins, %d leaves", len(d.Joins), len(d.Leaves))
 	}
-	up, err := eng.Apply(d)
+	up, err := eng.Apply(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,14 +129,14 @@ func TestApplyEvolveAndRecampaign(t *testing.T) {
 	}
 	series := evolve.Simulate(in.World, ixps, evolve.DefaultConfig())
 	month := series.Months[0]
-	if _, err := eng.Apply(DeltaFromChurn(eng.Inputs(), month, 5)); err != nil {
+	if _, err := eng.Apply(context.Background(), DeltaFromChurn(eng.Inputs(), month, 5)); err != nil {
 		t.Fatal(err)
 	}
 
 	pcfg := pingsim.DefaultCampaign()
 	pcfg.Seed = 777
 	refresh := pingsim.Run(in.World, in.Ping.VPs, pcfg)
-	if _, err := eng.Apply(RecampaignDelta(refresh)); err != nil {
+	if _, err := eng.Apply(context.Background(), RecampaignDelta(refresh)); err != nil {
 		t.Fatal(err)
 	}
 	if eng.Seq() != 2 {
@@ -166,10 +167,10 @@ func TestApplyInverseRoundTrip(t *testing.T) {
 	}
 	d := ChurnDelta(eng.Inputs(), 0.01, 13)
 	inv := InvertDelta(eng.Inputs(), d)
-	if _, err := eng.Apply(d); err != nil {
+	if _, err := eng.Apply(context.Background(), d); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Apply(inv); err != nil {
+	if _, err := eng.Apply(context.Background(), inv); err != nil {
 		t.Fatal(err)
 	}
 	after, err := MarshalReport(eng.Snapshot())
@@ -196,7 +197,7 @@ func TestSubscribeStreamsChanges(t *testing.T) {
 	ch, cancel := eng.Subscribe(4)
 	defer cancel()
 	d := ChurnDelta(eng.Inputs(), 0.005, 21)
-	up, err := eng.Apply(d)
+	up, err := eng.Apply(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestSubscribeStreamsChanges(t *testing.T) {
 	}
 
 	eng.Close()
-	if _, err := eng.Apply(d); !errors.Is(err, ErrClosed) {
+	if _, err := eng.Apply(context.Background(), d); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }
@@ -227,14 +228,14 @@ func TestApplyRejectsBadDelta(t *testing.T) {
 		break
 	}
 	bad := Delta{Joins: []Join{{IXP: k.IXP, Iface: k.Iface, ASN: 99}}}
-	if _, err := eng.Apply(bad); !errors.Is(err, ErrBadDelta) {
+	if _, err := eng.Apply(context.Background(), bad); !errors.Is(err, ErrBadDelta) {
 		t.Fatalf("err = %v, want ErrBadDelta", err)
 	}
 	if eng.Seq() != 0 {
 		t.Fatal("rejected delta bumped the sequence number")
 	}
 	// An empty delta is a no-op: no re-run, no sequence bump.
-	up, err := eng.Apply(Delta{})
+	up, err := eng.Apply(context.Background(), Delta{})
 	if err != nil || up.Seq != 0 || len(up.Changes) != 0 {
 		t.Fatalf("empty delta: up=%+v err=%v, want no-op", up, err)
 	}
@@ -251,7 +252,7 @@ func TestApplyRejectsBadDelta(t *testing.T) {
 		t.Fatal("fixture has no unmeasured interface")
 	}
 	noVP := Delta{Ping: map[netip.Addr]pingsim.Override{unmeasured.Iface: {RTTMinMs: 5}}}
-	if _, err := eng.Apply(noVP); !errors.Is(err, ErrBadDelta) {
+	if _, err := eng.Apply(context.Background(), noVP); !errors.Is(err, ErrBadDelta) {
 		t.Fatalf("err = %v, want ErrBadDelta for unmeasured iface without VP", err)
 	}
 	var measured Key
@@ -262,7 +263,7 @@ func TestApplyRejectsBadDelta(t *testing.T) {
 		}
 	}
 	inherit := Delta{Ping: map[netip.Addr]pingsim.Override{measured.Iface: {RTTMinMs: 5}}}
-	if _, err := eng.Apply(inherit); err != nil {
+	if _, err := eng.Apply(context.Background(), inherit); err != nil {
 		t.Fatalf("VP inheritance failed for measured iface: %v", err)
 	}
 }

@@ -10,39 +10,113 @@
 //	GET  /v1/infer         full wire report (current snapshot)
 //	GET  /v1/report/{ixp}  one IXP's wire report
 //	POST /v1/apply         apply a world delta, returns the verdict changes
+//	GET  /v1/stream        server-sent events: verdict changes as they land
 //
 // Liveness and readiness are distinct probes: /healthz answers 200 as
 // soon as the listener is up (the process is alive — don't kill it),
 // while /readyz answers 503 until the engine has finished building or
-// recovering from its data directory (don't route traffic yet). Every
-// /v1 endpoint is gated the same way as /readyz.
+// recovering from its data directory, and again while a quarantined
+// engine is healing (don't route traffic yet — though reads that do
+// arrive are still served from the last good snapshot).
+//
+// The server is overload-safe by construction: every /v1 endpoint
+// passes through per-class admission control (internal/admission) and
+// answers 503 + Retry-After instead of queueing unboundedly; request
+// deadlines propagate into the engine (a caller that gives up stops
+// costing anything); and the engine sits behind a supervisor.Guard, so
+// a panic escaping Apply quarantines the engine (reads keep serving,
+// writes answer 503) while a background re-Open heals it from the
+// write-ahead log.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"math"
 	"net/http"
 	"net/netip"
 	"sync/atomic"
+	"time"
 
+	"rpeer/internal/admission"
 	"rpeer/internal/netsim"
 	"rpeer/internal/pingsim"
+	"rpeer/internal/supervisor"
 	"rpeer/pkg/rpi"
 )
 
-// Server is the HTTP facade over one engine. Queries run under the
-// engine's read lock and scale across connections; applies serialize
-// behind its write lock.
+// StatusClientClosedRequest is the nginx-convention status for "the
+// client disconnected before the response was ready". It never reaches
+// the (gone) client; it makes access logs and metrics tell the truth.
+const StatusClientClosedRequest = 499
+
+// Config tunes the serving plane. The zero value is production-safe:
+// machine-scaled admission limits, no request timeout, 5s stream write
+// timeout, 15s stream heartbeat, 64-update stream buffers.
+type Config struct {
+	// Admission bounds per-class concurrency; zero-valued classes take
+	// admission.DefaultConfig.
+	Admission admission.Config
+	// RequestTimeout caps the end-to-end time of non-streaming requests
+	// (queue wait + engine work + marshal). Zero means no cap.
+	RequestTimeout time.Duration
+	// StreamWriteTimeout bounds one SSE write: a consumer that cannot
+	// drain an event batch within it is disconnected (it can resubscribe
+	// and resynchronize from /v1/infer).
+	StreamWriteTimeout time.Duration
+	// StreamHeartbeat is the idle keep-alive interval on /v1/stream.
+	StreamHeartbeat time.Duration
+	// StreamBuffer is the per-subscriber update buffer; a consumer that
+	// falls further behind has its oldest updates shed by the engine
+	// (rpi.dropped_updates counts them).
+	StreamBuffer int
+	// Logger receives handler panics and client-gone notices (default
+	// log.Default()).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.StreamWriteTimeout <= 0 {
+		c.StreamWriteTimeout = 5 * time.Second
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 64
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
+
+// Server is the HTTP facade over one supervised engine. Queries run
+// under the engine's read lock and scale across connections; applies
+// serialize behind its write lock; all of it is bounded by admission
+// control and survives engine faults via the supervisor.
 type Server struct {
-	// eng is nil until SetEngine: the pending window where the listener
-	// is up but cold start or crash recovery is still running.
-	eng atomic.Pointer[rpi.Engine]
+	g   *supervisor.Guard
+	adm *admission.Controller
+	cfg Config
 	mux *http.ServeMux
+
+	// panics counts handler panics absorbed by the recover middleware
+	// (read-path bugs: the engine quarantine is the guard's job).
+	panics atomic.Uint64
+	// vps caches the VP index of the current engine publication (see
+	// vpIndex); rebuilt only when the supervisor swaps engines.
+	vps atomic.Pointer[vpCache]
 }
 
 // New builds the HTTP handler over a shared engine, ready immediately.
+// The engine is wrapped in a supervisor without a reopen path: a fault
+// quarantines it permanently (reads keep serving). Binaries that want
+// self-healing build the guard themselves and use NewSupervised.
 func New(eng *rpi.Engine) *Server {
 	s := NewPending()
 	s.SetEngine(eng)
@@ -54,74 +128,148 @@ func New(eng *rpi.Engine) *Server {
 // SetEngine. This is how cmd/rpi-serve binds its port before recovery
 // so that orchestrators see liveness during a long replay.
 func NewPending() *Server {
-	s := &Server{mux: http.NewServeMux()}
+	return NewSupervised(supervisor.New(supervisor.Options{}), Config{})
+}
+
+// NewSupervised builds the HTTP handler over a caller-owned supervisor
+// guard — the full-fat constructor: the guard brings quarantine and
+// self-healing, cfg brings admission limits and deadlines.
+func NewSupervised(g *supervisor.Guard, cfg Config) *Server {
+	s := &Server{g: g, adm: admission.New(cfg.Admission), cfg: cfg.withDefaults(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.HandleFunc("GET /v1/infer", s.handleInfer)
-	s.mux.HandleFunc("GET /v1/report/{ixp}", s.handleReport)
-	s.mux.HandleFunc("POST /v1/apply", s.handleApply)
+	s.mux.HandleFunc("GET /v1/infer", s.admitted(admission.Read, s.handleInfer))
+	s.mux.HandleFunc("GET /v1/report/{ixp}", s.admitted(admission.Cheap, s.handleReport))
+	s.mux.HandleFunc("POST /v1/apply", s.admitted(admission.Write, s.handleApply))
+	s.mux.HandleFunc("GET /v1/stream", s.admitted(admission.Stream, s.handleStream))
 	return s
 }
 
 // SetEngine publishes the engine and flips the server ready. Safe to
 // call from the recovery goroutine while requests are being served.
-func (s *Server) SetEngine(eng *rpi.Engine) { s.eng.Store(eng) }
+func (s *Server) SetEngine(eng *rpi.Engine) { s.g.Publish(eng) }
 
-// Ready reports whether the engine has been published.
-func (s *Server) Ready() bool { return s.eng.Load() != nil }
+// Ready reports whether an engine is published and writable.
+func (s *Server) Ready() bool { return s.g.Ready() }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Guard exposes the supervisor for binaries that wire recovery or
+// publish its stats.
+func (s *Server) Guard() *supervisor.Guard { return s.g }
 
-// engine returns the published engine, or replies 503 and returns nil
-// while the server is still pending.
-func (s *Server) engine(w http.ResponseWriter) *rpi.Engine {
-	eng := s.eng.Load()
-	if eng == nil {
-		s.writeJSON(w, http.StatusServiceUnavailable,
-			map[string]any{"ready": false, "error": "engine is recovering"})
+// Admission exposes the admission controller (expvar publication).
+func (s *Server) Admission() *admission.Controller { return s.adm }
+
+// HandlerPanics returns the number of handler panics absorbed so far.
+func (s *Server) HandlerPanics() uint64 { return s.panics.Load() }
+
+// respWriter tracks whether the response has been committed, so the
+// panic middleware knows if a 500 can still be sent, and unreachable
+// clients can be detected. Unwrap keeps http.ResponseController (SSE
+// flushes and write deadlines) working through the wrapper.
+type respWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+}
+
+func (rw *respWriter) WriteHeader(code int) {
+	rw.wroteHeader = true
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *respWriter) Write(b []byte) (int, error) {
+	rw.wroteHeader = true
+	return rw.ResponseWriter.Write(b)
+}
+
+func (rw *respWriter) Unwrap() http.ResponseWriter { return rw.ResponseWriter }
+
+// ServeHTTP implements http.Handler: no-store headers (every response
+// reflects live, churning state), then the panic net, then the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rw := &respWriter{ResponseWriter: w}
+	rw.Header().Set("Cache-Control", "no-store")
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel by identity, per net/http docs
+				panic(rec)
+			}
+			s.panics.Add(1)
+			s.cfg.Logger.Printf("serve: panic in %s %s: %v", r.Method, r.URL.Path, rec)
+			if !rw.wroteHeader {
+				http.Error(rw, "internal error", http.StatusInternalServerError)
+			}
+		}
+	}()
+	s.mux.ServeHTTP(rw, r)
+}
+
+// admitted wraps a handler in admission control and the request
+// deadline: the slot is held for the handler's whole run, and the
+// request context carries the configured timeout so the deadline
+// reaches the engine (streams are exempt from the timeout — they are
+// supposed to be long-lived).
+func (s *Server) admitted(cl admission.Class, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.RequestTimeout > 0 && cl != admission.Stream {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		release, err := s.adm.Admit(r.Context(), cl)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		defer release()
+		h(w, r)
 	}
-	return eng
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	body := map[string]any{"ok": true}
-	if eng := s.eng.Load(); eng != nil {
+	if eng := s.g.Engine(); eng != nil {
 		body["seq"] = eng.Seq()
 	} else {
 		body["recovering"] = true
+	}
+	if s.g.Quarantined() {
+		body["quarantined"] = true
 	}
 	s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	eng := s.eng.Load()
-	if eng == nil {
+	eng := s.g.Engine()
+	switch {
+	case eng == nil:
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
-		return
+	case s.g.Quarantined():
+		// Healing: stop routing new traffic here, but requests that do
+		// arrive are answered from the last good snapshot.
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "quarantined": true})
+	default:
+		s.writeJSON(w, http.StatusOK, map[string]any{"ready": true, "seq": eng.Seq()})
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"ready": true, "seq": eng.Seq()})
 }
 
-func (s *Server) handleInfer(w http.ResponseWriter, _ *http.Request) {
-	eng := s.engine(w)
-	if eng == nil {
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.g.Snapshot()
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
-	s.writeReport(w, eng.Snapshot())
+	s.writeReport(w, r, rep)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	eng := s.engine(w)
-	if eng == nil {
-		return
-	}
-	rep, err := eng.ReportFor(r.PathValue("ixp"))
+	rep, err := s.g.ReportFor(r.Context(), r.PathValue("ixp"))
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	s.writeReport(w, rep)
+	s.writeReport(w, r, rep)
 }
 
 // WireDelta is the JSON body of POST /v1/apply.
@@ -157,14 +305,18 @@ type WireRTT struct {
 }
 
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
-	eng := s.engine(w)
+	eng := s.g.Engine()
 	if eng == nil {
+		s.writeError(w, r, supervisor.ErrNoEngine)
 		return
 	}
 	var wd WireDelta
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&wd); err != nil {
+		// Malformed JSON, unknown fields and an oversized body are all
+		// the client's fault: 400, never 500. (MaxBytesReader surfaces
+		// the size breach as *http.MaxBytesError through Decode.)
 		http.Error(w, fmt.Sprintf("bad delta body: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -173,12 +325,41 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	up, err := eng.Apply(d)
+	up, err := s.g.Apply(r.Context(), d)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, up)
+}
+
+// vpCache is the vantage-point index of one engine publication. The VP
+// set is frozen per engine (deltas refresh RTTs, never the VP roster),
+// so the index is built once per supervisor generation instead of on
+// every /v1/apply.
+type vpCache struct {
+	gen     uint64
+	hasPing bool
+	byID    map[int]*pingsim.VP
+}
+
+// vpIndex returns the cached VP index for the current publication,
+// building it on first use after an engine swap.
+func (s *Server) vpIndex(eng *rpi.Engine) *vpCache {
+	gen := s.g.Generation()
+	if c := s.vps.Load(); c != nil && c.gen == gen {
+		return c
+	}
+	c := &vpCache{gen: gen}
+	if in := eng.Inputs(); in.Ping != nil {
+		c.hasPing = true
+		c.byID = make(map[int]*pingsim.VP, len(in.Ping.VPs))
+		for _, vp := range in.Ping.VPs {
+			c.byID[vp.ID] = vp
+		}
+	}
+	s.vps.Store(c)
+	return c
 }
 
 // toDelta resolves a wire delta against the engine's current state.
@@ -203,13 +384,9 @@ func (s *Server) toDelta(eng *rpi.Engine, wd WireDelta) (rpi.Delta, error) {
 	if len(wd.RTT) == 0 {
 		return d, nil
 	}
-	in := eng.Inputs()
-	if in.Ping == nil {
+	vps := s.vpIndex(eng)
+	if !vps.hasPing {
 		return d, fmt.Errorf("rtt: engine has no ping campaign")
-	}
-	byID := make(map[int]*pingsim.VP, len(in.Ping.VPs))
-	for _, vp := range in.Ping.VPs {
-		byID[vp.ID] = vp
 	}
 	d.Ping = make(map[netip.Addr]pingsim.Override, len(wd.RTT))
 	for _, u := range wd.RTT {
@@ -229,7 +406,7 @@ func (s *Server) toDelta(eng *rpi.Engine, wd WireDelta) (rpi.Delta, error) {
 		// apply cannot slip between resolution and application.
 		var vp *pingsim.VP
 		if u.VPID != nil {
-			if vp = byID[*u.VPID]; vp == nil {
+			if vp = vps.byID[*u.VPID]; vp == nil {
 				return d, fmt.Errorf("rtt: unknown vp_id %d", *u.VPID)
 			}
 		}
@@ -241,10 +418,102 @@ func (s *Server) toDelta(eng *rpi.Engine, wd WireDelta) (rpi.Delta, error) {
 	return d, nil
 }
 
-func (s *Server) writeReport(w http.ResponseWriter, rep *rpi.Report) {
-	b, err := rpi.MarshalReport(rep)
+// streamEvent is the SSE hello/reset payload.
+type streamEvent struct {
+	Seq        uint64 `json:"seq"`
+	Generation uint64 `json:"generation"`
+}
+
+// handleStream serves /v1/stream: server-sent events carrying verdict
+// changes as deltas land. Consecutive updates a slow reader has not
+// consumed are coalesced into one batch write; a reader that cannot
+// drain a batch within StreamWriteTimeout is disconnected (and the
+// engine sheds its oldest pending updates meanwhile — the server never
+// blocks on a stalled consumer). An engine swap (quarantine recovery)
+// closes the stream with a "reset" event: resynchronize from /v1/infer
+// and resubscribe.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	eng := s.g.Engine()
+	if eng == nil {
+		s.writeError(w, r, supervisor.ErrNoEngine)
+		return
+	}
+	gen := s.g.Generation()
+	updates, cancel := eng.Subscribe(s.cfg.StreamBuffer)
+	defer cancel()
+
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.WriteHeader(http.StatusOK)
+	if err := s.sseWrite(rc, w, "hello", streamEvent{Seq: eng.Seq(), Generation: gen}); err != nil {
+		return
+	}
+
+	heartbeat := time.NewTicker(s.cfg.StreamHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			// A comment line: keeps NATs and proxies from reaping the
+			// connection, and detects dead clients on idle streams.
+			_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+			if _, err := io.WriteString(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		case up, ok := <-updates:
+			if !ok {
+				// Engine closed or quarantined underneath us.
+				_ = s.sseWrite(rc, w, "reset", streamEvent{Generation: s.g.Generation()})
+				return
+			}
+			batch := []rpi.Update{up}
+			closed := false
+		coalesce:
+			for len(batch) < 16 {
+				select {
+				case more, ok := <-updates:
+					if !ok {
+						closed = true
+						break coalesce
+					}
+					batch = append(batch, more)
+				default:
+					break coalesce
+				}
+			}
+			if err := s.sseWrite(rc, w, "updates", batch); err != nil {
+				return
+			}
+			if closed {
+				_ = s.sseWrite(rc, w, "reset", streamEvent{Generation: s.g.Generation()})
+				return
+			}
+		}
+	}
+}
+
+// sseWrite emits one SSE event under the stream write deadline.
+func (s *Server) sseWrite(rc *http.ResponseController, w http.ResponseWriter, event string, v any) error {
+	b, err := json.Marshal(v)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return err
+	}
+	_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+		return err
+	}
+	return rc.Flush()
+}
+
+func (s *Server) writeReport(w http.ResponseWriter, r *http.Request, rep *rpi.Report) {
+	b, err := rpi.MarshalReportCtx(r.Context(), rep)
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -257,20 +526,37 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps SDK sentinel errors to HTTP statuses.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// writeError maps SDK, admission and supervisor errors to HTTP
+// statuses. Cancellation is special-cased: when the caller is already
+// gone there is nobody to answer, so it is logged and recorded as the
+// 499 convention instead of surfacing as a fake 500.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, rpi.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		s.cfg.Logger.Printf("serve: %s %s abandoned: %v", r.Method, r.URL.Path, err)
+		w.WriteHeader(StatusClientClosedRequest)
+		return
+	}
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, rpi.ErrUnknownIXP):
 		status = http.StatusNotFound
 	case errors.Is(err, rpi.ErrBadDelta):
 		status = http.StatusUnprocessableEntity
-	case errors.Is(err, rpi.ErrClosed):
+	case errors.Is(err, admission.ErrOverloaded),
+		errors.Is(err, rpi.ErrOverloaded),
+		errors.Is(err, supervisor.ErrQuarantined),
+		errors.Is(err, supervisor.ErrNoEngine),
+		errors.Is(err, rpi.ErrClosed),
+		errors.Is(err, rpi.ErrPersistence):
+		// Transient serving-plane states: shed load, healing engine,
+		// recovery still running, or a log that can no longer promise
+		// durability. All of them clear up (or at worst persist) without
+		// the client changing its request: retry shortly.
 		status = http.StatusServiceUnavailable
-	case errors.Is(err, rpi.ErrPersistence):
-		// The log is broken: writes are refused (durability can no
-		// longer be promised) while reads keep serving the last state.
-		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	http.Error(w, err.Error(), status)
 }

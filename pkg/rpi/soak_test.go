@@ -2,6 +2,7 @@ package rpi
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestChurnSoak(t *testing.T) {
 	fsys := wal.NewMemFS()
 	// Persistence rides along: SyncOff keeps the soak fast while still
 	// exercising the append and snapshot paths at full churn volume.
-	eng, _, err := Open("soak", in, withWALFS(fsys),
+	eng, _, err := Open("soak", in, WithWALFS(fsys),
 		WithLogger(quietLogger()), WithSync(SyncOff), WithSnapshotEvery(250))
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +45,7 @@ func TestChurnSoak(t *testing.T) {
 	for i := 1; i <= deltas; i++ {
 		frac := 0.01 + 0.03*r.Float64()
 		d := ChurnDelta(eng.Inputs(), frac, int64(r.Uint64()>>1))
-		if _, err := eng.Apply(d); err != nil {
+		if _, err := eng.Apply(context.Background(), d); err != nil {
 			t.Fatalf("delta %d: %v", i, err)
 		}
 		for len(updates) > 32 {
@@ -82,7 +83,7 @@ func TestChurnSoak(t *testing.T) {
 	if err := eng.Close(); err != nil {
 		t.Fatal(err)
 	}
-	rec, _, err := Open("soak", in, withWALFS(fsys), WithLogger(quietLogger()))
+	rec, _, err := Open("soak", in, WithWALFS(fsys), WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatalf("recovery after soak: %v", err)
 	}

@@ -1,6 +1,7 @@
 package rpi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -117,6 +118,22 @@ func ToWire(rep *Report) *WireReport {
 // (the rpi-serve API contract, pinned by the golden test).
 func MarshalReport(rep *Report) ([]byte, error) {
 	return json.MarshalIndent(ToWire(rep), "", " ")
+}
+
+// MarshalReportCtx is MarshalReport with a cancellation checkpoint
+// before each of the two expensive phases (wire conversion, JSON
+// encoding): a handler whose client already disconnected returns
+// ErrCanceled instead of marshalling a multi-megabyte report nobody
+// will read.
+func MarshalReportCtx(ctx context.Context, rep *Report) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	w := ToWire(rep)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(w, "", " ")
 }
 
 // UnmarshalReport parses a wire report, rejecting unknown schema

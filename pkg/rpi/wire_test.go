@@ -2,6 +2,7 @@ package rpi
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"os"
@@ -37,7 +38,7 @@ func TestWireSchemaGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := eng.ReportFor(goldenIXP(eng.Snapshot()))
+	sub, err := eng.ReportFor(context.Background(), goldenIXP(eng.Snapshot()))
 	if err != nil {
 		t.Fatal(err)
 	}
