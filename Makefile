@@ -2,7 +2,7 @@ GO ?= go
 # PR number stamped into the benchmark snapshot file name; bump (or
 # override: `make bench-snapshot PR=5`) each PR so trajectories of all
 # PRs stay side by side.
-PR ?= 7
+PR ?= 8
 
 # Pipelines (bench-snapshot) must fail when any stage fails, not just
 # the last one, or a broken benchmark run would silently overwrite the
@@ -10,7 +10,7 @@ PR ?= 7
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet test test-race soak chaos crash-matrix bench bench-smoke bench-snapshot bench-compare examples-smoke
+.PHONY: all build vet test test-race soak chaos bot-smoke crash-matrix bench bench-smoke bench-snapshot bench-compare examples-smoke
 
 all: vet build test
 
@@ -47,6 +47,14 @@ soak:
 chaos:
 	$(GO) run -race ./cmd/rpi-chaos
 
+# Fleet load generator smoke: an in-process 4-tenant host driven by
+# mixed readers/appliers/streamers for a few seconds under the race
+# detector, then the per-tenant byte-identity check (host bytes ==
+# single-engine bytes over the same inputs). Fails on any protocol
+# violation (a status outside the allowed set) or identity mismatch.
+bot-smoke:
+	$(GO) run -race ./cmd/rpi-bot -tenants 4 -duration 3s
+
 # The fault-injection matrix: kill the simulated machine at every
 # filesystem operation across an engine lifetime and prove recovery
 # lands on the acknowledged prefix with byte-identical reports, plus
@@ -65,7 +73,7 @@ bench:
 # of surfacing at the next snapshot. The heavy scaling rungs (4x+)
 # stay out — they build multi-gigabyte worlds.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkContextBuild|BenchmarkEngineApply/1x|BenchmarkServeHTTP|BenchmarkServeOverload|BenchmarkScaleWorld/1x|BenchmarkRecovery/1x' -benchmem -benchtime=1x
+	$(GO) test -run '^$$' -bench 'BenchmarkFullPipeline$$|BenchmarkContextBuild|BenchmarkEngineApply/1x|BenchmarkServeHTTP|BenchmarkServeOverload|BenchmarkHostServe|BenchmarkScaleWorld/1x|BenchmarkRecovery/1x' -benchmem -benchtime=1x
 
 # Compare a fresh run of the fast headline benchmarks against a
 # committed baseline snapshot and fail on >20% ns/op regression
@@ -90,13 +98,16 @@ examples-smoke:
 # Snapshot the perf-critical benchmarks to BENCH_PR$(PR).json so
 # future PRs have a trajectory to compare against. The scaling suite
 # runs at one iteration (the 16x world alone costs tens of seconds).
-# Both stages land in a temp file first and the snapshot is written
-# only if every stage succeeded — a mid-run failure must not leave a
-# plausible-looking partial snapshot behind (the -e shell aborts on
-# the failing stage; the EXIT trap cleans the temp file up).
+# All go-test stages land in a temp file first and the snapshot is
+# written only if every stage succeeded — a mid-run failure must not
+# leave a plausible-looking partial snapshot behind (the -e shell
+# aborts on the failing stage; the EXIT trap cleans the temp file up).
+# The fleet SLO rows (per-tenant p50/p99/shed% from the rpi-bot load
+# run) merge into the same file last.
 bench-snapshot:
 	tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -run '^$$' -timeout 30m -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign|BenchmarkEngineApply|BenchmarkServeHTTP|BenchmarkServeOverload' \
+	$(GO) test -run '^$$' -timeout 30m -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign|BenchmarkEngineApply|BenchmarkServeHTTP|BenchmarkServeOverload|BenchmarkHostServe' \
 		-benchmem -benchtime=3x > $$tmp; \
 	$(GO) test -run '^$$' -timeout 30m -bench 'BenchmarkScaleWorld|BenchmarkRecovery' -benchmem -benchtime=1x >> $$tmp; \
-	$(GO) run ./cmd/rpi-benchsnap -o BENCH_PR$(PR).json < $$tmp
+	$(GO) run ./cmd/rpi-benchsnap -o BENCH_PR$(PR).json < $$tmp; \
+	$(GO) run ./cmd/rpi-bot -tenants 4 -duration 5s -o BENCH_PR$(PR).json -merge

@@ -29,10 +29,12 @@ import (
 	"rpeer/internal/alias"
 	"rpeer/internal/core"
 	"rpeer/internal/exp"
+	"rpeer/internal/host"
 	"rpeer/internal/netsim"
 	"rpeer/internal/pingsim"
 	"rpeer/internal/supervisor"
 	"rpeer/internal/tracesim"
+	"rpeer/internal/wal"
 	"rpeer/pkg/rpi"
 	"rpeer/pkg/rpi/serve"
 )
@@ -801,4 +803,108 @@ func BenchmarkRecovery(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkHostServe prices the multi-tenant serving plane: four
+// tiny-world tenants behind one host, each iteration firing a
+// concurrent burst of full-report reads spread across every tenant.
+// Reads ride the per-publication report-byte cache (no delta traffic
+// here), so this is the fleet's steady-state read path: admission,
+// tenant routing, lease, cached bytes. Reported metrics are the SLO
+// pair per the load generator: p50-ms/p99-ms of admitted reads and
+// shed% across the burst.
+func BenchmarkHostServe(b *testing.B) {
+	const (
+		tenants   = 4
+		perTenant = 8
+	)
+	quiet := log.New(io.Discard, "", 0)
+	h, err := host.Open(host.Config{
+		Inputs: func(sp host.TenantSpec) (rpi.Inputs, error) {
+			cfg := netsim.TinyConfig()
+			cfg.Seed = sp.Seed
+			return rpi.InputsFromConfig(cfg, sp.Seed)
+		},
+		Options: []rpi.Option{rpi.WithWALFS(wal.NewMemFS())},
+		Logger:  quiet,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+		if err := h.Create(host.TenantSpec{Name: names[i], Seed: int64(i + 1), Profile: "tiny"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(serve.NewHost(h, "", serve.Config{Logger: quiet}))
+	defer srv.Close()
+	client := srv.Client()
+
+	// First touch lazily opens each tenant's engine; that is the host's
+	// open path, not the read path being priced here.
+	for _, tn := range names {
+		resp, err := client.Get(srv.URL + "/v1/t/" + tn + "/infer")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("warm %s: %d", tn, resp.StatusCode)
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		lat      []time.Duration
+		admitted atomic.Uint64
+		shed     atomic.Uint64
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, tn := range names {
+			url := srv.URL + "/v1/t/" + tn + "/infer"
+			for j := 0; j < perTenant; j++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					start := time.Now()
+					resp, err := client.Get(url)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						d := time.Since(start)
+						admitted.Add(1)
+						mu.Lock()
+						lat = append(lat, d)
+						mu.Unlock()
+					case http.StatusServiceUnavailable:
+						shed.Add(1)
+					default:
+						b.Errorf("unexpected status %d", resp.StatusCode)
+					}
+				}()
+			}
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	total := admitted.Load() + shed.Load()
+	if admitted.Load() == 0 {
+		b.Fatal("every read was shed")
+	}
+	b.ReportMetric(100*float64(shed.Load())/float64(total), "shed%")
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)/2])/float64(time.Millisecond), "p50-ms")
+	b.ReportMetric(float64(lat[len(lat)*99/100])/float64(time.Millisecond), "p99-ms")
 }

@@ -1,0 +1,454 @@
+// Command rpi-bot is the fleet-scale load generator: it stands up (or
+// targets) a multi-tenant serving host and drives every tenant with a
+// mixed population of readers, appliers and SSE streamers, then
+// reports per-tenant, per-class admitted p50/p99 latency and shed
+// percentage — the serving plane's SLO-under-load numbers.
+//
+// Default mode is self-contained: an in-process host with N tiny-world
+// tenants over an in-memory WAL, so `rpi-bot` with no flags is a
+// complete fleet benchmark. After the run it cross-checks every
+// tenant: the host's /v1/t/{tenant}/infer bytes must be byte-identical
+// to a fresh single-engine rpi-serve handler built over the same
+// inputs — multi-tenancy must not change a single served byte.
+//
+//	rpi-bot -tenants 4 -readers 6 -appliers 1 -streamers 2 -duration 5s
+//	rpi-bot -o BENCH_PR8.json -merge     # record/refresh the SLO snapshot
+//	rpi-bot -addr http://host:8090       # drive an external rpi-serve -multi
+//
+// With -o the results are written as benchmark records in the same
+// JSON shape as rpi-benchsnap; -merge folds them into an existing file
+// (replacing records with the same name) instead of overwriting it.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"rpeer/internal/admission"
+	"rpeer/internal/bot"
+	"rpeer/internal/host"
+	"rpeer/internal/netsim"
+	"rpeer/internal/wal"
+	"rpeer/pkg/rpi"
+	"rpeer/pkg/rpi/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rpi-bot: ")
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "", "drive an external host at this base URL instead of an in-process one")
+	tenants := flag.Int("tenants", 4, "number of tenants to drive")
+	readers := flag.Int("readers", 6, "reader workers per tenant (infer + cheap per-IXP reads)")
+	appliers := flag.Int("appliers", 1, "applier workers per tenant (churn + inverse deltas)")
+	streamers := flag.Int("streamers", 2, "SSE streamer workers per tenant")
+	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	seed := flag.Int64("seed", 1, "base world seed; tenant i uses seed+i")
+	churn := flag.Float64("churn", 0.02, "membership fraction churned per applier delta")
+	readSlots := flag.Int("read-slots", 0, "override full-report read slots (0 = admission default); lower to provoke shedding")
+	tenantShare := flag.Float64("tenant-share", 0, "per-tenant fairness share of each class's slots (0 = default)")
+	out := flag.String("o", "", "write benchmark records to this JSON file (rpi-benchsnap shape)")
+	merge := flag.Bool("merge", false, "with -o: merge into the existing file, replacing same-name records")
+	verify := flag.Bool("verify", true, "after the run, check per-tenant byte identity vs a single-engine server (in-process mode only)")
+	flag.Parse()
+
+	if *tenants < 1 {
+		log.Print("need at least one tenant")
+		return 2
+	}
+	names := make([]string, *tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	cfg := bot.Config{
+		Tenants:   names,
+		Readers:   *readers,
+		Appliers:  *appliers,
+		Streamers: *streamers,
+		Duration:  *duration,
+		ChurnFrac: *churn,
+	}
+
+	var h *host.Host
+	if *addr == "" {
+		adm := admission.Config{TenantShare: *tenantShare}
+		if *readSlots > 0 {
+			adm.Read = admission.Limits{Slots: *readSlots, Queue: 2 * *readSlots, MaxWait: 2 * time.Second}
+		}
+		var base string
+		var shutdown func()
+		var err error
+		h, base, shutdown, err = inProcessHost(names, *seed, adm)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer shutdown()
+		cfg.BaseURL = base
+		cfg.Inputs = func(tn string) (rpi.Inputs, error) { return liveInputs(h, tn) }
+		log.Printf("in-process host on %s: %d tenants, tiny worlds, in-memory WAL", base, *tenants)
+	} else {
+		cfg.BaseURL = strings.TrimRight(*addr, "/")
+		if err := ensureTenants(ctx, cfg.BaseURL, names, *seed); err != nil {
+			log.Print(err)
+			return 1
+		}
+		// The remote engine's inputs are invisible, so deltas are
+		// generated against the deterministic base world; the applier's
+		// churn-then-inverse pairing keeps that view valid at pair
+		// boundaries, and validation races surface as rejected counts.
+		cfg.Inputs = func(tn string) (rpi.Inputs, error) {
+			return tinyInputs(tenantSeed(*seed, names, tn))
+		}
+		log.Printf("driving external host %s: %d tenants", cfg.BaseURL, *tenants)
+	}
+
+	rep, err := bot.Run(ctx, cfg)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	printReport(rep)
+	if rep.BadStatus != "" {
+		log.Printf("PROTOCOL VIOLATION: %s", rep.BadStatus)
+		return 1
+	}
+
+	if *verify && h != nil {
+		if err := verifyByteIdentity(h, cfg.BaseURL, names); err != nil {
+			log.Printf("BYTE IDENTITY FAILED: %v", err)
+			return 1
+		}
+		log.Printf("byte identity: all %d tenants match a single-engine server over the same inputs", *tenants)
+	}
+
+	if *out != "" {
+		if err := writeSnapshot(*out, *merge, rep); err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("wrote %s", *out)
+	}
+	return 0
+}
+
+// tinyInputs is the deterministic per-tenant base world.
+func tinyInputs(seed int64) (rpi.Inputs, error) {
+	cfg := netsim.TinyConfig()
+	cfg.Seed = seed
+	return rpi.InputsFromConfig(cfg, seed)
+}
+
+func tenantSeed(base int64, names []string, tn string) int64 {
+	for i, n := range names {
+		if n == tn {
+			return base + int64(i)
+		}
+	}
+	return base
+}
+
+// inProcessHost stands up the self-contained fleet: a host with one
+// tiny world per tenant over an in-memory WAL, fronted by the shared
+// serving plane on a loopback listener.
+func inProcessHost(names []string, seed int64, adm admission.Config) (*host.Host, string, func(), error) {
+	h, err := host.Open(host.Config{
+		Inputs: func(sp host.TenantSpec) (rpi.Inputs, error) {
+			return tinyInputs(sp.Seed)
+		},
+		Options:    []rpi.Option{rpi.WithWALFS(wal.NewMemFS())},
+		MaxTenants: len(names),
+		Logger:     log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	for i, tn := range names {
+		if err := h.Create(host.TenantSpec{Name: tn, Seed: seed + int64(i), Profile: "tiny"}); err != nil {
+			_ = h.Close()
+			return nil, "", nil, err
+		}
+	}
+	front := serve.NewHost(h, "", serve.Config{
+		Admission:      adm,
+		RequestTimeout: 10 * time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = h.Close()
+		return nil, "", nil, err
+	}
+	srv := &http.Server{Handler: front}
+	go func() { _ = srv.Serve(ln) }()
+	shutdown := func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+		_ = h.Close()
+	}
+	return h, "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// liveInputs reads a tenant's current engine inputs under a lease (the
+// bot serializes per-tenant writers, so the snapshot stays valid for
+// delta generation until its forward+inverse pair completes).
+func liveInputs(h *host.Host, tn string) (rpi.Inputs, error) {
+	lease, err := h.Lease(context.Background(), tn)
+	if err != nil {
+		return rpi.Inputs{}, err
+	}
+	defer lease.Release()
+	eng := lease.Guard().Engine()
+	if eng == nil {
+		return rpi.Inputs{}, errors.New("tenant has no engine (quarantined?)")
+	}
+	return eng.Inputs(), nil
+}
+
+// ensureTenants registers the bot's tenants on an external host,
+// tolerating ones that already exist.
+func ensureTenants(ctx context.Context, base string, names []string, seed int64) error {
+	cl := &http.Client{Timeout: 10 * time.Second}
+	for i, tn := range names {
+		body, _ := json.Marshal(host.TenantSpec{Name: tn, Seed: seed + int64(i), Profile: "tiny"})
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/tenants", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := cl.Do(req)
+		if err != nil {
+			return fmt.Errorf("create tenant %q: %w", tn, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusCreated:
+		case http.StatusConflict:
+			log.Printf("tenant %q already exists: assuming seed %d, profile tiny", tn, seed+int64(i))
+		default:
+			return fmt.Errorf("create tenant %q: status %d", tn, resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// verifyByteIdentity proves multi-tenancy is invisible to readers: for
+// each tenant, a fresh single-engine server built over the tenant
+// engine's current inputs must serve exactly the bytes the host
+// serves. (Engine inputs track every applied delta, so a cold rebuild
+// over them equals the incrementally-maintained world — the same
+// invariant the chaos harness checks.)
+func verifyByteIdentity(h *host.Host, base string, names []string) error {
+	cl := &http.Client{Timeout: 30 * time.Second}
+	for _, tn := range names {
+		lease, err := h.Lease(context.Background(), tn)
+		if err != nil {
+			return fmt.Errorf("tenant %q: %w", tn, err)
+		}
+		eng := lease.Guard().Engine()
+		if eng == nil {
+			lease.Release()
+			return fmt.Errorf("tenant %q: no engine", tn)
+		}
+		cold, err := rpi.New(eng.Inputs())
+		lease.Release()
+		if err != nil {
+			return fmt.Errorf("tenant %q: cold rebuild: %w", tn, err)
+		}
+		single := httptest.NewServer(serve.New(cold))
+		singleBytes, err := getBody(cl, single.URL+"/v1/infer")
+		single.Close()
+		cold.Abandon()
+		if err != nil {
+			return fmt.Errorf("tenant %q: single-engine read: %w", tn, err)
+		}
+		hostBytes, err := getBody(cl, base+"/v1/t/"+tn+"/infer")
+		if err != nil {
+			return fmt.Errorf("tenant %q: host read: %w", tn, err)
+		}
+		if !bytes.Equal(hostBytes, singleBytes) {
+			return fmt.Errorf("tenant %q: host served %d bytes != single-engine %d bytes",
+				tn, len(hostBytes), len(singleBytes))
+		}
+	}
+	return nil
+}
+
+func getBody(cl *http.Client, url string) ([]byte, error) {
+	resp, err := cl.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return b, nil
+}
+
+func printReport(rep *bot.Report) {
+	tns := make([]string, 0, len(rep.Tenants))
+	for tn := range rep.Tenants {
+		tns = append(tns, tn)
+	}
+	sort.Strings(tns)
+	log.Printf("%-8s %-7s %9s %9s %7s %6s %6s %9s %9s",
+		"tenant", "class", "requests", "admitted", "shed", "rej", "err", "p50(ms)", "p99(ms)")
+	for _, tn := range tns {
+		for _, cl := range []string{"read", "cheap", "write", "stream"} {
+			st, ok := rep.Tenants[tn][cl]
+			if !ok || st.Requests == 0 {
+				continue
+			}
+			log.Printf("%-8s %-7s %9d %9d %6.1f%% %6d %6d %9.2f %9.2f",
+				tn, cl, st.Requests, st.Admitted, st.ShedPct(), st.Rejected, st.Errors, st.P50Ms, st.P99Ms)
+		}
+		if ev := rep.StreamEvents[tn]; ev > 0 {
+			log.Printf("%-8s %-7s %9d stream update events", tn, "", ev)
+		}
+	}
+}
+
+// Record / Snapshot mirror rpi-benchsnap's JSON file layout, so bot
+// results land in the same BENCH_PRn.json files the CI snapshots.
+type record struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type snapshot struct {
+	GoOS   string   `json:"goos,omitempty"`
+	GoArch string   `json:"goarch,omitempty"`
+	Pkg    string   `json:"pkg,omitempty"`
+	CPU    string   `json:"cpu,omitempty"`
+	Bench  []record `json:"benchmarks"`
+}
+
+// writeSnapshot renders the run as one benchmark record per (tenant,
+// class) with p50/p99/shed% metrics, plus a fleet-wide read aggregate,
+// and writes (or merges) the rpi-benchsnap-shaped file.
+func writeSnapshot(path string, merge bool, rep *bot.Report) error {
+	var recs []record
+	tns := make([]string, 0, len(rep.Tenants))
+	for tn := range rep.Tenants {
+		tns = append(tns, tn)
+	}
+	sort.Strings(tns)
+	var aggReq, aggAdm, aggShed uint64
+	var aggLatMs float64
+	for _, tn := range tns {
+		for _, cl := range []string{"read", "write", "stream"} {
+			st, ok := rep.Tenants[tn][cl]
+			if !ok || st.Requests == 0 {
+				continue
+			}
+			recs = append(recs, record{
+				Name:       fmt.Sprintf("BotHostLoad/tenant=%s/class=%s", orDefault(tn), cl),
+				Iterations: int64(st.Admitted),
+				NsPerOp:    st.MeanMs * 1e6,
+				Metrics: map[string]float64{
+					"p50-ms":   st.P50Ms,
+					"p99-ms":   st.P99Ms,
+					"shed-pct": st.ShedPct(),
+				},
+			})
+			if cl == "read" {
+				aggReq += st.Requests
+				aggAdm += st.Admitted
+				aggShed += st.Shed
+				aggLatMs += st.MeanMs * float64(st.Admitted)
+			}
+		}
+	}
+	if aggAdm > 0 {
+		shedPct := 100 * float64(aggShed) / float64(aggReq)
+		recs = append(recs, record{
+			Name:       "BotHostLoad/fleet/class=read",
+			Iterations: int64(aggAdm),
+			NsPerOp:    aggLatMs / float64(aggAdm) * 1e6,
+			Metrics: map[string]float64{
+				"shed-pct":  shedPct,
+				"tenants":   float64(len(rep.Tenants)),
+				"reads-sec": float64(aggAdm) / rep.Duration.Seconds(),
+			},
+		})
+	}
+
+	snap := snapshot{
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		Pkg:    "rpeer/cmd/rpi-bot",
+		Bench:  recs,
+	}
+	if merge {
+		if prev, err := os.ReadFile(path); err == nil {
+			var old snapshot
+			if err := json.Unmarshal(prev, &old); err != nil {
+				return fmt.Errorf("merge %s: %w", path, err)
+			}
+			mine := make(map[string]bool, len(recs))
+			for _, r := range recs {
+				mine[r.Name] = true
+			}
+			kept := make([]record, 0, len(old.Bench)+len(recs))
+			for _, r := range old.Bench {
+				if !mine[r.Name] {
+					kept = append(kept, r)
+				}
+			}
+			snap.Bench = append(kept, recs...)
+			if old.Pkg != "" && old.Pkg != snap.Pkg {
+				snap.Pkg = old.Pkg + "+rpi-bot"
+			}
+			if old.CPU != "" {
+				snap.CPU = old.CPU
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func orDefault(tn string) string {
+	if tn == "" {
+		return "default"
+	}
+	return tn
+}

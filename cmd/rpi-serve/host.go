@@ -1,0 +1,186 @@
+package main
+
+// Multi-tenant (-multi) mode: one internal/host registry of engines
+// behind the shared serving plane, instead of one engine.
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rpeer/internal/admission"
+	"rpeer/internal/host"
+	"rpeer/internal/netsim"
+	"rpeer/internal/wal"
+	"rpeer/pkg/rpi"
+	"rpeer/pkg/rpi/serve"
+)
+
+type hostParams struct {
+	addr, debugAddr, dataDir   string
+	seed                       int64
+	scale, workers             int
+	fsync                      string
+	fsyncInterval              time.Duration
+	snapEvery                  int
+	reqTimeout                 time.Duration
+	admission                  admission.Config
+	defaultTenant              string
+	maxTenants                 int
+	idleEvict, shutdownTimeout time.Duration
+}
+
+// tenantInputs derives a tenant's base world from its spec, and only
+// its spec — a restarted host rebuilds every tenant identically.
+// Profiles: "" / "paper" (paper-sized world), "paper-N" (scaled Nx),
+// "tiny" (millisecond-scale world for tests and demos).
+func tenantInputs(sp host.TenantSpec) (rpi.Inputs, error) {
+	switch {
+	case sp.Profile == "" || sp.Profile == "paper":
+		return rpi.SyntheticInputs(sp.Seed, 1)
+	case sp.Profile == "tiny":
+		cfg := netsim.TinyConfig()
+		if sp.Seed != 0 {
+			cfg.Seed = sp.Seed
+		}
+		return rpi.InputsFromConfig(cfg, sp.Seed)
+	case strings.HasPrefix(sp.Profile, "paper-"):
+		scale, err := strconv.Atoi(strings.TrimPrefix(sp.Profile, "paper-"))
+		if err != nil || scale < 1 {
+			return rpi.Inputs{}, fmt.Errorf("bad profile %q: want paper-N with N >= 1", sp.Profile)
+		}
+		return rpi.SyntheticInputs(sp.Seed, scale)
+	default:
+		return rpi.Inputs{}, fmt.Errorf("unknown profile %q (want paper, paper-N or tiny)", sp.Profile)
+	}
+}
+
+// persistOpts translates the -fsync/-snapshot-every flags into engine
+// options (shared by the single-tenant and host modes).
+func persistOpts(fsync string, fsyncInterval time.Duration, snapEvery int) ([]rpi.Option, error) {
+	var opts []rpi.Option
+	switch fsync {
+	case "every":
+		opts = append(opts, rpi.WithSync(rpi.SyncEveryDelta))
+	case "interval":
+		opts = append(opts, rpi.WithSyncInterval(fsyncInterval))
+	case "off":
+		opts = append(opts, rpi.WithSync(rpi.SyncOff))
+	default:
+		return nil, errors.New("bad -fsync: want every, interval or off")
+	}
+	return append(opts, rpi.WithSnapshotEvery(snapEvery)), nil
+}
+
+// runHost is main() for -multi: build the host, serve it, drain it.
+func runHost(ctx context.Context, p hostParams) int {
+	opts, err := persistOpts(p.fsync, p.fsyncInterval, p.snapEvery)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	opts = append(opts, rpi.WithWorkers(p.workers))
+	if p.dataDir == "" {
+		// No durable root: tenant WALs live in memory for the process's
+		// lifetime (engines still journal + snapshot, so per-tenant
+		// quarantine recovery works; a restart starts empty).
+		opts = append(opts, rpi.WithWALFS(wal.NewMemFS()))
+		log.Print("no -data-dir: tenant state is in-memory (lost on restart)")
+	}
+	h, err := host.Open(host.Config{
+		Dir:         p.dataDir,
+		Inputs:      tenantInputs,
+		Options:     opts,
+		MaxTenants:  p.maxTenants,
+		IdleTimeout: p.idleEvict,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if p.defaultTenant != "" {
+		err := h.Create(host.TenantSpec{
+			Name: p.defaultTenant, Seed: p.seed, Profile: profileFor(p.scale),
+		})
+		if err != nil && !errors.Is(err, host.ErrTenantExists) {
+			log.Print(err)
+			return 1
+		}
+	}
+
+	front := serve.NewHost(h, p.defaultTenant, serve.Config{
+		Admission:      p.admission,
+		RequestTimeout: p.reqTimeout,
+	})
+	publishHostVars(front)
+	srv := &http.Server{
+		Addr:              p.addr,
+		Handler:           front,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.ListenAndServe() }()
+	log.Printf("multi-tenant host on %s (%d tenants registered; engines open on first touch)",
+		p.addr, len(h.Tenants()))
+
+	var dbg *http.Server
+	dbgErr := make(chan error, 1)
+	if p.debugAddr != "" {
+		dbg = debugServer(p.debugAddr)
+		go func() { dbgErr <- dbg.ListenAndServe() }()
+		log.Printf("serving /debug/pprof and /debug/vars on %s", p.debugAddr)
+	}
+
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received, draining connections (up to %s)...", p.shutdownTimeout)
+	case err := <-srvErr:
+		log.Printf("service listener stopped: %v", err)
+	case err := <-dbgErr:
+		log.Printf("debug listener stopped: %v", err)
+		dbg = nil
+		waitShutdown(ctx, srvErr)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), p.shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if dbg != nil {
+		_ = dbg.Shutdown(drainCtx)
+	}
+	// Listeners are quiet: close every tenant engine cleanly (final
+	// snapshots), bounded by the host's own drain timeout.
+	if err := h.Close(); err != nil {
+		log.Printf("host close: %v", err)
+		return 1
+	}
+	log.Print("shut down cleanly")
+	return 0
+}
+
+func profileFor(scale int) string {
+	if scale <= 1 {
+		return "paper"
+	}
+	return fmt.Sprintf("paper-%d", scale)
+}
+
+// publishHostVars exposes the host-mode gauges: per-tenant state
+// (rpi.host), per-class and per-tenant admission counters
+// (rpi.admission), and the handler panic net.
+func publishHostVars(front *serve.HostServer) {
+	h := front.Host()
+	expvar.Publish("rpi.host", expvar.Func(func() interface{} { return h.Tenants() }))
+	expvar.Publish("rpi.admission", front.Admission().Expvar())
+	expvar.Publish("rpi.handler_panics", expvar.Func(func() interface{} { return front.HandlerPanics() }))
+}

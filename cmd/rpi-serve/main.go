@@ -51,6 +51,28 @@
 // and recovery counts) — kept off the service address so the profiling
 // surface is never reachable from the API network.
 //
+// Multi-tenant mode (-multi) replaces the single engine with an
+// internal/host tenant registry: one engine, one data directory and
+// one supervisor per tenant, all behind the same listener and the same
+// admission controller (with per-tenant fairness on top — one tenant
+// may hold at most half of a class's slots by default). Tenants are
+// created and deleted over HTTP and served under /v1/t/{tenant}/...;
+// the classic single-tenant routes keep working as aliases for the
+// -default-tenant, so existing clients run unchanged. Engines open
+// lazily on first request and, with -idle-evict, close (final
+// snapshot) after sitting idle:
+//
+//	POST   /v1/tenants            {"name":"acme","seed":7,"profile":"tiny"}
+//	GET    /v1/tenants            every tenant's live state
+//	DELETE /v1/tenants/{tenant}   drop a tenant (?purge=1 removes its data)
+//	GET    /v1/t/{tenant}/infer   that tenant's full report
+//
+// Tenant profiles: "paper" (default, the paper-sized world; "paper-N"
+// scales it Nx) and "tiny" (a millisecond-scale world for tests and
+// demos). A tenant's world derives deterministically from its (seed,
+// profile), so a host restart rebuilds or recovers every tenant
+// exactly.
+//
 // Example session:
 //
 //	curl localhost:8090/v1/report/Frankfurt-IX
@@ -61,7 +83,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"expvar"
 	"flag"
 	"log"
@@ -96,10 +117,26 @@ func main() {
 	admitStream := flag.Int("admit-stream", 0, "concurrent SSE streams (0 = scale to CPUs)")
 	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof and expvar (empty = disabled)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+	multi := flag.Bool("multi", false, "multi-tenant mode: a tenant host instead of one engine")
+	defaultTenant := flag.String("default-tenant", "default", "tenant the legacy /v1 routes alias to in -multi mode (empty = tenant routes only)")
+	maxTenants := flag.Int("max-tenants", 64, "tenant registry bound in -multi mode")
+	idleEvict := flag.Duration("idle-evict", 0, "evict a tenant's engine after this long without traffic in -multi mode (0 = never)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *multi {
+		os.Exit(runHost(ctx, hostParams{
+			addr: *addr, debugAddr: *debugAddr, dataDir: *dataDir,
+			seed: *seed, scale: *scale, workers: *workers,
+			fsync: *fsync, fsyncInterval: *fsyncInterval, snapEvery: *snapEvery,
+			reqTimeout:    *reqTimeout,
+			admission:     admissionConfig(*admitCheap, *admitRead, *admitWrite, *admitStream),
+			defaultTenant: *defaultTenant, maxTenants: *maxTenants,
+			idleEvict: *idleEvict, shutdownTimeout: *shutdownTimeout,
+		}))
+	}
 
 	// The supervisor owns the engine pointer. reopen is bound after the
 	// first engine build (it needs the assembled inputs) and strictly
@@ -232,17 +269,11 @@ func buildEngine(seed int64, scale, workers int, dataDir, fsync string, fsyncInt
 	if dataDir == "" {
 		eng, err = rpi.New(in, opts...)
 	} else {
-		switch fsync {
-		case "every":
-			opts = append(opts, rpi.WithSync(rpi.SyncEveryDelta))
-		case "interval":
-			opts = append(opts, rpi.WithSyncInterval(fsyncInterval))
-		case "off":
-			opts = append(opts, rpi.WithSync(rpi.SyncOff))
-		default:
-			return nil, nil, errors.New("bad -fsync: want every, interval or off")
+		popts, perr := persistOpts(fsync, fsyncInterval, snapEvery)
+		if perr != nil {
+			return nil, nil, perr
 		}
-		opts = append(opts, rpi.WithSnapshotEvery(snapEvery))
+		opts = append(opts, popts...)
 		reopen = func() (*rpi.Engine, *rpi.RecoveryInfo, error) {
 			return rpi.Open(dataDir, in, opts...)
 		}

@@ -28,6 +28,7 @@ import (
 	"expvar"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -86,6 +87,12 @@ type Limits struct {
 // Config bounds every class.
 type Config struct {
 	Cheap, Read, Write, Stream Limits
+
+	// TenantShare caps the fraction of any class's slots one tenant
+	// may occupy under AdmitTenant (admitted plus queued), so a hot
+	// tenant cannot starve its siblings. Zero takes
+	// DefaultTenantShare; >= 1 disables the fairness cap.
+	TenantShare float64
 }
 
 // DefaultConfig scales the limits to the machine: cheap reads fan out
@@ -114,10 +121,11 @@ func merged(cfg Config) Config {
 		return l
 	}
 	return Config{
-		Cheap:  pick(cfg.Cheap, def.Cheap),
-		Read:   pick(cfg.Read, def.Read),
-		Write:  pick(cfg.Write, def.Write),
-		Stream: pick(cfg.Stream, def.Stream),
+		Cheap:       pick(cfg.Cheap, def.Cheap),
+		Read:        pick(cfg.Read, def.Read),
+		Write:       pick(cfg.Write, def.Write),
+		Stream:      pick(cfg.Stream, def.Stream),
+		TenantShare: cfg.TenantShare,
 	}
 }
 
@@ -133,15 +141,21 @@ type gate struct {
 	canceled atomic.Uint64 // caller gone while queued
 }
 
-// Controller admits requests against per-class gates.
+// Controller admits requests against per-class gates, with optional
+// per-tenant fairness and attribution (see AdmitTenant in tenant.go).
 type Controller struct {
-	gates [numClasses]*gate
+	gates   [numClasses]*gate
+	share   float64  // one tenant's max share of a class's slots
+	tenants sync.Map // string -> *tenantState
 }
 
 // New builds a controller; zero-valued classes in cfg take defaults.
 func New(cfg Config) *Controller {
 	cfg = merged(cfg)
-	c := &Controller{}
+	c := &Controller{share: cfg.TenantShare}
+	if c.share <= 0 {
+		c.share = DefaultTenantShare
+	}
 	for cl, l := range map[Class]Limits{Cheap: cfg.Cheap, Read: cfg.Read, Write: cfg.Write, Stream: cfg.Stream} {
 		g := &gate{limits: l, slots: make(chan struct{}, l.Slots)}
 		c.gates[cl] = g
@@ -240,7 +254,15 @@ func (c *Controller) TotalShed() uint64 {
 }
 
 // Expvar renders the live stats as an expvar.Var; the serving binary
-// publishes it as "rpi.admission" next to rpi.dropped_updates.
+// publishes it as "rpi.admission" next to rpi.dropped_updates. The
+// counters are broken out twice: "classes" is the per-endpoint-class
+// view, "tenants" attributes the same traffic per tenant per class, so
+// shedding is traceable to the tenant causing it.
 func (c *Controller) Expvar() expvar.Var {
-	return expvar.Func(func() interface{} { return c.Stats() })
+	return expvar.Func(func() interface{} {
+		return map[string]interface{}{
+			"classes": c.Stats(),
+			"tenants": c.TenantStats(),
+		}
+	})
 }

@@ -75,6 +75,7 @@ type Options struct {
 // engine itself cannot be trusted.
 type published struct {
 	rep  *rpi.Report
+	seq  uint64
 	ixps map[string]bool
 }
 
@@ -128,8 +129,9 @@ func (g *Guard) publishLocked(eng *rpi.Engine) {
 			ixps[name] = true
 		}
 	}
-	g.lastGood.Store(&published{rep: eng.Snapshot(), ixps: ixps})
-	g.acked.Store(eng.Seq())
+	rep, seq := eng.SnapshotSeq()
+	g.lastGood.Store(&published{rep: rep, seq: seq, ixps: ixps})
+	g.acked.Store(seq)
 	g.eng.Store(eng)
 	g.gen.Add(1)
 	g.sick.Store(false)
@@ -183,14 +185,41 @@ func (g *Guard) Stats() Stats {
 // Snapshot returns the current report: the live engine's when healthy,
 // the last good one while quarantined.
 func (g *Guard) Snapshot() (*rpi.Report, error) {
-	eng := g.eng.Load()
-	if eng == nil {
-		return nil, ErrNoEngine
+	rep, _, _, err := g.Published()
+	return rep, err
+}
+
+// Published returns the current report together with the publication
+// generation and the delta seq the report reflects, all coherent with
+// one another: the (generation, seq) pair uniquely keys the report's
+// bytes, which is what the serving plane's pre-marshaled report cache
+// rides on. While quarantined it returns the last good publication
+// (whose seq stopped moving when the engine did).
+func (g *Guard) Published() (*rpi.Report, uint64, uint64, error) {
+	for {
+		eng := g.eng.Load()
+		if eng == nil {
+			return nil, 0, 0, ErrNoEngine
+		}
+		gen := g.gen.Load()
+		var (
+			rep *rpi.Report
+			seq uint64
+		)
+		if g.sick.Load() {
+			last := g.lastGood.Load()
+			rep, seq = last.rep, last.seq
+		} else {
+			rep, seq = eng.SnapshotSeq()
+		}
+		// A recovery swapping the engine mid-read could pair the new
+		// engine's report with the old generation number (or vice
+		// versa); re-read until the generation was stable around the
+		// whole capture. Swaps are rare, so this loops ~never.
+		if g.gen.Load() == gen {
+			return rep, gen, seq, nil
+		}
 	}
-	if g.sick.Load() {
-		return g.lastGood.Load().rep, nil
-	}
-	return eng.Snapshot(), nil
 }
 
 // ReportFor returns one IXP's report. While quarantined it is computed
@@ -266,7 +295,8 @@ func (g *Guard) noteGood(eng *rpi.Engine, seq uint64) {
 	if last == nil {
 		return // unreachable: Publish precedes any Apply
 	}
-	g.lastGood.Store(&published{rep: eng.Snapshot(), ixps: last.ixps})
+	rep, engSeq := eng.SnapshotSeq()
+	g.lastGood.Store(&published{rep: rep, seq: engSeq, ixps: last.ixps})
 	for {
 		cur := g.acked.Load()
 		if seq <= cur || g.acked.CompareAndSwap(cur, seq) {

@@ -127,6 +127,16 @@ func (e *Engine) Snapshot() *Report {
 	return e.report
 }
 
+// SnapshotSeq returns the current report together with the delta
+// sequence it reflects, read under one lock acquisition: the pair is
+// coherent even while concurrent Applies land. Serving-plane caches
+// key pre-marshaled report bytes on this seq.
+func (e *Engine) SnapshotSeq() (*Report, uint64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.report, e.seq
+}
+
 // Seq returns the number of deltas applied so far.
 func (e *Engine) Seq() uint64 {
 	e.mu.RLock()

@@ -1,9 +1,18 @@
-// Package serve exposes one shared rpi.Engine over HTTP/JSON: the
+// Package serve exposes rpi engines over HTTP/JSON: the
 // traffic-serving front end of the inference system (cmd/rpi-serve is
 // the binary). All responses use the versioned /v1 wire schema of
 // package rpi.
 //
-// Endpoints:
+// Two front ends share one handler core:
+//
+//   - Server wraps a single supervised engine (the original
+//     single-tenant plane);
+//   - HostServer (host.go) wraps an internal/host multi-engine host —
+//     one engine per tenant behind /v1/t/{tenant}/..., with tenant
+//     lifecycle endpoints and the legacy single-tenant routes aliased
+//     to a default tenant.
+//
+// Single-tenant endpoints:
 //
 //	GET  /healthz          liveness + delta sequence number
 //	GET  /readyz           readiness: 200 once the engine is built/recovered
@@ -27,6 +36,12 @@
 // a panic escaping Apply quarantines the engine (reads keep serving,
 // writes answer 503) while a background re-Open heals it from the
 // write-ahead log.
+//
+// Full-report reads are served from a per-publication byte cache: the
+// wire report is marshaled once per (guard generation, delta seq) and
+// every further GET /v1/infer at that publication is a buffer write,
+// not a re-marshal — under heavy read load the hot path does no
+// allocation proportional to the world.
 package serve
 
 import (
@@ -43,6 +58,7 @@ import (
 	"time"
 
 	"rpeer/internal/admission"
+	"rpeer/internal/host"
 	"rpeer/internal/netsim"
 	"rpeer/internal/pingsim"
 	"rpeer/internal/supervisor"
@@ -59,7 +75,8 @@ const StatusClientClosedRequest = 499
 // timeout, 15s stream heartbeat, 64-update stream buffers.
 type Config struct {
 	// Admission bounds per-class concurrency; zero-valued classes take
-	// admission.DefaultConfig.
+	// admission.DefaultConfig. Admission.TenantShare bounds one
+	// tenant's share of each class on a HostServer.
 	Admission admission.Config
 	// RequestTimeout caps the end-to-end time of non-streaming requests
 	// (queue wait + engine work + marshal). Zero means no cap.
@@ -95,12 +112,34 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the HTTP facade over one supervised engine. Queries run
-// under the engine's read lock and scale across connections; applies
-// serialize behind its write lock; all of it is bounded by admission
-// control and survives engine faults via the supervisor.
-type Server struct {
-	g   *supervisor.Guard
+// backend is one supervised engine as the handler core sees it: the
+// guard plus the per-publication caches that make repeated reads
+// cheap. The single-tenant Server owns exactly one; the HostServer
+// keeps one per tenant (reset when a tenant's guard is replaced after
+// idle eviction).
+type backend struct {
+	tenant string // "" on the single-tenant plane
+	g      *supervisor.Guard
+
+	// vps caches the VP index of the current engine publication (see
+	// vpIndex); rebuilt only when the supervisor swaps engines.
+	vps atomic.Pointer[vpCache]
+	// rep caches the marshaled full wire report of the current
+	// publication, keyed on (generation, seq): under read load
+	// GET /v1/infer is a buffer write, not a re-marshal.
+	rep atomic.Pointer[cachedReport]
+}
+
+// cachedReport is one publication's pre-marshaled /v1 wire bytes.
+type cachedReport struct {
+	gen, seq uint64
+	body     []byte
+}
+
+// plane is the handler core shared by the single-tenant Server and the
+// multi-tenant HostServer: admission, config, panic net, and the
+// per-backend endpoint logic.
+type plane struct {
 	adm *admission.Controller
 	cfg Config
 	mux *http.ServeMux
@@ -108,9 +147,19 @@ type Server struct {
 	// panics counts handler panics absorbed by the recover middleware
 	// (read-path bugs: the engine quarantine is the guard's job).
 	panics atomic.Uint64
-	// vps caches the VP index of the current engine publication (see
-	// vpIndex); rebuilt only when the supervisor swaps engines.
-	vps atomic.Pointer[vpCache]
+}
+
+func newPlane(cfg Config) plane {
+	return plane{adm: admission.New(cfg.Admission), cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+}
+
+// Server is the HTTP facade over one supervised engine. Queries run
+// under the engine's read lock and scale across connections; applies
+// serialize behind its write lock; all of it is bounded by admission
+// control and survives engine faults via the supervisor.
+type Server struct {
+	plane
+	be backend
 }
 
 // New builds the HTTP handler over a shared engine, ready immediately.
@@ -125,7 +174,7 @@ func New(eng *rpi.Engine) *Server {
 
 // NewPending builds the HTTP handler with no engine yet: /healthz
 // reports alive, /readyz and every /v1 endpoint answer 503 until
-// SetEngine. This is how cmd/rpi-serve binds its port before recovery
+// SetEngine. This is how a binary can bind its port before recovery
 // so that orchestrators see liveness during a long replay.
 func NewPending() *Server {
 	return NewSupervised(supervisor.New(supervisor.Options{}), Config{})
@@ -135,32 +184,40 @@ func NewPending() *Server {
 // guard — the full-fat constructor: the guard brings quarantine and
 // self-healing, cfg brings admission limits and deadlines.
 func NewSupervised(g *supervisor.Guard, cfg Config) *Server {
-	s := &Server{g: g, adm: admission.New(cfg.Admission), cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+	s := &Server{plane: newPlane(cfg), be: backend{g: g}}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.HandleFunc("GET /v1/infer", s.admitted(admission.Read, s.handleInfer))
-	s.mux.HandleFunc("GET /v1/report/{ixp}", s.admitted(admission.Cheap, s.handleReport))
-	s.mux.HandleFunc("POST /v1/apply", s.admitted(admission.Write, s.handleApply))
-	s.mux.HandleFunc("GET /v1/stream", s.admitted(admission.Stream, s.handleStream))
+	s.mux.HandleFunc("GET /v1/infer", s.admitted(admission.Read, "", func(w http.ResponseWriter, r *http.Request) {
+		s.infer(w, r, &s.be)
+	}))
+	s.mux.HandleFunc("GET /v1/report/{ixp}", s.admitted(admission.Cheap, "", func(w http.ResponseWriter, r *http.Request) {
+		s.report(w, r, &s.be, r.PathValue("ixp"))
+	}))
+	s.mux.HandleFunc("POST /v1/apply", s.admitted(admission.Write, "", func(w http.ResponseWriter, r *http.Request) {
+		s.apply(w, r, &s.be)
+	}))
+	s.mux.HandleFunc("GET /v1/stream", s.admitted(admission.Stream, "", func(w http.ResponseWriter, r *http.Request) {
+		s.stream(w, r, &s.be)
+	}))
 	return s
 }
 
 // SetEngine publishes the engine and flips the server ready. Safe to
 // call from the recovery goroutine while requests are being served.
-func (s *Server) SetEngine(eng *rpi.Engine) { s.g.Publish(eng) }
+func (s *Server) SetEngine(eng *rpi.Engine) { s.be.g.Publish(eng) }
 
 // Ready reports whether an engine is published and writable.
-func (s *Server) Ready() bool { return s.g.Ready() }
+func (s *Server) Ready() bool { return s.be.g.Ready() }
 
 // Guard exposes the supervisor for binaries that wire recovery or
 // publish its stats.
-func (s *Server) Guard() *supervisor.Guard { return s.g }
+func (s *Server) Guard() *supervisor.Guard { return s.be.g }
 
 // Admission exposes the admission controller (expvar publication).
-func (s *Server) Admission() *admission.Controller { return s.adm }
+func (p *plane) Admission() *admission.Controller { return p.adm }
 
 // HandlerPanics returns the number of handler panics absorbed so far.
-func (s *Server) HandlerPanics() uint64 { return s.panics.Load() }
+func (p *plane) HandlerPanics() uint64 { return p.panics.Load() }
 
 // respWriter tracks whether the response has been committed, so the
 // panic middleware knows if a 500 can still be sent, and unreachable
@@ -185,7 +242,7 @@ func (rw *respWriter) Unwrap() http.ResponseWriter { return rw.ResponseWriter }
 
 // ServeHTTP implements http.Handler: no-store headers (every response
 // reflects live, churning state), then the panic net, then the mux.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+func (p *plane) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rw := &respWriter{ResponseWriter: w}
 	rw.Header().Set("Cache-Control", "no-store")
 	defer func() {
@@ -193,31 +250,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel by identity, per net/http docs
 				panic(rec)
 			}
-			s.panics.Add(1)
-			s.cfg.Logger.Printf("serve: panic in %s %s: %v", r.Method, r.URL.Path, rec)
+			p.panics.Add(1)
+			p.cfg.Logger.Printf("serve: panic in %s %s: %v", r.Method, r.URL.Path, rec)
 			if !rw.wroteHeader {
 				http.Error(rw, "internal error", http.StatusInternalServerError)
 			}
 		}
 	}()
-	s.mux.ServeHTTP(rw, r)
+	p.mux.ServeHTTP(rw, r)
 }
 
 // admitted wraps a handler in admission control and the request
 // deadline: the slot is held for the handler's whole run, and the
 // request context carries the configured timeout so the deadline
 // reaches the engine (streams are exempt from the timeout — they are
-// supposed to be long-lived).
-func (s *Server) admitted(cl admission.Class, h http.HandlerFunc) http.HandlerFunc {
+// supposed to be long-lived). A non-empty tenant attributes the
+// request and applies the per-tenant fairness cap.
+func (p *plane) admitted(cl admission.Class, tenant string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.cfg.RequestTimeout > 0 && cl != admission.Stream {
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		if p.cfg.RequestTimeout > 0 && cl != admission.Stream {
+			ctx, cancel := context.WithTimeout(r.Context(), p.cfg.RequestTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		release, err := s.adm.Admit(r.Context(), cl)
+		release, err := p.adm.AdmitTenant(r.Context(), cl, tenant)
 		if err != nil {
-			s.writeError(w, r, err)
+			p.writeError(w, r, err)
 			return
 		}
 		defer release()
@@ -227,23 +285,23 @@ func (s *Server) admitted(cl admission.Class, h http.HandlerFunc) http.HandlerFu
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	body := map[string]any{"ok": true}
-	if eng := s.g.Engine(); eng != nil {
+	if eng := s.be.g.Engine(); eng != nil {
 		body["seq"] = eng.Seq()
 	} else {
 		body["recovering"] = true
 	}
-	if s.g.Quarantined() {
+	if s.be.g.Quarantined() {
 		body["quarantined"] = true
 	}
 	s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	eng := s.g.Engine()
+	eng := s.be.g.Engine()
 	switch {
 	case eng == nil:
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
-	case s.g.Quarantined():
+	case s.be.g.Quarantined():
 		// Healing: stop routing new traffic here, but requests that do
 		// arrive are answered from the last good snapshot.
 		w.Header().Set("Retry-After", "1")
@@ -254,22 +312,38 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.g.Snapshot()
+// infer serves the full wire report, from the backend's byte cache
+// when the publication has not moved since the last marshal.
+func (p *plane) infer(w http.ResponseWriter, r *http.Request, be *backend) {
+	rep, gen, seq, err := be.g.Published()
 	if err != nil {
-		s.writeError(w, r, err)
+		p.writeError(w, r, err)
 		return
 	}
-	s.writeReport(w, r, rep)
+	if c := be.rep.Load(); c != nil && c.gen == gen && c.seq == seq {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(c.body)
+		return
+	}
+	b, err := rpi.MarshalReportCtx(r.Context(), rep)
+	if err != nil {
+		p.writeError(w, r, err)
+		return
+	}
+	// Concurrent misses marshal the same publication to identical
+	// bytes; last store wins, all are correct.
+	be.rep.Store(&cachedReport{gen: gen, seq: seq, body: b})
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
 }
 
-func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.g.ReportFor(r.Context(), r.PathValue("ixp"))
+func (p *plane) report(w http.ResponseWriter, r *http.Request, be *backend, ixp string) {
+	rep, err := be.g.ReportFor(r.Context(), ixp)
 	if err != nil {
-		s.writeError(w, r, err)
+		p.writeError(w, r, err)
 		return
 	}
-	s.writeReport(w, r, rep)
+	p.writeReport(w, r, rep)
 }
 
 // WireDelta is the JSON body of POST /v1/apply.
@@ -304,10 +378,10 @@ type WireRTT struct {
 	Drop     bool    `json:"drop,omitempty"`
 }
 
-func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
-	eng := s.g.Engine()
+func (p *plane) apply(w http.ResponseWriter, r *http.Request, be *backend) {
+	eng := be.g.Engine()
 	if eng == nil {
-		s.writeError(w, r, supervisor.ErrNoEngine)
+		p.writeError(w, r, supervisor.ErrNoEngine)
 		return
 	}
 	var wd WireDelta
@@ -320,17 +394,17 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad delta body: %v", err), http.StatusBadRequest)
 		return
 	}
-	d, err := s.toDelta(eng, wd)
+	d, err := toDelta(eng, be, wd)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	up, err := s.g.Apply(r.Context(), d)
+	up, err := be.g.Apply(r.Context(), d)
 	if err != nil {
-		s.writeError(w, r, err)
+		p.writeError(w, r, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, up)
+	p.writeJSON(w, http.StatusOK, up)
 }
 
 // vpCache is the vantage-point index of one engine publication. The VP
@@ -343,11 +417,11 @@ type vpCache struct {
 	byID    map[int]*pingsim.VP
 }
 
-// vpIndex returns the cached VP index for the current publication,
-// building it on first use after an engine swap.
-func (s *Server) vpIndex(eng *rpi.Engine) *vpCache {
-	gen := s.g.Generation()
-	if c := s.vps.Load(); c != nil && c.gen == gen {
+// vpIndex returns the cached VP index for the backend's current
+// publication, building it on first use after an engine swap.
+func vpIndex(eng *rpi.Engine, be *backend) *vpCache {
+	gen := be.g.Generation()
+	if c := be.vps.Load(); c != nil && c.gen == gen {
 		return c
 	}
 	c := &vpCache{gen: gen}
@@ -358,12 +432,12 @@ func (s *Server) vpIndex(eng *rpi.Engine) *vpCache {
 			c.byID[vp.ID] = vp
 		}
 	}
-	s.vps.Store(c)
+	be.vps.Store(c)
 	return c
 }
 
 // toDelta resolves a wire delta against the engine's current state.
-func (s *Server) toDelta(eng *rpi.Engine, wd WireDelta) (rpi.Delta, error) {
+func toDelta(eng *rpi.Engine, be *backend, wd WireDelta) (rpi.Delta, error) {
 	var d rpi.Delta
 	for _, j := range wd.Joins {
 		ip, err := netip.ParseAddr(j.Iface)
@@ -384,7 +458,7 @@ func (s *Server) toDelta(eng *rpi.Engine, wd WireDelta) (rpi.Delta, error) {
 	if len(wd.RTT) == 0 {
 		return d, nil
 	}
-	vps := s.vpIndex(eng)
+	vps := vpIndex(eng, be)
 	if !vps.hasPing {
 		return d, fmt.Errorf("rtt: engine has no ping campaign")
 	}
@@ -424,7 +498,7 @@ type streamEvent struct {
 	Generation uint64 `json:"generation"`
 }
 
-// handleStream serves /v1/stream: server-sent events carrying verdict
+// stream serves /v1/stream: server-sent events carrying verdict
 // changes as deltas land. Consecutive updates a slow reader has not
 // consumed are coalesced into one batch write; a reader that cannot
 // drain a batch within StreamWriteTimeout is disconnected (and the
@@ -432,24 +506,24 @@ type streamEvent struct {
 // blocks on a stalled consumer). An engine swap (quarantine recovery)
 // closes the stream with a "reset" event: resynchronize from /v1/infer
 // and resubscribe.
-func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	eng := s.g.Engine()
+func (p *plane) stream(w http.ResponseWriter, r *http.Request, be *backend) {
+	eng := be.g.Engine()
 	if eng == nil {
-		s.writeError(w, r, supervisor.ErrNoEngine)
+		p.writeError(w, r, supervisor.ErrNoEngine)
 		return
 	}
-	gen := s.g.Generation()
-	updates, cancel := eng.Subscribe(s.cfg.StreamBuffer)
+	gen := be.g.Generation()
+	updates, cancel := eng.Subscribe(p.cfg.StreamBuffer)
 	defer cancel()
 
 	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.WriteHeader(http.StatusOK)
-	if err := s.sseWrite(rc, w, "hello", streamEvent{Seq: eng.Seq(), Generation: gen}); err != nil {
+	if err := p.sseWrite(rc, w, "hello", streamEvent{Seq: eng.Seq(), Generation: gen}); err != nil {
 		return
 	}
 
-	heartbeat := time.NewTicker(s.cfg.StreamHeartbeat)
+	heartbeat := time.NewTicker(p.cfg.StreamHeartbeat)
 	defer heartbeat.Stop()
 	for {
 		select {
@@ -458,7 +532,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		case <-heartbeat.C:
 			// A comment line: keeps NATs and proxies from reaping the
 			// connection, and detects dead clients on idle streams.
-			_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+			_ = rc.SetWriteDeadline(time.Now().Add(p.cfg.StreamWriteTimeout))
 			if _, err := io.WriteString(w, ": keep-alive\n\n"); err != nil {
 				return
 			}
@@ -468,7 +542,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		case up, ok := <-updates:
 			if !ok {
 				// Engine closed or quarantined underneath us.
-				_ = s.sseWrite(rc, w, "reset", streamEvent{Generation: s.g.Generation()})
+				_ = p.sseWrite(rc, w, "reset", streamEvent{Generation: be.g.Generation()})
 				return
 			}
 			batch := []rpi.Update{up}
@@ -486,11 +560,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 					break coalesce
 				}
 			}
-			if err := s.sseWrite(rc, w, "updates", batch); err != nil {
+			if err := p.sseWrite(rc, w, "updates", batch); err != nil {
 				return
 			}
 			if closed {
-				_ = s.sseWrite(rc, w, "reset", streamEvent{Generation: s.g.Generation()})
+				_ = p.sseWrite(rc, w, "reset", streamEvent{Generation: be.g.Generation()})
 				return
 			}
 		}
@@ -498,57 +572,64 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // sseWrite emits one SSE event under the stream write deadline.
-func (s *Server) sseWrite(rc *http.ResponseController, w http.ResponseWriter, event string, v any) error {
+func (p *plane) sseWrite(rc *http.ResponseController, w http.ResponseWriter, event string, v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+	_ = rc.SetWriteDeadline(time.Now().Add(p.cfg.StreamWriteTimeout))
 	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
 		return err
 	}
 	return rc.Flush()
 }
 
-func (s *Server) writeReport(w http.ResponseWriter, r *http.Request, rep *rpi.Report) {
+func (p *plane) writeReport(w http.ResponseWriter, r *http.Request, rep *rpi.Report) {
 	b, err := rpi.MarshalReportCtx(r.Context(), rep)
 	if err != nil {
-		s.writeError(w, r, err)
+		p.writeError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(b)
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+func (p *plane) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps SDK, admission and supervisor errors to HTTP
+// writeError maps SDK, admission, supervisor and host errors to HTTP
 // statuses. Cancellation is special-cased: when the caller is already
 // gone there is nobody to answer, so it is logged and recorded as the
 // 499 convention instead of surfacing as a fake 500.
-func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+func (p *plane) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, rpi.ErrCanceled),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
-		s.cfg.Logger.Printf("serve: %s %s abandoned: %v", r.Method, r.URL.Path, err)
+		p.cfg.Logger.Printf("serve: %s %s abandoned: %v", r.Method, r.URL.Path, err)
 		w.WriteHeader(StatusClientClosedRequest)
 		return
 	}
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, rpi.ErrUnknownIXP):
+	case errors.Is(err, rpi.ErrUnknownIXP),
+		errors.Is(err, host.ErrUnknownTenant):
 		status = http.StatusNotFound
+	case errors.Is(err, host.ErrTenantExists):
+		status = http.StatusConflict
+	case errors.Is(err, host.ErrBadTenantName),
+		errors.Is(err, host.ErrTooManyTenants):
+		status = http.StatusBadRequest
 	case errors.Is(err, rpi.ErrBadDelta):
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, admission.ErrOverloaded),
 		errors.Is(err, rpi.ErrOverloaded),
 		errors.Is(err, supervisor.ErrQuarantined),
 		errors.Is(err, supervisor.ErrNoEngine),
+		errors.Is(err, host.ErrHostClosed),
 		errors.Is(err, rpi.ErrClosed),
 		errors.Is(err, rpi.ErrPersistence):
 		// Transient serving-plane states: shed load, healing engine,
