@@ -2,7 +2,7 @@ GO ?= go
 # PR number stamped into the benchmark snapshot file name; bump (or
 # override: `make bench-snapshot PR=5`) each PR so trajectories of all
 # PRs stay side by side.
-PR ?= 8
+PR ?= 10
 
 # Pipelines (bench-snapshot) must fail when any stage fails, not just
 # the last one, or a broken benchmark run would silently overwrite the
@@ -10,7 +10,7 @@ PR ?= 8
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet test test-race soak chaos bot-smoke crash-matrix bench bench-smoke bench-snapshot bench-compare examples-smoke
+.PHONY: all build vet test test-race soak chaos bot-smoke crash-matrix bench bench-smoke bench-worldfile bench-snapshot bench-compare examples-smoke
 
 all: vet build test
 
@@ -85,9 +85,17 @@ THRESHOLD ?= 0.20
 bench-compare:
 	tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
 	$(GO) run ./cmd/rpi-benchsnap \
-		-bench 'BenchmarkFullPipeline$$|BenchmarkContextBuild$$|BenchmarkEngineApply/1x|BenchmarkServeHTTP|BenchmarkScaleWorld/1x' \
+		-bench 'BenchmarkFullPipeline$$|BenchmarkContextBuild$$|BenchmarkEngineApply/1x|BenchmarkServeHTTP|BenchmarkScaleWorld/1x$$|BenchmarkScaleWorld/16x-worldfile' \
 		-benchtime 3x -o $$tmp; \
 	$(GO) run ./cmd/rpi-benchdiff -base $(BASE) -new $$tmp -threshold $(THRESHOLD)
+
+# The world-interchange rungs at the 16x scale: binary world-file load,
+# cold-to-serving from the file, and the pipeline over the loaded
+# world. The 16x .rpw is generated once into .benchcache (or
+# $$RPI_WORLD_CACHE) and reused across runs — CI restores it from the
+# actions cache so the rungs measure loading, not generation.
+bench-worldfile:
+	$(GO) test -run '^$$' -timeout 30m -bench 'BenchmarkScaleWorld/16x-worldfile' -benchmem -benchtime=1x
 
 # Build and run every example binary once (the public-API canaries;
 # CI runs this alongside the test jobs).
@@ -108,6 +116,6 @@ bench-snapshot:
 	tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
 	$(GO) test -run '^$$' -timeout 30m -bench 'BenchmarkFullPipeline$$|BenchmarkFullPipelineCold|BenchmarkContextBuild|BenchmarkAblation|BenchmarkAllArtefacts|BenchmarkParallelPingCampaign|BenchmarkEngineApply|BenchmarkServeHTTP|BenchmarkServeOverload|BenchmarkHostServe' \
 		-benchmem -benchtime=3x > $$tmp; \
-	$(GO) test -run '^$$' -timeout 30m -bench 'BenchmarkScaleWorld|BenchmarkRecovery' -benchmem -benchtime=1x >> $$tmp; \
+	$(GO) test -run '^$$' -timeout 120m -bench 'BenchmarkScaleWorld|BenchmarkRecovery' -benchmem -benchtime=1x >> $$tmp; \
 	$(GO) run ./cmd/rpi-benchsnap -o BENCH_PR$(PR).json < $$tmp; \
 	$(GO) run ./cmd/rpi-bot -tenants 4 -duration 5s -o BENCH_PR$(PR).json -merge

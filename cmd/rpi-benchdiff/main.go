@@ -11,11 +11,15 @@
 //	rpi-benchdiff -base BENCH_PR4.json -new /tmp/fresh.json
 //	rpi-benchdiff -base BENCH_PR4.json -new fresh.json -threshold 0.5 -headline 'BenchmarkFullPipeline$'
 //
-// Only benchmarks present in both snapshots and matching the headline
-// pattern are compared (a renamed or newly added benchmark is not a
-// regression). ns/op comparisons only make sense between runs on the
-// same machine; CI wiring should compare runner-built snapshots with a
-// generous threshold or pin the runner class.
+// Besides ns/op, bytes/op and allocs/op are judged by the same
+// threshold when both snapshots carry them (-benchmem runs): an
+// allocation regression is a perf regression that merely hasn't hit
+// the wall clock yet. Only benchmarks present in both snapshots and
+// matching the headline pattern are compared (a renamed or newly added
+// benchmark is not a regression). ns/op comparisons only make sense
+// between runs on the same machine; CI wiring should compare
+// runner-built snapshots with a generous threshold or pin the runner
+// class.
 package main
 
 import (
@@ -28,10 +32,14 @@ import (
 	"sort"
 )
 
-// Record mirrors rpi-benchsnap's per-benchmark layout.
+// Record mirrors rpi-benchsnap's per-benchmark layout. BytesPerOp and
+// AllocsPerOp are pointers: absent means the snapshot predates
+// -benchmem capture, which must not read as "zero allocations".
 type Record struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Snapshot mirrors rpi-benchsnap's file layout.
@@ -45,7 +53,7 @@ type Snapshot struct {
 // end and the scaling rungs.
 const defaultHeadline = `^Benchmark(FullPipeline$|ContextBuild$|EngineApply/.*/incremental$|ServeHTTP/|ScaleWorld/)`
 
-func load(path string) (map[string]float64, string, error) {
+func load(path string) (map[string]Record, string, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, "", err
@@ -54,9 +62,9 @@ func load(path string) (map[string]float64, string, error) {
 	if err := json.Unmarshal(raw, &s); err != nil {
 		return nil, "", fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]float64, len(s.Bench))
+	out := make(map[string]Record, len(s.Bench))
 	for _, r := range s.Bench {
-		out[r.Name] = r.NsPerOp
+		out[r.Name] = r
 	}
 	return out, s.CPU, nil
 }
@@ -66,7 +74,7 @@ func main() {
 	log.SetPrefix("rpi-benchdiff: ")
 	base := flag.String("base", "", "baseline snapshot (committed BENCH_PRn.json)")
 	fresh := flag.String("new", "", "fresh snapshot to judge")
-	threshold := flag.Float64("threshold", 0.20, "fail when ns/op grows by more than this fraction")
+	threshold := flag.Float64("threshold", 0.20, "fail when ns/op, bytes/op or allocs/op grows by more than this fraction")
 	headline := flag.String("headline", defaultHeadline, "regexp selecting the headline benchmarks")
 	flag.Parse()
 	if *base == "" || *fresh == "" {
@@ -77,11 +85,11 @@ func main() {
 		log.Fatalf("bad -headline: %v", err)
 	}
 
-	baseNs, baseCPU, err := load(*base)
+	baseRec, baseCPU, err := load(*base)
 	if err != nil {
 		log.Fatal(err)
 	}
-	newNs, newCPU, err := load(*fresh)
+	newRec, newCPU, err := load(*fresh)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,21 +97,20 @@ func main() {
 		fmt.Printf("note: snapshots come from different CPUs (%q vs %q); ratios may reflect hardware, not code\n", baseCPU, newCPU)
 	}
 
-	names := make([]string, 0, len(baseNs))
-	for name := range baseNs {
+	names := make([]string, 0, len(baseRec))
+	for name := range baseRec {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
+	// judge compares one metric of one benchmark, printing the row and
+	// reporting whether it regressed past the threshold. Metrics
+	// missing on either side (old snapshots without -benchmem, or a
+	// zero baseline) are skipped, not failed.
 	compared, regressions := 0, 0
-	for _, name := range names {
-		if !re.MatchString(name) {
-			continue
-		}
-		b := baseNs[name]
-		n, ok := newNs[name]
-		if !ok || b <= 0 {
-			continue
+	judge := func(name, unit string, b, n float64) {
+		if b <= 0 {
+			return
 		}
 		compared++
 		ratio := n / b
@@ -112,13 +119,30 @@ func main() {
 			mark = "!"
 			regressions++
 		}
-		fmt.Printf("%s %-55s %14.0f -> %14.0f ns/op  (%.2fx)\n", mark, name, b, n, ratio)
+		fmt.Printf("%s %-55s %14.0f -> %14.0f %s  (%.2fx)\n", mark, name, b, n, unit, ratio)
+	}
+	for _, name := range names {
+		if !re.MatchString(name) {
+			continue
+		}
+		b := baseRec[name]
+		n, ok := newRec[name]
+		if !ok {
+			continue
+		}
+		judge(name, "ns/op", b.NsPerOp, n.NsPerOp)
+		if b.BytesPerOp != nil && n.BytesPerOp != nil {
+			judge(name, "B/op", *b.BytesPerOp, *n.BytesPerOp)
+		}
+		if b.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			judge(name, "allocs/op", *b.AllocsPerOp, *n.AllocsPerOp)
+		}
 	}
 	if compared == 0 {
 		log.Fatal("no headline benchmarks in common; nothing compared")
 	}
 	if regressions > 0 {
-		log.Fatalf("%d of %d headline benchmarks regressed beyond %.0f%%", regressions, compared, *threshold*100)
+		log.Fatalf("%d of %d headline metrics regressed beyond %.0f%%", regressions, compared, *threshold*100)
 	}
-	fmt.Printf("ok: %d headline benchmarks within %.0f%% of %s\n", compared, *threshold*100, *base)
+	fmt.Printf("ok: %d headline metrics within %.0f%% of %s\n", compared, *threshold*100, *base)
 }

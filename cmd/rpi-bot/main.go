@@ -45,6 +45,7 @@ import (
 	"rpeer/internal/host"
 	"rpeer/internal/netsim"
 	"rpeer/internal/wal"
+	"rpeer/internal/worldfile"
 	"rpeer/pkg/rpi"
 	"rpeer/pkg/rpi/serve"
 )
@@ -63,6 +64,7 @@ func run() int {
 	streamers := flag.Int("streamers", 2, "SSE streamer workers per tenant")
 	duration := flag.Duration("duration", 5*time.Second, "load duration")
 	seed := flag.Int64("seed", 1, "base world seed; tenant i uses seed+i")
+	worldPath := flag.String("world", "", "serve this pre-generated .rpw world bundle to every tenant (in-process mode) instead of per-tenant tiny worlds")
 	churn := flag.Float64("churn", 0.02, "membership fraction churned per applier delta")
 	readSlots := flag.Int("read-slots", 0, "override full-report read slots (0 = admission default); lower to provoke shedding")
 	tenantShare := flag.Float64("tenant-share", 0, "per-tenant fairness share of each class's slots (0 = default)")
@@ -101,7 +103,7 @@ func run() int {
 		var base string
 		var shutdown func()
 		var err error
-		h, base, shutdown, err = inProcessHost(names, *seed, adm)
+		h, base, shutdown, err = inProcessHost(names, *seed, *worldPath, adm)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -109,7 +111,11 @@ func run() int {
 		defer shutdown()
 		cfg.BaseURL = base
 		cfg.Inputs = func(tn string) (rpi.Inputs, error) { return liveInputs(h, tn) }
-		log.Printf("in-process host on %s: %d tenants, tiny worlds, in-memory WAL", base, *tenants)
+		worlds := "tiny worlds"
+		if *worldPath != "" {
+			worlds = "world bundle " + *worldPath
+		}
+		log.Printf("in-process host on %s: %d tenants, %s, in-memory WAL", base, *tenants, worlds)
 	} else {
 		cfg.BaseURL = strings.TrimRight(*addr, "/")
 		if err := ensureTenants(ctx, cfg.BaseURL, names, *seed); err != nil {
@@ -172,13 +178,24 @@ func tenantSeed(base int64, names []string, tn string) int64 {
 }
 
 // inProcessHost stands up the self-contained fleet: a host with one
-// tiny world per tenant over an in-memory WAL, fronted by the shared
-// serving plane on a loopback listener.
-func inProcessHost(names []string, seed int64, adm admission.Config) (*host.Host, string, func(), error) {
+// tiny world per tenant (or one shared pre-generated .rpw bundle) over
+// an in-memory WAL, fronted by the shared serving plane on a loopback
+// listener.
+func inProcessHost(names []string, seed int64, worldPath string, adm admission.Config) (*host.Host, string, func(), error) {
+	inputs := func(sp host.TenantSpec) (rpi.Inputs, error) {
+		return tinyInputs(sp.Seed)
+	}
+	if worldPath != "" {
+		// Load once; the bundle is read-only shared state, so every
+		// tenant's engine can serve the same decoded world.
+		in, err := worldfile.Load(worldPath)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		inputs = func(host.TenantSpec) (rpi.Inputs, error) { return in, nil }
+	}
 	h, err := host.Open(host.Config{
-		Inputs: func(sp host.TenantSpec) (rpi.Inputs, error) {
-			return tinyInputs(sp.Seed)
-		},
+		Inputs:     inputs,
 		Options:    []rpi.Option{rpi.WithWALFS(wal.NewMemFS())},
 		MaxTenants: len(names),
 		Logger:     log.New(io.Discard, "", 0),

@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	rpi-gen [-seed N] [-ases N] [-ixps N] [-o world.json]
+//	rpi-gen [-seed N] [-scale N] [-ases N] [-ixps N] [-o world.json]
+//
+// When -o names a .rpw file, rpi-gen instead builds the complete input
+// bundle (world, registry, colo DB, ping campaign, traceroute corpus)
+// and writes it in the binary columnar interchange format of
+// internal/worldfile — the "generate once, serve many" path: the file
+// is what rpi-serve -world and the scaling benchmarks load, skipping
+// world generation entirely.
 package main
 
 import (
@@ -13,9 +20,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"rpeer/internal/netsim"
 	"rpeer/internal/registry"
+	"rpeer/internal/worldfile"
+	"rpeer/pkg/rpi"
 )
 
 type dump struct {
@@ -66,13 +77,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rpi-gen: ")
 	seed := flag.Int64("seed", 1, "world generation seed")
+	scale := flag.Int("scale", 1, "world scale factor (1 = paper-sized default)")
 	ases := flag.Int("ases", 0, "override number of ASes (0 = default)")
 	ixps := flag.Int("ixps", 0, "override number of IXPs (0 = default)")
-	out := flag.String("o", "", "output file (default stdout)")
+	out := flag.String("o", "", "output file (default stdout; a .rpw suffix writes the binary world bundle instead)")
 	worldOut := flag.String("world", "", "also save the full world (reloadable via netsim.Load) to this file")
 	flag.Parse()
 
 	cfg := netsim.DefaultConfig()
+	if *scale > 1 {
+		cfg = netsim.ScaledConfig(*scale)
+	}
 	cfg.Seed = *seed
 	if *ases > 0 {
 		cfg.NASes = *ases
@@ -80,6 +95,12 @@ func main() {
 	if *ixps > 0 {
 		cfg.NIXPs = *ixps
 	}
+
+	if strings.HasSuffix(*out, ".rpw") {
+		writeWorldFile(cfg, *seed, *out)
+		return
+	}
+
 	w, err := netsim.Generate(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -147,4 +168,26 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "rpi-gen: %d facilities, %d IXPs, %d memberships\n",
 		len(d.Facilities), len(d.IXPs), len(d.Members))
+}
+
+// writeWorldFile is the "generate once" leg: build the complete input
+// bundle over cfg and publish it atomically as a binary .rpw world.
+func writeWorldFile(cfg netsim.Config, seed int64, path string) {
+	start := time.Now()
+	in, err := rpi.InputsFromConfig(cfg, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	genDone := time.Now()
+	if err := worldfile.WriteFile(path, in); err != nil {
+		log.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"rpi-gen: world bundle %s: %d memberships, %d paths, %.1f MB (generate %s, write %s)\n",
+		path, len(in.World.Members), len(in.Paths), float64(st.Size())/(1<<20),
+		genDone.Sub(start).Round(time.Millisecond), time.Since(genDone).Round(time.Millisecond))
 }

@@ -95,6 +95,7 @@ import (
 
 	"rpeer/internal/admission"
 	"rpeer/internal/supervisor"
+	"rpeer/internal/worldfile"
 	"rpeer/pkg/rpi"
 	"rpeer/pkg/rpi/serve"
 )
@@ -104,6 +105,7 @@ func main() {
 	log.SetPrefix("rpi-serve: ")
 	seed := flag.Int64("seed", 1, "world generation seed")
 	scale := flag.Int("scale", 1, "world scale factor (1 = paper-sized)")
+	worldPath := flag.String("world", "", "load the input bundle from this .rpw world file (written by rpi-gen -o; overrides -seed/-scale)")
 	addr := flag.String("addr", ":8090", "listen address")
 	workers := flag.Int("workers", 0, "inference shard workers (0 = one per CPU)")
 	dataDir := flag.String("data-dir", "", "durable state directory: delta WAL + snapshots (empty = in-memory engine)")
@@ -174,7 +176,7 @@ func main() {
 		log.Printf("serving /debug/pprof and /debug/vars on %s", *debugAddr)
 	}
 
-	eng, reopenFn, err := buildEngine(*seed, *scale, *workers, *dataDir, *fsync, *fsyncInterval, *snapEvery)
+	eng, reopenFn, err := buildEngine(*seed, *scale, *worldPath, *workers, *dataDir, *fsync, *fsyncInterval, *snapEvery)
 	if err != nil {
 		log.Print(err)
 		srv.Close()
@@ -250,15 +252,32 @@ func waitShutdown(ctx context.Context, srvErr chan error) {
 	}
 }
 
-// buildEngine assembles the inputs and builds either an in-memory
-// engine or, with a data directory, a crash-safe persistent one. For a
-// persistent engine it also returns the reopen closure the supervisor
-// uses to heal a quarantined engine from the same directory.
-func buildEngine(seed int64, scale, workers int, dataDir, fsync string, fsyncInterval time.Duration, snapEvery int) (*rpi.Engine, supervisor.Reopen, error) {
-	log.Printf("assembling inputs (seed %d, scale %dx)...", seed, scale)
-	in, err := rpi.SyntheticInputs(seed, scale)
-	if err != nil {
-		return nil, nil, err
+// buildEngine assembles the inputs — generated in-process, or loaded
+// from a pre-generated .rpw world file (the fast path at scale) — and
+// builds either an in-memory engine or, with a data directory, a
+// crash-safe persistent one. For a persistent engine it also returns
+// the reopen closure the supervisor uses to heal a quarantined engine
+// from the same directory.
+func buildEngine(seed int64, scale int, worldPath string, workers int, dataDir, fsync string, fsyncInterval time.Duration, snapEvery int) (*rpi.Engine, supervisor.Reopen, error) {
+	var (
+		in  rpi.Inputs
+		err error
+	)
+	if worldPath != "" {
+		log.Printf("loading world bundle %s...", worldPath)
+		start := time.Now()
+		in, err = worldfile.Load(worldPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		log.Printf("world loaded in %s: %d memberships, seed %d",
+			time.Since(start).Round(time.Millisecond), len(in.World.Members), in.Seed)
+	} else {
+		log.Printf("assembling inputs (seed %d, scale %dx)...", seed, scale)
+		in, err = rpi.SyntheticInputs(seed, scale)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	log.Printf("building engine over %d memberships...", len(in.Dataset.IfaceIXP))
 	opts := []rpi.Option{rpi.WithWorkers(workers)}

@@ -39,11 +39,12 @@ type Options struct {
 	EnableRTTColo      bool // Steps 2+3
 	EnableMultiIXP     bool // Step 4
 	EnablePrivate      bool // Step 5
-	// Workers bounds the shard pool the per-membership classification
-	// of Steps 1, 2+3 and 5 fans out over (0 = GOMAXPROCS, 1 = serial).
-	// Every entry is classified independently from shared read-only
-	// state, so the report is bit-identical for every worker count; the
-	// cross-membership propagation of Step 4 always runs serially.
+	// Workers bounds the shard pool every pipeline stage fans out over
+	// (0 = GOMAXPROCS, 1 = serial). Steps 1, 2+3 and 5 classify each
+	// membership independently from shared read-only state; Step 4's
+	// propagation shards by member-run — all routers of one member —
+	// whose read/write sets are disjoint across members. The report is
+	// therefore bit-identical for every worker count.
 	Workers int
 	// DisableVminBound zeroes the lower distance bound (ablation: how
 	// much does the fitted vmin curve matter?).
@@ -176,6 +177,10 @@ type scratch struct {
 	facs     []netsim.FacilityID
 	fCommon  []netsim.FacilityID
 	keyBuf   []byte
+
+	// ixpLocal/ixpRemote/ixpUnknown hold Step 4's per-router partition
+	// of involved IXPs by prior verdict.
+	ixpLocal, ixpRemote, ixpUnknown []ident.IXPID
 }
 
 // sizeTo grows the mark columns to the current ID spaces. Fresh
@@ -191,6 +196,17 @@ func (s *scratch) sizeTo(ifaces, members, facs int) {
 	if len(s.facStamp) < facs {
 		s.facStamp = append(s.facStamp, make([]uint32, facs-len(s.facStamp))...)
 		s.facCount = append(s.facCount, make([]int32, facs-len(s.facCount))...)
+	}
+}
+
+// growFacs widens the facility stamp columns to cover id: colo rows
+// may name facilities beyond the geometry table, and stamping must
+// never index out of range. Fresh segments are zeroed, so they can
+// never collide with a live epoch.
+func (s *scratch) growFacs(id netsim.FacilityID) {
+	if n := int(id) + 1; n > len(s.facStamp) {
+		s.facStamp = append(s.facStamp, make([]uint32, n-len(s.facStamp))...)
+		s.facCount = append(s.facCount, make([]int32, n-len(s.facCount))...)
 	}
 }
 

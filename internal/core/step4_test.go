@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"net/netip"
+	"runtime"
 	"testing"
 
 	"rpeer/internal/geo"
@@ -183,4 +185,55 @@ func farthestFacilityFrom(s *step4Fixture, ix *netsim.IXP) netsim.FacilityID {
 
 func distanceBetween(a, b *netsim.Facility) float64 {
 	return geo.DistanceKm(a.Loc, b.Loc)
+}
+
+// TestStep4ShardDeterminism pins the bit-identity contract of the
+// sharded Step-4 propagation: the member-run sweep must produce the
+// same report — inferences AND router taxonomy — whether it runs
+// serially or fanned out, in both the pipeline flow and the
+// standalone per-step evaluation. Workers beyond the run count
+// exercise the cap; NumCPU exercises whatever this host fans out to.
+func TestStep4ShardDeterminism(t *testing.T) {
+	in, _, _ := fixtures(t)
+	ctx, err := NewContext(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture world must actually contain several member runs, or
+	// the parallel branch would silently collapse to serial.
+	cached := ctx.multiRouters(DefaultOptions().AliasMode)
+	runs := 0
+	for i := range cached {
+		if i == 0 || cached[i].member != cached[i-1].member {
+			runs++
+		}
+	}
+	if runs < 2 {
+		t.Fatalf("fixture world has %d member runs; need >= 2 to exercise sharding", runs)
+	}
+
+	serial := DefaultOptions()
+	serial.Workers = 1
+	refRun, err := ctx.Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStep, err := ctx.RunStep(serial, StepMultiIXP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		par := DefaultOptions()
+		par.Workers = workers
+		got, err := ctx.Run(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, fmt.Sprintf("step4 pipeline workers=%d", workers), refRun, got)
+		gotStep, err := ctx.RunStep(par, StepMultiIXP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, fmt.Sprintf("step4 standalone workers=%d", workers), refStep, gotStep)
+	}
 }

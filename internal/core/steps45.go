@@ -3,7 +3,10 @@ package core
 import (
 	"math"
 	"net/netip"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rpeer/internal/alias"
 	"rpeer/internal/geo"
@@ -67,59 +70,99 @@ func (c *Context) obsIndex() []*asObs {
 	if c.obsBuilt {
 		return c.obs
 	}
-	perMember := make(map[ident.MemberID]*asObs)
-	get := func(m ident.MemberID) *asObs {
-		o := perMember[m]
-		if o == nil {
-			o = &asObs{member: m}
-			perMember[m] = o
-		}
-		return o
-	}
+	// Member IDs are dense, so the per-member grouping runs on flat
+	// count/offset columns and two contiguous pair slabs — no map of
+	// individually-growing slices. The dataset map is walked twice
+	// (count, then fill); its iteration order varies, but every pair
+	// lands in its member's slab region and the regions are sorted
+	// below, so the index is order-independent.
+	nm := c.ids.NumMembers()
+	nearOff := make([]int32, nm+1)
+	memOff := make([]int32, nm+1)
 	for i := 0; i < c.cross.Len(); i++ {
-		o := get(c.cross.NearAS[i])
-		o.nears = append(o.nears, obsPair{c.cross.Near[i], c.cross.IXP[i]})
+		nearOff[c.cross.NearAS[i]+1]++
 	}
-	for ip, name := range c.in.Dataset.IfaceIXP {
+	memPair := func(ip netip.Addr, name string) (ident.MemberID, obsPair, bool) {
 		iface, ok := c.ids.Iface(ip)
 		if !ok {
-			continue
+			return 0, obsPair{}, false
 		}
 		member, ok := c.ids.Member(c.in.Dataset.IfaceASN[ip])
 		if !ok {
-			continue
+			return 0, obsPair{}, false
 		}
 		ixp, ok := c.ids.IXP(name)
 		if !ok {
-			continue
+			return 0, obsPair{}, false
 		}
-		o := get(member)
-		o.mems = append(o.mems, obsPair{iface, ixp})
+		return member, obsPair{iface, ixp}, true
+	}
+	for ip, name := range c.in.Dataset.IfaceIXP {
+		if m, _, ok := memPair(ip, name); ok {
+			memOff[m+1]++
+		}
+	}
+	populated := 0
+	for m := 0; m < nm; m++ {
+		if nearOff[m+1] != 0 || memOff[m+1] != 0 {
+			populated++
+		}
+		nearOff[m+1] += nearOff[m]
+		memOff[m+1] += memOff[m]
+	}
+	nearSlab := make([]obsPair, nearOff[nm])
+	memSlab := make([]obsPair, memOff[nm])
+	nearCur := append([]int32(nil), nearOff[:nm]...)
+	memCur := append([]int32(nil), memOff[:nm]...)
+	for i := 0; i < c.cross.Len(); i++ {
+		m := c.cross.NearAS[i]
+		nearSlab[nearCur[m]] = obsPair{c.cross.Near[i], c.cross.IXP[i]}
+		nearCur[m]++
+	}
+	for ip, name := range c.in.Dataset.IfaceIXP {
+		if m, pr, ok := memPair(ip, name); ok {
+			memSlab[memCur[m]] = pr
+			memCur[m]++
+		}
 	}
 
+	// Assembly: the asObs structs live in one arena and the distinct
+	// near-interface lists in one shared slab; both are pre-sized so
+	// the appends below can never reallocate out from under the
+	// pointers already handed out.
 	ixpMark := make([]uint32, c.ids.NumIXPs())
 	epoch := uint32(0)
-	obs := make([]*asObs, 0, len(perMember))
-	for _, o := range perMember {
-		sort.Slice(o.nears, func(i, j int) bool {
-			if o.nears[i].iface != o.nears[j].iface {
-				return o.nears[i].iface < o.nears[j].iface
+	arena := make([]asObs, 0, populated)
+	obs := make([]*asObs, 0, populated)
+	ifaceSlab := make([]ident.IfaceID, 0, len(nearSlab))
+	for m := 0; m < nm; m++ {
+		nears := nearSlab[nearOff[m]:nearOff[m+1]]
+		mems := memSlab[memOff[m]:memOff[m+1]]
+		if len(nears) == 0 && len(mems) == 0 {
+			continue
+		}
+		sort.Slice(nears, func(i, j int) bool {
+			if nears[i].iface != nears[j].iface {
+				return nears[i].iface < nears[j].iface
 			}
-			return o.nears[i].ixp < o.nears[j].ixp
+			return nears[i].ixp < nears[j].ixp
 		})
-		dedup := o.nears[:0]
-		for i, pr := range o.nears {
-			if i == 0 || pr != o.nears[i-1] {
+		dedup := nears[:0]
+		for i, pr := range nears {
+			if i == 0 || pr != nears[i-1] {
 				dedup = append(dedup, pr)
 			}
 		}
-		o.nears = dedup
+		sort.Slice(mems, func(i, j int) bool { return mems[i].iface < mems[j].iface })
+		arena = append(arena, asObs{member: ident.MemberID(m), nears: dedup, mems: mems})
+		o := &arena[len(arena)-1]
+		start := len(ifaceSlab)
 		for i, pr := range o.nears {
 			if i == 0 || pr.iface != o.nears[i-1].iface {
-				o.nearIfaces = append(o.nearIfaces, pr.iface)
+				ifaceSlab = append(ifaceSlab, pr.iface)
 			}
 		}
-		sort.Slice(o.mems, func(i, j int) bool { return o.mems[i].iface < o.mems[j].iface })
+		o.nearIfaces = ifaceSlab[start:len(ifaceSlab):len(ifaceSlab)]
 		epoch++
 		for _, pr := range o.nears {
 			if ixpMark[pr.ixp] != epoch {
@@ -210,6 +253,21 @@ func (c *Context) multiRouters(mode alias.Mode) []cachedRouter {
 // left unknown. When seed is nil, prior classes are read from rep
 // itself (the normal pipeline flow); a non-nil seed supplies them from
 // elsewhere (the standalone per-step evaluation).
+//
+// The sweep is sharded by member-run: the cached router list is sorted
+// by AS number, so one member's routers are contiguous, and a run —
+// all routers of one member — is the unit workers claim atomically.
+// This is safe because every read (classOf) and write (assign) of the
+// propagation touches only domain entries of the run's own member:
+// runs are disjoint in member, so no shard can observe another shard's
+// writes, and processing runs in any order produces the same report as
+// the serial in-order sweep. Within a run routers execute in cached
+// order, preserving the intra-member read-after-write sequence (an
+// earlier router's assignment is visible to a later router of the same
+// member exactly as in the serial sweep). The geometry memos the sweep
+// leans on (facDist, ringQuery, the alias cache) are mutex-guarded and
+// value-deterministic, so the report is bit-identical for every worker
+// count — pinned by TestStep4ShardDeterminism.
 func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerClass) {
 	c := p.ctx
 	cached := c.multiRouters(p.opt.AliasMode)
@@ -236,6 +294,68 @@ func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerC
 	// (domain indexes, ascending by interface within each group — the
 	// order classOf's first-decided rule requires).
 	groups := c.memberGroups()
+
+	// Partition into contiguous same-member runs: runStarts[k] is the
+	// first router of run k, with a closing sentinel.
+	runStarts := make([]int32, 0, len(cached)+1)
+	for i := range cached {
+		if i == 0 || cached[i].member != cached[i-1].member {
+			runStarts = append(runStarts, int32(i))
+		}
+	}
+	runStarts = append(runStarts, int32(len(cached)))
+	nRuns := len(runStarts) - 1
+
+	sweepRun := func(s *scratch, k int) {
+		for i := runStarts[k]; i < runStarts[k+1]; i++ {
+			p.classifyMultiRouter(s, rep, groups, &cached[i], routers[i], seed)
+		}
+	}
+
+	workers := p.opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nRuns {
+		workers = nRuns
+	}
+	if workers <= 1 {
+		s := c.getScratch()
+		for k := 0; k < nRuns; k++ {
+			sweepRun(s, k)
+		}
+		c.putScratch(s)
+		return
+	}
+	// Workers claim one run per atomic grab: runs are mostly single
+	// routers, but the per-router geometry dwarfs the atomic, and
+	// run-granular claiming keeps the tail balanced.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := c.getScratch()
+			defer c.putScratch(s)
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= nRuns {
+					return
+				}
+				sweepRun(s, k)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// classifyMultiRouter applies the Fig 3 rules to one cached cluster,
+// writing the router's class and propagating verdicts into its
+// member's domain entries. All side effects are confined to cr.member
+// (see stepMultiIXP's sharding argument).
+func (p *pipeline) classifyMultiRouter(s *scratch, rep *Report, groups map[uint64][]int32, cr *cachedRouter, r *MultiIXPRouter, seed func(netsim.ASN, string) PeerClass) {
+	c := p.ctx
 	classOf := func(m ident.MemberID, x ident.IXPID) PeerClass {
 		if seed != nil {
 			return seed(c.ids.ASN(m), c.ids.IXPName(x))
@@ -262,115 +382,133 @@ func (p *pipeline) stepMultiIXP(rep *Report, seed func(netsim.ASN, string) PeerC
 		}
 	}
 
-	for i := range cached {
-		cr := &cached[i]
-		r := routers[i]
-		// Step 4's per-router geometry runs at the edge maps (a handful
-		// of routers per run, nothing per-membership).
-		asFacs, _ := p.in.Colo.Facilities(r.ASN)
-		var localIXPs, remoteIXPs, unknownIXPs []ident.IXPID
-		for _, x := range cr.ixps {
-			switch classOf(cr.member, x) {
-			case ClassLocal:
-				localIXPs = append(localIXPs, x)
-			case ClassRemote:
-				remoteIXPs = append(remoteIXPs, x)
-			default:
-				unknownIXPs = append(unknownIXPs, x)
-			}
-		}
-		targets := unknownIXPs
-		if standalone {
-			targets = cr.ixps
-		}
-		switch {
-		case len(localIXPs) > 0 && len(remoteIXPs) == 0 && p.allShareFacility(r.IXPs):
-			// Rule 1 (Fig 3a): local to one IXP and all involved IXPs
-			// share a facility -> local to all.
-			r.Class = RouterLocal
-			for _, x := range targets {
-				assign(cr.member, x, ClassLocal)
-			}
-		case len(remoteIXPs) > 0 && len(localIXPs) == 0:
-			// Rule 2 (Fig 3b): remote to one IXP; every other involved
-			// IXP whose facilities all lie closer to the anchor than
-			// the member possibly is (condition 2(b), applied per IXP —
-			// a router at least dmin away from the anchor cannot sit in
-			// any of them) inherits the remote verdict, as does
-			// everything when all involved IXPs share one facility
-			// (condition 2(a)).
-			anchor := remoteIXPs[0]
-			anchorFacs := p.in.Colo.IXPFacilities[c.ids.IXPName(anchor)]
-			dMinAS, _, okAS := p.facDist(asFacs, anchorFacs)
-			if !okAS {
-				dMinAS = p.anchorRingDMin(groups[groupKey(cr.member, anchor)])
-			}
-			all2a := p.allShareFacility(r.IXPs)
-			assigned := 0
-			for _, x := range targets {
-				if x == anchor {
-					continue
-				}
-				holds := all2a
-				if !holds && dMinAS > 0 {
-					_, maxD, ok := p.facDist(p.in.Colo.IXPFacilities[c.ids.IXPName(x)], anchorFacs)
-					holds = ok && maxD < dMinAS
-				}
-				if holds {
-					assign(cr.member, x, ClassRemote)
-					assigned++
-				}
-			}
-			if all2a || assigned > 0 {
-				r.Class = RouterRemote
-				if standalone {
-					assign(cr.member, anchor, ClassRemote)
-				}
-			}
-		case len(localIXPs) > 0:
-			// Rule 3 (Fig 3c): local to IXPL; other IXPs that share no
-			// facility (or are provably too far) form the remote subset.
-			r.Class = RouterHybrid
-			ixpL := localIXPs[0]
-			if standalone {
-				assign(cr.member, ixpL, ClassLocal)
-			}
-			for _, x := range targets {
-				if x != ixpL && p.hybridRemoteCondition(r.ASN, c.ids.IXPName(ixpL), c.ids.IXPName(x)) {
-					assign(cr.member, x, ClassRemote)
-				}
-			}
-			if len(remoteIXPs) == 0 && len(unknownIXPs) == 0 {
-				r.Class = RouterLocal
-			}
+	// Step 4's per-router geometry runs at the edge maps (a handful
+	// of routers per run, nothing per-membership). The IXP partition
+	// lives on shard scratch — the sweep allocates nothing per router.
+	asFacs, _ := p.in.Colo.Facilities(r.ASN)
+	localIXPs, remoteIXPs, unknownIXPs := s.ixpLocal[:0], s.ixpRemote[:0], s.ixpUnknown[:0]
+	for _, x := range cr.ixps {
+		switch classOf(cr.member, x) {
+		case ClassLocal:
+			localIXPs = append(localIXPs, x)
+		case ClassRemote:
+			remoteIXPs = append(remoteIXPs, x)
 		default:
-			// No seed class at any involved IXP (or only non-propagating
-			// remote evidence): the router stays unclassified.
-			r.Class = RouterUnclassified
+			unknownIXPs = append(unknownIXPs, x)
 		}
-		if r.Class == RouterUnclassified && len(remoteIXPs) > 0 && len(localIXPs) == 0 {
-			// Remote evidence existed but the geometry could not extend
-			// it: the router itself is still a remote one for the
-			// Fig 9d taxonomy.
+	}
+	s.ixpLocal, s.ixpRemote, s.ixpUnknown = localIXPs, remoteIXPs, unknownIXPs
+	targets := unknownIXPs
+	if standalone {
+		targets = cr.ixps
+	}
+	switch {
+	case len(localIXPs) > 0 && len(remoteIXPs) == 0 && p.allShareFacility(s, r.IXPs):
+		// Rule 1 (Fig 3a): local to one IXP and all involved IXPs
+		// share a facility -> local to all.
+		r.Class = RouterLocal
+		for _, x := range targets {
+			assign(cr.member, x, ClassLocal)
+		}
+	case len(remoteIXPs) > 0 && len(localIXPs) == 0:
+		// Rule 2 (Fig 3b): remote to one IXP; every other involved
+		// IXP whose facilities all lie closer to the anchor than
+		// the member possibly is (condition 2(b), applied per IXP —
+		// a router at least dmin away from the anchor cannot sit in
+		// any of them) inherits the remote verdict, as does
+		// everything when all involved IXPs share one facility
+		// (condition 2(a)).
+		anchor := remoteIXPs[0]
+		anchorFacs := p.in.Colo.IXPFacilities[c.ids.IXPName(anchor)]
+		dMinAS, _, okAS := p.facDist(asFacs, anchorFacs)
+		if !okAS {
+			dMinAS = p.anchorRingDMin(groups[groupKey(cr.member, anchor)])
+		}
+		all2a := p.allShareFacility(s, r.IXPs)
+		assigned := 0
+		for _, x := range targets {
+			if x == anchor {
+				continue
+			}
+			holds := all2a
+			if !holds && dMinAS > 0 {
+				_, maxD, ok := p.facDist(p.in.Colo.IXPFacilities[c.ids.IXPName(x)], anchorFacs)
+				holds = ok && maxD < dMinAS
+			}
+			if holds {
+				assign(cr.member, x, ClassRemote)
+				assigned++
+			}
+		}
+		if all2a || assigned > 0 {
 			r.Class = RouterRemote
+			if standalone {
+				assign(cr.member, anchor, ClassRemote)
+			}
 		}
+	case len(localIXPs) > 0:
+		// Rule 3 (Fig 3c): local to IXPL; other IXPs that share no
+		// facility (or are provably too far) form the remote subset.
+		r.Class = RouterHybrid
+		ixpL := localIXPs[0]
+		if standalone {
+			assign(cr.member, ixpL, ClassLocal)
+		}
+		for _, x := range targets {
+			if x != ixpL && p.hybridRemoteCondition(s, r.ASN, c.ids.IXPName(ixpL), c.ids.IXPName(x)) {
+				assign(cr.member, x, ClassRemote)
+			}
+		}
+		if len(remoteIXPs) == 0 && len(unknownIXPs) == 0 {
+			r.Class = RouterLocal
+		}
+	default:
+		// No seed class at any involved IXP (or only non-propagating
+		// remote evidence): the router stays unclassified.
+		r.Class = RouterUnclassified
+	}
+	if r.Class == RouterUnclassified && len(remoteIXPs) > 0 && len(localIXPs) == 0 {
+		// Remote evidence existed but the geometry could not extend
+		// it: the router itself is still a remote one for the
+		// Fig 9d taxonomy.
+		r.Class = RouterRemote
 	}
 }
 
 // allShareFacility reports whether the named IXPs have at least one
-// facility in common, per the colocation database.
-func (p *pipeline) allShareFacility(ixps []string) bool {
+// facility in common, per the colocation database. The k-way
+// intersection runs on the scratch's epoch-stamped facility counters:
+// a facility survives round j when all of the first j lists contained
+// it, so no per-call set materialises.
+func (p *pipeline) allShareFacility(s *scratch, ixps []string) bool {
 	if len(ixps) == 0 {
 		return false
 	}
-	common := append([]netsim.FacilityID(nil), p.in.Colo.IXPFacilities[ixps[0]]...)
-	for _, x := range ixps[1:] {
-		common = netsim.CommonFacilities(common, p.in.Colo.IXPFacilities[x])
-		if len(common) == 0 {
-			return false
+	e := s.nextEpoch()
+	alive := 0
+	for _, f := range p.in.Colo.IXPFacilities[ixps[0]] {
+		s.growFacs(f)
+		if s.facStamp[f] != e {
+			s.facStamp[f] = e
+			s.facCount[f] = 1
+			alive++
 		}
 	}
-	return true
+	for round := int32(2); round <= int32(len(ixps)); round++ {
+		if alive == 0 {
+			return false
+		}
+		alive = 0
+		for _, f := range p.in.Colo.IXPFacilities[ixps[round-1]] {
+			// An out-of-range facility was never stamped, so it cannot
+			// be a survivor.
+			if int(f) < len(s.facStamp) && s.facStamp[f] == e && s.facCount[f] == round-1 {
+				s.facCount[f] = round
+				alive++
+			}
+		}
+	}
+	return alive > 0
 }
 
 // anchorRingDMin derives a lower bound on the member router's distance
@@ -397,18 +535,38 @@ func (p *pipeline) anchorRingDMin(group []int32) float64 {
 // hybridRemoteCondition implements conditions 3(a)/3(b) for one other
 // IXP: it belongs to the remote subset when it shares no facility with
 // the local anchor, or when its closest facility is provably farther
-// than the router can be from the anchor.
-func (p *pipeline) hybridRemoteCondition(asn netsim.ASN, ixpL, other string) bool {
+// than the router can be from the anchor. Set membership runs on the
+// scratch's epoch stamps and the AS∩anchor intersection lands in the
+// scratch facility buffer, so the check allocates nothing.
+func (p *pipeline) hybridRemoteCondition(s *scratch, asn netsim.ASN, ixpL, other string) bool {
 	lFacs := p.in.Colo.IXPFacilities[ixpL]
 	oFacs := p.in.Colo.IXPFacilities[other]
-	if len(netsim.CommonFacilities(lFacs, oFacs)) == 0 {
+	e := s.nextEpoch()
+	for _, f := range lFacs {
+		s.growFacs(f)
+		s.facStamp[f] = e
+	}
+	shared := false
+	for _, f := range oFacs {
+		if int(f) < len(s.facStamp) && s.facStamp[f] == e {
+			shared = true
+			break
+		}
+	}
+	if !shared {
 		return true // condition 3(a)
 	}
 	asFacs, ok := p.in.Colo.Facilities(asn)
 	if !ok {
 		return false
 	}
-	common := netsim.CommonFacilities(asFacs, lFacs)
+	common := s.facs[:0]
+	for _, f := range asFacs {
+		if int(f) < len(s.facStamp) && s.facStamp[f] == e {
+			common = append(common, f)
+		}
+	}
+	s.facs = common
 	if len(common) == 0 {
 		return false
 	}

@@ -257,13 +257,15 @@ func TestAllShareFacility(t *testing.T) {
 	f.in.Colo.IXPFacilities["A"] = []netsim.FacilityID{1, 2}
 	f.in.Colo.IXPFacilities["B"] = []netsim.FacilityID{2, 3}
 	f.in.Colo.IXPFacilities["C"] = []netsim.FacilityID{3, 4}
-	if !p.allShareFacility([]string{"A", "B"}) {
+	s := p.ctx.getScratch()
+	defer p.ctx.putScratch(s)
+	if !p.allShareFacility(s, []string{"A", "B"}) {
 		t.Error("A and B share facility 2")
 	}
-	if p.allShareFacility([]string{"A", "B", "C"}) {
+	if p.allShareFacility(s, []string{"A", "B", "C"}) {
 		t.Error("A, B, C share nothing in common")
 	}
-	if p.allShareFacility(nil) {
+	if p.allShareFacility(s, nil) {
 		t.Error("empty set cannot share a facility")
 	}
 }

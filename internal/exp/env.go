@@ -153,6 +153,51 @@ func NewEnvWithConfig(cfg netsim.Config, seed int64, opts ...rpi.Option) (*Env, 
 	return env, nil
 }
 
+// NewEnvFromInputs builds the environment over a pre-assembled input
+// bundle — the path a world file (internal/worldfile, written by
+// rpi-gen -o world.rpw) takes into the experiment and benchmark
+// harnesses: no generation, just the engine build and pipeline run.
+// The validation split is re-derived from the world with the same
+// seed layout NewEnvWithConfig uses (base+7, where in.Seed is base+6),
+// so an env loaded from a file and one generated in-process over the
+// same (seed, config) are interchangeable.
+func NewEnvFromInputs(in core.Inputs, opts ...rpi.Option) (*Env, error) {
+	var (
+		wgVal sync.WaitGroup
+		val   *core.Validation
+	)
+	wgVal.Add(1)
+	go func() {
+		defer wgVal.Done()
+		vcfg := core.DefaultValidationConfig()
+		vcfg.Seed = in.Seed + 1
+		val = core.BuildValidation(in.World, vcfg)
+	}()
+	eng, err := rpi.New(in, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("exp: engine: %w", err)
+	}
+	base, err := eng.Baseline()
+	if err != nil {
+		return nil, fmt.Errorf("exp: baseline: %w", err)
+	}
+	wgVal.Wait()
+
+	engIn := eng.Inputs()
+	env := &Env{
+		World: in.World, Dataset: engIn.Dataset, Colo: in.Colo,
+		VPs: in.Ping.VPs, Ping: in.Ping, Paths: in.Paths,
+		Inputs: engIn, Engine: eng, Ctx: eng.Context(),
+		Report: eng.Snapshot(), BaseReport: base,
+		Validation: val,
+		ixpByName:  make(map[string]*netsim.IXP, len(in.World.IXPs)),
+	}
+	for _, ix := range in.World.IXPs {
+		env.ixpByName[ix.Name] = ix
+	}
+	return env, nil
+}
+
 // IXPByName resolves an IXP name to the world object.
 func (e *Env) IXPByName(name string) *netsim.IXP { return e.ixpByName[name] }
 

@@ -70,23 +70,17 @@ func Load(in io.Reader) (*World, error) {
 	if doc.Version != worldFormatVersion {
 		return nil, fmt.Errorf("netsim: unsupported world format version %d", doc.Version)
 	}
-	w := &World{
+	parts := WorldParts{
 		Cfg:        doc.Cfg,
 		Cities:     doc.Cities,
 		Facilities: doc.Facilities,
 		IXPs:       doc.IXPs,
+		ASes:       doc.ASes,
+		Routers:    doc.Routers,
 		Members:    doc.Members,
 		Private:    doc.Private,
 		Resellers:  doc.Resellers,
-		ASes:       make(map[ASN]*AS, len(doc.ASes)),
-		Routers:    make(map[RouterID]*Router, len(doc.Routers)),
-		asPrefixes: make(map[ASN][]netip.Prefix, len(doc.Prefixes)),
-	}
-	for _, as := range doc.ASes {
-		w.ASes[as.ASN] = as
-	}
-	for _, r := range doc.Routers {
-		w.Routers[r.ID] = r
+		Prefixes:   make(map[ASN][]netip.Prefix, len(doc.Prefixes)),
 	}
 	for _, e := range doc.Prefixes {
 		for _, s := range e.Prefixes {
@@ -94,10 +88,81 @@ func Load(in io.Reader) (*World, error) {
 			if err != nil {
 				return nil, fmt.Errorf("netsim: AS%d prefix %q: %w", e.ASN, s, err)
 			}
-			w.asPrefixes[e.ASN] = append(w.asPrefixes[e.ASN], p)
+			parts.Prefixes[e.ASN] = append(parts.Prefixes[e.ASN], p)
 		}
 	}
-	w.lat = newLatency(w, doc.Cfg.Seed)
+	return FromParts(parts)
+}
+
+// WorldParts is the entity-level content of a World: everything a
+// serialised form must carry, none of the derived state (lookup
+// indices, the latency oracle) a loader rebuilds. Both world decoders
+// — the JSON Load above and the binary columnar internal/worldfile —
+// assemble through it.
+type WorldParts struct {
+	Cfg        Config
+	Cities     []City
+	Facilities []*Facility
+	IXPs       []*IXP
+	ASes       []*AS
+	Routers    []*Router
+	Members    []*Member
+	Private    []PrivateLink
+	Resellers  []ASN
+	Prefixes   map[ASN][]netip.Prefix
+}
+
+// Parts decomposes the world into its serialisable entity content.
+// Slices and maps are shared with the world, not copied; encoders must
+// treat them as read-only. ASes and Routers come out in sorted ID
+// order, so an encoder iterating them is deterministic.
+func (w *World) Parts() WorldParts {
+	p := WorldParts{
+		Cfg:        w.Cfg,
+		Cities:     w.Cities,
+		Facilities: w.Facilities,
+		IXPs:       w.IXPs,
+		Members:    w.Members,
+		Private:    w.Private,
+		Resellers:  w.Resellers,
+		Prefixes:   w.asPrefixes,
+	}
+	for _, asn := range w.ASNs {
+		p.ASes = append(p.ASes, w.ASes[asn])
+	}
+	for _, id := range w.RouterIDs {
+		p.Routers = append(p.Routers, w.Routers[id])
+	}
+	return p
+}
+
+// FromParts assembles a live World from deserialised entity content:
+// lookup maps, dense indices and the latency oracle are rebuilt, and
+// member references are sanity-checked. The result is indistinguishable
+// from the World the parts were captured from.
+func FromParts(parts WorldParts) (*World, error) {
+	w := &World{
+		Cfg:        parts.Cfg,
+		Cities:     parts.Cities,
+		Facilities: parts.Facilities,
+		IXPs:       parts.IXPs,
+		Members:    parts.Members,
+		Private:    parts.Private,
+		Resellers:  parts.Resellers,
+		ASes:       make(map[ASN]*AS, len(parts.ASes)),
+		Routers:    make(map[RouterID]*Router, len(parts.Routers)),
+		asPrefixes: parts.Prefixes,
+	}
+	if w.asPrefixes == nil {
+		w.asPrefixes = make(map[ASN][]netip.Prefix)
+	}
+	for _, as := range parts.ASes {
+		w.ASes[as.ASN] = as
+	}
+	for _, r := range parts.Routers {
+		w.Routers[r.ID] = r
+	}
+	w.lat = newLatency(w, parts.Cfg.Seed)
 	w.buildIndices()
 	// Sanity: every member must reference known entities.
 	for _, m := range w.Members {

@@ -198,6 +198,13 @@ type Result struct {
 	// the campaign fold by WithOverrides (re-campaign refreshes).
 	overrides map[netip.Addr]Override
 
+	// baseAgg, when set, replaces the ByVP fold as the campaign's
+	// aggregate layer: Results restored from a world file carry folded
+	// per-interface aggregates, not the raw measurement set (which is
+	// regenerable and an order of magnitude larger). The map is shared
+	// across WithOverrides views and must never be mutated.
+	baseAgg map[netip.Addr]*IfaceAgg
+
 	idxOnce sync.Once
 	idx     map[netip.Addr]*IfaceAgg
 
@@ -254,6 +261,18 @@ type IfaceAgg struct {
 // be treated as read-only; concurrent callers are safe.
 func (r *Result) IfaceIndex() map[netip.Addr]*IfaceAgg {
 	r.idxOnce.Do(func() {
+		if r.baseAgg != nil {
+			// Restored campaign: the folded aggregates were persisted;
+			// layer overrides over a copy (entries are immutable and
+			// shared, the map itself is per-view).
+			idx := make(map[netip.Addr]*IfaceAgg, len(r.baseAgg))
+			for ip, a := range r.baseAgg {
+				idx[ip] = a
+			}
+			r.applyOverrides(idx)
+			r.idx = idx
+			return
+		}
 		idx := make(map[netip.Addr]*IfaceAgg)
 		for _, vp := range r.UsableVPs {
 			for _, m := range r.ByVP[vp.ID] {
@@ -275,21 +294,27 @@ func (r *Result) IfaceIndex() map[netip.Addr]*IfaceAgg {
 				}
 			}
 		}
-		for ip, o := range r.overrides {
-			if math.IsNaN(o.RTTMinMs) {
-				delete(idx, ip)
-				continue
-			}
-			idx[ip] = &IfaceAgg{
-				RTTMinMs:     o.RTTMinMs,
-				BestVP:       o.BestVP,
-				BestRoundsUp: o.BestRoundsUp,
-				AnyRounding:  o.AnyRounding,
-			}
-		}
+		r.applyOverrides(idx)
 		r.idx = idx
 	})
 	return r.idx
+}
+
+// applyOverrides layers the cumulative override overlay over a folded
+// aggregate index (NaN RTT removes the interface).
+func (r *Result) applyOverrides(idx map[netip.Addr]*IfaceAgg) {
+	for ip, o := range r.overrides {
+		if math.IsNaN(o.RTTMinMs) {
+			delete(idx, ip)
+			continue
+		}
+		idx[ip] = &IfaceAgg{
+			RTTMinMs:     o.RTTMinMs,
+			BestVP:       o.BestVP,
+			BestRoundsUp: o.BestRoundsUp,
+			AnyRounding:  o.AnyRounding,
+		}
+	}
 }
 
 // Override is a per-interface replacement campaign aggregate: the
@@ -319,6 +344,7 @@ func (r *Result) WithOverrides(ov map[netip.Addr]Override) *Result {
 		VPs: r.VPs, ByVP: r.ByVP,
 		RouteServerRTT: r.RouteServerRTT,
 		UsableVPs:      r.UsableVPs,
+		baseAgg:        r.baseAgg,
 		overrides:      merged,
 	}
 }

@@ -170,6 +170,90 @@ func appendColumn(b []byte, c *Column) []byte {
 	return b
 }
 
+// EncodeColumns serializes a bare column group — u32 column count
+// followed by the columns in the snapshot wire encoding — without the
+// snapshot header or trailing checksum. Containers that frame and
+// checksum their own sections (internal/worldfile) embed column groups
+// this way.
+func EncodeColumns(cols []Column) []byte {
+	b := make([]byte, 0, 1024)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cols)))
+	for i := range cols {
+		b = appendColumn(b, &cols[i])
+	}
+	return b
+}
+
+// DecodeColumns parses a column group written by EncodeColumns. The
+// whole payload must be consumed; trailing garbage is an error.
+func DecodeColumns(data []byte) ([]Column, error) {
+	d := &dec{b: data}
+	nCols := int(d.u32())
+	cols := make([]Column, 0, nCols)
+	for i := 0; i < nCols && d.err == nil; i++ {
+		c, err := decodeColumn(d)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, d.err)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after column group", ErrInvalid, len(d.b))
+	}
+	return cols, nil
+}
+
+// decodeColumn parses one column off the reader. Kind errors are
+// returned directly; length errors surface through d.err.
+func decodeColumn(d *dec) (Column, error) {
+	c := Column{}
+	c.Name = string(d.take(int(d.u16())))
+	c.Kind = Kind(d.u8())
+	n := int(d.u32())
+	switch c.Kind {
+	case KindU32:
+		c.U32 = make([]uint32, n)
+		for j := range c.U32 {
+			c.U32[j] = d.u32()
+		}
+	case KindU64:
+		c.U64 = make([]uint64, n)
+		for j := range c.U64 {
+			c.U64[j] = d.u64()
+		}
+	case KindF64:
+		c.F64 = make([]float64, n)
+		for j := range c.F64 {
+			c.F64[j] = math.Float64frombits(d.u64())
+		}
+	case KindU8:
+		c.U8 = append([]uint8(nil), d.take(n)...)
+	case KindAddr:
+		c.Addr = make([]netip.Addr, n)
+		for j := range c.Addr {
+			raw := d.take(int(d.u8()))
+			a, ok := netip.AddrFromSlice(raw)
+			if !ok && d.err == nil {
+				d.err = fmt.Errorf("bad address of %d bytes", len(raw))
+			}
+			c.Addr[j] = a
+		}
+	case KindString:
+		c.Str = make([]string, n)
+		for j := range c.Str {
+			c.Str[j] = string(d.take(int(d.u16())))
+		}
+	default:
+		if d.err == nil {
+			return c, fmt.Errorf("%w: unknown column kind %d", ErrInvalid, c.Kind)
+		}
+	}
+	return c, nil
+}
+
 // Decode parses and validates a snapshot file image.
 func Decode(data []byte) (*Snap, error) {
 	if len(data) < len(Magic)+4+8+8+4+4 {
@@ -190,45 +274,9 @@ func Decode(data []byte) (*Snap, error) {
 	s := &Snap{Seq: d.u64(), Fingerprint: d.u64()}
 	nCols := int(d.u32())
 	for i := 0; i < nCols && d.err == nil; i++ {
-		c := Column{}
-		c.Name = string(d.take(int(d.u16())))
-		c.Kind = Kind(d.u8())
-		n := int(d.u32())
-		switch c.Kind {
-		case KindU32:
-			c.U32 = make([]uint32, n)
-			for j := range c.U32 {
-				c.U32[j] = d.u32()
-			}
-		case KindU64:
-			c.U64 = make([]uint64, n)
-			for j := range c.U64 {
-				c.U64[j] = d.u64()
-			}
-		case KindF64:
-			c.F64 = make([]float64, n)
-			for j := range c.F64 {
-				c.F64[j] = math.Float64frombits(d.u64())
-			}
-		case KindU8:
-			c.U8 = append([]uint8(nil), d.take(n)...)
-		case KindAddr:
-			c.Addr = make([]netip.Addr, n)
-			for j := range c.Addr {
-				raw := d.take(int(d.u8()))
-				a, ok := netip.AddrFromSlice(raw)
-				if !ok && d.err == nil {
-					d.err = fmt.Errorf("bad address of %d bytes", len(raw))
-				}
-				c.Addr[j] = a
-			}
-		case KindString:
-			c.Str = make([]string, n)
-			for j := range c.Str {
-				c.Str[j] = string(d.take(int(d.u16())))
-			}
-		default:
-			return nil, fmt.Errorf("%w: unknown column kind %d", ErrInvalid, c.Kind)
+		c, err := decodeColumn(d)
+		if err != nil {
+			return nil, err
 		}
 		s.Columns = append(s.Columns, c)
 	}

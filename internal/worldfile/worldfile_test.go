@@ -1,0 +1,306 @@
+package worldfile_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rpeer/internal/core"
+	"rpeer/internal/netsim"
+	"rpeer/internal/pingsim"
+	"rpeer/internal/worldfile"
+	"rpeer/pkg/rpi"
+)
+
+// testInputs builds a small but complete bundle (tiny world, full
+// registry/colo/ping/trace stages) once per test binary.
+func testInputs(t *testing.T) core.Inputs {
+	t.Helper()
+	in, err := rpi.InputsFromConfig(netsim.TinyConfig(), 42)
+	if err != nil {
+		t.Fatalf("build inputs: %v", err)
+	}
+	return in
+}
+
+func encode(t *testing.T, in core.Inputs) []byte {
+	t.Helper()
+	b, err := worldfile.Encode(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return b
+}
+
+func feq(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestWorldFileRoundTrip pins the tentpole guarantee: a loaded bundle
+// is byte-identical to the in-process generated one, down to the
+// inference report the pipeline produces over it.
+func TestWorldFileRoundTrip(t *testing.T) {
+	in := testInputs(t)
+	b := encode(t, in)
+	got, err := worldfile.Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	// World: byte-identical JSON serialisation.
+	var want, have bytes.Buffer
+	if err := in.World.Save(&want); err != nil {
+		t.Fatalf("save original: %v", err)
+	}
+	if err := got.World.Save(&have); err != nil {
+		t.Fatalf("save decoded: %v", err)
+	}
+	if !bytes.Equal(want.Bytes(), have.Bytes()) {
+		t.Fatalf("decoded world JSON differs from generated world (%d vs %d bytes)",
+			want.Len(), have.Len())
+	}
+
+	// Fingerprint, dataset, colo, paths.
+	if fa, fb := core.Fingerprint(in), core.Fingerprint(got); fa != fb {
+		t.Fatalf("fingerprint changed across round trip: %016x vs %016x", fa, fb)
+	}
+	if !reflect.DeepEqual(in.Dataset, got.Dataset) {
+		t.Fatalf("dataset differs after round trip")
+	}
+	if !reflect.DeepEqual(in.Colo, got.Colo) {
+		t.Fatalf("colo differs after round trip")
+	}
+	if !reflect.DeepEqual(in.Paths, got.Paths) {
+		t.Fatalf("traceroute corpus differs after round trip")
+	}
+	if in.Seed != got.Seed || in.Speed != got.Speed {
+		t.Fatalf("seed/speed differ: (%d,%v) vs (%d,%v)", in.Seed, in.Speed, got.Seed, got.Speed)
+	}
+
+	// Ping campaign: roster, usable set, route-server RTTs, folded
+	// aggregates.
+	if len(in.Ping.VPs) != len(got.Ping.VPs) {
+		t.Fatalf("roster size %d vs %d", len(in.Ping.VPs), len(got.Ping.VPs))
+	}
+	for i, vp := range in.Ping.VPs {
+		g := got.Ping.VPs[i]
+		if vp.ID != g.ID || vp.IXP != g.IXP || vp.Kind != g.Kind ||
+			vp.Facility != g.Facility || vp.Loc != g.Loc || vp.SrcIP != g.SrcIP ||
+			vp.RoundsUp != g.RoundsUp || vp.Hidden() != g.Hidden() {
+			t.Fatalf("VP %d differs after round trip: %+v vs %+v", vp.ID, vp, g)
+		}
+	}
+	if len(in.Ping.UsableVPs) != len(got.Ping.UsableVPs) {
+		t.Fatalf("usable VP count %d vs %d", len(in.Ping.UsableVPs), len(got.Ping.UsableVPs))
+	}
+	for i, vp := range in.Ping.UsableVPs {
+		if got.Ping.UsableVPs[i].ID != vp.ID {
+			t.Fatalf("usable VP %d is %d, want %d", i, got.Ping.UsableVPs[i].ID, vp.ID)
+		}
+	}
+	if len(in.Ping.RouteServerRTT) != len(got.Ping.RouteServerRTT) {
+		t.Fatalf("route server RTT count %d vs %d",
+			len(in.Ping.RouteServerRTT), len(got.Ping.RouteServerRTT))
+	}
+	for id, rtt := range in.Ping.RouteServerRTT {
+		g, ok := got.Ping.RouteServerRTT[id]
+		if !ok || !feq(rtt, g) {
+			t.Fatalf("route server RTT for VP %d: %v vs %v (present=%v)", id, rtt, g, ok)
+		}
+	}
+	wantIdx, haveIdx := in.Ping.IfaceIndex(), got.Ping.IfaceIndex()
+	if len(wantIdx) != len(haveIdx) {
+		t.Fatalf("aggregate index size %d vs %d", len(wantIdx), len(haveIdx))
+	}
+	for ip, wa := range wantIdx {
+		ha := haveIdx[ip]
+		if ha == nil {
+			t.Fatalf("aggregate for %s missing after round trip", ip)
+		}
+		if !feq(wa.RTTMinMs, ha.RTTMinMs) || wa.BestRoundsUp != ha.BestRoundsUp ||
+			wa.AnyRounding != ha.AnyRounding {
+			t.Fatalf("aggregate for %s differs: %+v vs %+v", ip, wa, ha)
+		}
+		wantBest, haveBest := -1, -1
+		if wa.BestVP != nil {
+			wantBest = wa.BestVP.ID
+		}
+		if ha.BestVP != nil {
+			haveBest = ha.BestVP.ID
+		}
+		if wantBest != haveBest {
+			t.Fatalf("aggregate for %s has best VP %d, want %d", ip, haveBest, wantBest)
+		}
+	}
+
+	// The pipeline over the decoded bundle must produce the same report.
+	wantRep, err := core.Run(in, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("run original: %v", err)
+	}
+	haveRep, err := core.Run(got, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("run decoded: %v", err)
+	}
+	if len(wantRep.Inferences) != len(haveRep.Inferences) {
+		t.Fatalf("report size %d vs %d", len(wantRep.Inferences), len(haveRep.Inferences))
+	}
+	for k, wi := range wantRep.Inferences {
+		hi := haveRep.Inferences[k]
+		if hi == nil {
+			t.Fatalf("inference for %s missing from decoded-world report", k)
+		}
+		wc, hc := *wi, *hi
+		if !feq(wc.RTTMinMs, hc.RTTMinMs) {
+			t.Fatalf("inference %s RTT %v vs %v", k, wc.RTTMinMs, hc.RTTMinMs)
+		}
+		wc.RTTMinMs, hc.RTTMinMs = 0, 0
+		if wc != hc {
+			t.Fatalf("inference %s differs: %+v vs %+v", k, wi, hi)
+		}
+	}
+	if !reflect.DeepEqual(wantRep.MultiRouters, haveRep.MultiRouters) {
+		t.Fatalf("multi-IXP router sets differ between generated and loaded world")
+	}
+}
+
+// TestEncodeDeterministic pins byte-for-byte deterministic encoding —
+// the property CI world caching and fingerprint pinning rely on.
+func TestEncodeDeterministic(t *testing.T) {
+	in := testInputs(t)
+	a, b := encode(t, in), encode(t, in)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two encodes of the same bundle differ (%d vs %d bytes)", len(a), len(b))
+	}
+	// And re-encoding a decoded bundle is also byte-identical.
+	got, err := worldfile.Decode(a)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	c := encode(t, got)
+	if !bytes.Equal(a, c) {
+		t.Fatalf("re-encode of decoded bundle differs (%d vs %d bytes)", len(a), len(c))
+	}
+}
+
+func TestWriteLoadFile(t *testing.T) {
+	in := testInputs(t)
+	path := filepath.Join(t.TempDir(), "world.rpw")
+	if err := worldfile.WriteFile(path, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tmp file left behind after publish")
+	}
+	got, err := worldfile.Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if fa, fb := core.Fingerprint(in), core.Fingerprint(got); fa != fb {
+		t.Fatalf("fingerprint changed across file round trip: %016x vs %016x", fa, fb)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := worldfile.LoadReader(f); err != nil {
+		t.Fatalf("load via reader: %v", err)
+	}
+}
+
+// TestCorruptTruncated: every truncation of a valid file must fail
+// with ErrInvalid — never panic, never return a partial world.
+func TestCorruptTruncated(t *testing.T) {
+	b := encode(t, testInputs(t))
+	// Exhaustive near the header, then sampled through the body.
+	cuts := make([]int, 0, 512)
+	for i := 0; i < 256 && i < len(b); i++ {
+		cuts = append(cuts, i)
+	}
+	for i := 256; i < len(b); i += 997 {
+		cuts = append(cuts, i)
+	}
+	cuts = append(cuts, len(b)-1)
+	for _, n := range cuts {
+		if _, err := worldfile.Decode(b[:n]); !errors.Is(err, worldfile.ErrInvalid) {
+			t.Fatalf("truncation to %d of %d bytes: got %v, want ErrInvalid", n, len(b), err)
+		}
+	}
+}
+
+// TestCorruptFlippedByte: flipping any byte inside a section payload
+// must be caught by that section's checksum.
+func TestCorruptFlippedByte(t *testing.T) {
+	b := encode(t, testInputs(t))
+	header := len("RPWFILE1") + 4 + 8 + 4
+	for off := header; off < len(b); off += 499 {
+		mut := bytes.Clone(b)
+		mut[off] ^= 0x40
+		_, err := worldfile.Decode(mut)
+		if err == nil {
+			t.Fatalf("flipping byte %d went undetected", off)
+		}
+		if !errors.Is(err, worldfile.ErrInvalid) && !errors.Is(err, worldfile.ErrFingerprint) {
+			t.Fatalf("flipping byte %d: got untyped error %v", off, err)
+		}
+	}
+}
+
+func TestCorruptVersionMismatch(t *testing.T) {
+	b := bytes.Clone(encode(t, testInputs(t)))
+	b[len("RPWFILE1")] = byte(worldfile.FormatVersion + 1)
+	if _, err := worldfile.Decode(b); !errors.Is(err, worldfile.ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+}
+
+func TestCorruptFingerprintMismatch(t *testing.T) {
+	b := bytes.Clone(encode(t, testInputs(t)))
+	b[len("RPWFILE1")+4] ^= 0xFF // low byte of the header fingerprint
+	if _, err := worldfile.Decode(b); !errors.Is(err, worldfile.ErrFingerprint) {
+		t.Fatalf("tampered fingerprint: got %v, want ErrFingerprint", err)
+	}
+}
+
+func TestCorruptBadMagic(t *testing.T) {
+	b := bytes.Clone(encode(t, testInputs(t)))
+	b[0] ^= 0xFF
+	if _, err := worldfile.Decode(b); !errors.Is(err, worldfile.ErrInvalid) {
+		t.Fatalf("bad magic: got %v, want ErrInvalid", err)
+	}
+}
+
+// TestOverridesComposeOnRestoredCampaign: a restored campaign must
+// accept override overlays (the serving plane's live-measurement path)
+// exactly like a fresh one.
+func TestOverridesComposeOnRestoredCampaign(t *testing.T) {
+	in := testInputs(t)
+	got, err := worldfile.Decode(encode(t, in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	idx := got.Ping.IfaceIndex()
+	if len(idx) == 0 {
+		t.Fatal("restored campaign has no aggregates")
+	}
+	for ip, agg := range idx {
+		over := got.Ping.WithOverrides(map[netip.Addr]pingsim.Override{
+			ip: {RTTMinMs: agg.RTTMinMs + 5, BestVP: agg.BestVP},
+		})
+		oidx := over.IfaceIndex()
+		if oa := oidx[ip]; oa == nil || !feq(oa.RTTMinMs, agg.RTTMinMs+5) {
+			t.Fatalf("override on restored campaign not applied for %s: %+v", ip, oidx[ip])
+		}
+		// The base view must be untouched.
+		if ba := got.Ping.IfaceIndex()[ip]; !feq(ba.RTTMinMs, agg.RTTMinMs) {
+			t.Fatalf("override leaked into base view for %s", ip)
+		}
+		break
+	}
+}
